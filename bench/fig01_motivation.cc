@@ -1,0 +1,60 @@
+// Figure 1: the database layer is the bottleneck of disk-based private
+// blockchains. Prints the DB-layer throughput of Fabric / FastFabric# / RBC
+// (Smallbank, disk-oriented) and the Aria memory DB layer, against the
+// consensus-layer ceilings of HotStuff with 80 nodes (LAN and WAN).
+#include "bench/harness.h"
+#include "workload/smallbank.h"
+
+using namespace harmony;
+using namespace harmony::bench;
+
+int main() {
+  auto smallbank = [] {
+    SmallbankConfig c;
+    c.skew = 0.6;
+    return std::make_unique<SmallbankWorkload>(c);
+  };
+
+  PrintHeader("Figure 1: DB layer vs consensus layer (Smallbank)",
+              {"layer", "Ktxns/s"});
+
+  for (const SystemSpec& sys :
+       {FabricSpec(), FastFabricSpec(), RbcSpec()}) {
+    BenchParams p;
+    p.system = sys;
+    p.total_txns = ScaledTxns(2000);
+    auto r = RunPoint(p, smallbank);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", sys.label.c_str(),
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    PrintRow({sys.label + " (disk)", Fmt(r->exec_tps / 1e3, 2)});
+  }
+
+  // Aria on the memory engine: the main-memory DB layer reference point.
+  {
+    BenchParams p;
+    p.system = AriaSpec();
+    p.in_memory = true;
+    p.block_size = 50;
+    p.total_txns = ScaledTxns(6000);
+    auto r = RunPoint(p, smallbank);
+    if (!r.ok()) return 1;
+    PrintRow({"Aria (memory)", Fmt(r->exec_tps / 1e3, 2)});
+  }
+
+  // Consensus ceilings: HotStuff, 80 nodes, LAN (5 Gbps) and geo-WAN.
+  for (bool wan : {false, true}) {
+    NetworkModel net;
+    net.nodes = 80;
+    net.bandwidth_gbps = 5.0;
+    net.wan = wan;
+    HotStuffOrderer hs("s", net);
+    const ConsensusProfile prof = hs.Profile(/*block_txns=*/100,
+                                             /*avg_txn_bytes=*/48);
+    PrintRow({std::string("HotStuff 80 ") + (wan ? "(WAN)" : "(LAN)"),
+              Fmt(prof.max_txns_per_sec / 1e3, 2)});
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 7: overall peak throughput and end-to-end latency on Smallbank
+// (default cluster, medium contention skew 0.6, per-system optimal block
+// sizes from Figure 9).
+#include "bench/overall_common.h"
+#include "workload/smallbank.h"
+
+using namespace harmony;
+using namespace harmony::bench;
+
+int main() {
+  auto mk = [] {
+    SmallbankConfig c;
+    c.skew = 0.6;
+    return std::make_unique<SmallbankWorkload>(c);
+  };
+  PrintHeader("Figure 7: overall performance, Smallbank",
+              {"point", "system", "txns/s", "lat_ms"});
+  SweepOptions opt;
+  opt.txns_per_point = 3000;
+  // Per-system tuned block sizes (Section 5.2 methodology; the optima in
+  // this substrate sit higher than the paper's because per-block fixed
+  // costs amortize further — see EXPERIMENTS.md).
+  for (const SystemSpec& sys : AllSystems()) {
+    size_t block = 50;
+    if (sys.kind == DccKind::kAria || sys.kind == DccKind::kHarmony) block = 75;
+    if (RunSystemsAtPoint("peak", {sys}, block, mk, opt) != 0) return 1;
+  }
+  return 0;
+}

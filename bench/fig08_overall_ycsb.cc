@@ -1,0 +1,25 @@
+// Figure 8: overall peak throughput and end-to-end latency on YCSB
+// (10 ops/txn, skew 0.6, per-system optimal block sizes from Figure 10).
+#include "bench/overall_common.h"
+#include "workload/ycsb.h"
+
+using namespace harmony;
+using namespace harmony::bench;
+
+int main() {
+  auto mk = [] {
+    YcsbConfig c;
+    c.skew = 0.6;
+    return std::make_unique<YcsbWorkload>(c);
+  };
+  PrintHeader("Figure 8: overall performance, YCSB",
+              {"point", "system", "txns/s", "lat_ms"});
+  SweepOptions opt;
+  opt.txns_per_point = 2000;
+  for (const SystemSpec& sys : AllSystems()) {
+    size_t block = 25;
+    if (sys.kind == DccKind::kAria || sys.kind == DccKind::kHarmony) block = 50;
+    if (RunSystemsAtPoint("peak", {sys}, block, mk, opt) != 0) return 1;
+  }
+  return 0;
+}

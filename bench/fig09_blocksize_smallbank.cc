@@ -1,0 +1,25 @@
+// Figure 9: impact of block size (= degree of concurrency) on Smallbank.
+#include "bench/overall_common.h"
+#include "workload/smallbank.h"
+
+using namespace harmony;
+using namespace harmony::bench;
+
+int main() {
+  auto mk = [] {
+    SmallbankConfig c;
+    c.skew = 0.6;
+    return std::make_unique<SmallbankWorkload>(c);
+  };
+  PrintHeader("Figure 9: block size sweep, Smallbank",
+              {"block", "system", "txns/s", "lat_ms"});
+  SweepOptions opt;
+  opt.txns_per_point = 1500;
+  for (size_t block : {5, 25, 50, 75, 100}) {
+    if (RunSystemsAtPoint(std::to_string(block), AllSystems(), block, mk,
+                          opt) != 0) {
+      return 1;
+    }
+  }
+  return 0;
+}

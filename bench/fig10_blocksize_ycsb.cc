@@ -1,0 +1,25 @@
+// Figure 10: impact of block size (= degree of concurrency) on YCSB.
+#include "bench/overall_common.h"
+#include "workload/ycsb.h"
+
+using namespace harmony;
+using namespace harmony::bench;
+
+int main() {
+  auto mk = [] {
+    YcsbConfig c;
+    c.skew = 0.6;
+    return std::make_unique<YcsbWorkload>(c);
+  };
+  PrintHeader("Figure 10: block size sweep, YCSB",
+              {"block", "system", "txns/s", "lat_ms"});
+  SweepOptions opt;
+  opt.txns_per_point = 1200;
+  for (size_t block : {5, 25, 50, 75, 100}) {
+    if (RunSystemsAtPoint(std::to_string(block), AllSystems(), block, mk,
+                          opt) != 0) {
+      return 1;
+    }
+  }
+  return 0;
+}

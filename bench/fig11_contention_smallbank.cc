@@ -1,0 +1,26 @@
+// Figure 11: impact of contention (Zipfian skew) on Smallbank:
+// throughput and abort rate per system.
+#include "bench/overall_common.h"
+#include "workload/smallbank.h"
+
+using namespace harmony;
+using namespace harmony::bench;
+
+int main() {
+  PrintHeader("Figure 11: contention sweep, Smallbank",
+              {"skew", "system", "txns/s", "lat_ms", "abort"});
+  SweepOptions opt;
+  opt.print_aborts = true;
+  opt.txns_per_point = 1500;
+  for (double skew : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    auto mk = [skew] {
+      SmallbankConfig c;
+      c.skew = skew;
+      return std::make_unique<SmallbankWorkload>(c);
+    };
+    if (RunSystemsAtPoint(Fmt(skew, 1), AllSystems(), 25, mk, opt) != 0) {
+      return 1;
+    }
+  }
+  return 0;
+}

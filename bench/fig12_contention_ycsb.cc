@@ -1,0 +1,26 @@
+// Figure 12: impact of contention (Zipfian skew) on YCSB:
+// throughput and abort rate per system.
+#include "bench/overall_common.h"
+#include "workload/ycsb.h"
+
+using namespace harmony;
+using namespace harmony::bench;
+
+int main() {
+  PrintHeader("Figure 12: contention sweep, YCSB",
+              {"skew", "system", "txns/s", "lat_ms", "abort"});
+  SweepOptions opt;
+  opt.print_aborts = true;
+  opt.txns_per_point = 1200;
+  for (double skew : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    auto mk = [skew] {
+      YcsbConfig c;
+      c.skew = skew;
+      return std::make_unique<YcsbWorkload>(c);
+    };
+    if (RunSystemsAtPoint(Fmt(skew, 1), AllSystems(), 25, mk, opt) != 0) {
+      return 1;
+    }
+  }
+  return 0;
+}

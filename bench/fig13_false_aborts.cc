@@ -1,0 +1,42 @@
+// Figure 13: false abort rate (CC aborts not required by any rw-cycle)
+// across the contention sweep, YCSB and Smallbank. FastFabric# is excluded
+// (it eliminates in-block false aborts by full graph traversal), as in the
+// paper.
+#include "bench/overall_common.h"
+#include "workload/smallbank.h"
+#include "workload/ycsb.h"
+
+using namespace harmony;
+using namespace harmony::bench;
+
+int main() {
+  const std::vector<SystemSpec> systems = {HarmonySpec(), AriaSpec(),
+                                           RbcSpec(), FabricSpec()};
+  SweepOptions opt;
+  opt.print_aborts = true;
+  opt.print_false_aborts = true;
+  opt.txns_per_point = 1200;
+
+  PrintHeader("Figure 13a: false abort rate, YCSB",
+              {"skew", "system", "txns/s", "lat_ms", "abort", "false"});
+  for (double skew : {0.0, 0.4, 0.8, 1.0}) {
+    auto mk = [skew] {
+      YcsbConfig c;
+      c.skew = skew;
+      return std::make_unique<YcsbWorkload>(c);
+    };
+    if (RunSystemsAtPoint(Fmt(skew, 1), systems, 25, mk, opt) != 0) return 1;
+  }
+
+  PrintHeader("Figure 13b: false abort rate, Smallbank",
+              {"skew", "system", "txns/s", "lat_ms", "abort", "false"});
+  for (double skew : {0.0, 0.4, 0.8, 1.0}) {
+    auto mk = [skew] {
+      SmallbankConfig c;
+      c.skew = skew;
+      return std::make_unique<SmallbankWorkload>(c);
+    };
+    if (RunSystemsAtPoint(Fmt(skew, 1), systems, 25, mk, opt) != 0) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 14: hotspot resiliency. 1% of YCSB records are hotspots; each
+// operation hits a hotspot with probability p, and SELECT+UPDATE pairs on a
+// hotspot are rewritten into a single read-modify-write UPDATE (an add
+// command). Fabric/FastFabric# are excluded (no SQL), as in the paper.
+#include "bench/overall_common.h"
+#include "workload/ycsb.h"
+
+using namespace harmony;
+using namespace harmony::bench;
+
+int main() {
+  PrintHeader("Figure 14: hotspot sweep, YCSB variant",
+              {"hot_p", "system", "txns/s", "lat_ms", "abort"});
+  SweepOptions opt;
+  opt.print_aborts = true;
+  opt.txns_per_point = 1200;
+  for (double p : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    auto mk = [p] {
+      YcsbConfig c;
+      c.skew = 0.0;  // isolate the hotspot effect
+      c.hotspot_prob = p;
+      return std::make_unique<YcsbWorkload>(c);
+    };
+    if (RunSystemsAtPoint(Fmt(p, 1), RelationalSystems(), 25, mk, opt) != 0) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figures 15 & 16: impact of the number of replicas (cloud cluster, LAN).
+// OE systems (HarmonyBC / AriaBC / RBC) only receive small command blocks,
+// so their throughput is flat in the replica count; SOV systems ship signed
+// read-write sets to every replica and degrade. Execution throughput is
+// measured once per system; the per-N network ceilings come from the
+// cluster's network model (Section 1 substitution table in DESIGN.md).
+#include "bench/harness.h"
+#include "workload/smallbank.h"
+#include "workload/ycsb.h"
+
+using namespace harmony;
+using namespace harmony::bench;
+
+namespace {
+
+int RunFigure(const std::string& title,
+              const std::function<std::unique_ptr<Workload>()>& mk,
+              size_t txns) {
+  PrintHeader(title, {"replicas", "system", "txns/s", "lat_ms"});
+  auto workload_meta = mk();
+  for (const SystemSpec& sys : AllSystems()) {
+    BenchParams p;
+    p.system = sys;
+    p.total_txns = ScaledTxns(txns);
+    p.bandwidth_gbps = 5.0;  // cloud cluster NICs
+    auto base = RunPoint(p, mk);
+    if (!base.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", sys.label.c_str(),
+                   base.status().ToString().c_str());
+      return 1;
+    }
+    for (uint32_t n : {4u, 20u, 40u, 60u, 80u}) {
+      NetworkModel net;
+      net.nodes = n;
+      net.bandwidth_gbps = 5.0;
+      KafkaOrderer ord("s", net);
+      const ConsensusProfile prof =
+          ord.Profile(p.block_size, workload_meta->avg_txn_bytes());
+      double tput = std::min(base->exec_tps, prof.max_txns_per_sec);
+      double lat = base->mean_latency_ms +
+                   static_cast<double>(prof.block_latency_us) / 1e3;
+      if (sys.sov) {
+        // rw-set distribution to every replica caps SOV throughput and the
+        // endorsement round trip adds latency.
+        const double per_txn_us = static_cast<double>(
+            net.TransferUs(workload_meta->avg_rwset_bytes() * n));
+        if (per_txn_us > 0) tput = std::min(tput, 1e6 / per_txn_us);
+        lat += 2.0 * static_cast<double>(net.lan_one_way_us) / 1e3;
+      }
+      PrintRow({std::to_string(n), sys.label, Fmt(tput, 0), Fmt(lat, 1)});
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  auto sb = [] {
+    SmallbankConfig c;
+    c.skew = 0.6;
+    return std::make_unique<SmallbankWorkload>(c);
+  };
+  if (RunFigure("Figure 15: replica sweep, Smallbank", sb, 2000) != 0) {
+    return 1;
+  }
+  auto ycsb = [] {
+    YcsbConfig c;
+    c.skew = 0.6;
+    return std::make_unique<YcsbWorkload>(c);
+  };
+  return RunFigure("Figure 16: replica sweep, YCSB", ycsb, 1500);
+}

@@ -1,0 +1,81 @@
+// Figure 21 / Section 5.8: is Harmony still useful when disk overheads are
+// gone? Aria vs Harmony on (a) the disk engine over SSD, (b) the same engine
+// over RAMDisk (no I/O latency), and (c) the standalone memory engine
+// (no buffer manager at all), with the consensus ceiling printed for
+// reference.
+#include "bench/harness.h"
+#include "workload/smallbank.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+using namespace harmony;
+using namespace harmony::bench;
+
+namespace {
+
+int RunWorkload(const std::string& wl_label,
+                const std::function<std::unique_ptr<Workload>()>& mk,
+                size_t txns, size_t pool_pages) {
+  struct Backend {
+    std::string label;
+    DiskModel disk;
+    bool in_memory;
+  };
+  const Backend backends[] = {
+      {"engine(SSD)", DiskModel::Ssd(), false},
+      {"engine(RAMDisk)", DiskModel::RamDisk(), false},
+      {"memory-engine", DiskModel::RamDisk(), true},
+  };
+  for (const Backend& be : backends) {
+    for (const SystemSpec& sys : {AriaSpec(), HarmonySpec()}) {
+      BenchParams p;
+      p.system = sys;
+      p.total_txns = ScaledTxns(txns);
+      p.pool_pages = pool_pages;
+      p.disk = be.disk;
+      p.in_memory = be.in_memory;
+      auto r = RunPoint(p, mk);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s/%s failed: %s\n", be.label.c_str(),
+                     sys.label.c_str(), r.status().ToString().c_str());
+        return 1;
+      }
+      PrintRow({wl_label, be.label, sys.label, Fmt(r->exec_tps / 1e3, 2),
+                Fmt(r->abort_rate, 3)});
+    }
+  }
+  // Consensus ceiling for this workload's transaction size.
+  auto meta = mk();
+  NetworkModel net;
+  net.nodes = 4;
+  KafkaOrderer ord("s", net);
+  const ConsensusProfile prof = ord.Profile(100, meta->avg_txn_bytes());
+  PrintRow({wl_label, "consensus-ceiling", "-",
+            Fmt(prof.max_txns_per_sec / 1e3, 1), "-"});
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 21: disk vs memory database layer",
+              {"workload", "backend", "system", "Ktxns/s", "abort"});
+  auto ycsb = [] {
+    YcsbConfig c;
+    c.skew = 0.6;
+    return std::make_unique<YcsbWorkload>(c);
+  };
+  if (RunWorkload("YCSB", ycsb, 1500, 96) != 0) return 1;
+  auto sb = [] {
+    SmallbankConfig c;
+    c.skew = 0.6;
+    return std::make_unique<SmallbankWorkload>(c);
+  };
+  if (RunWorkload("Smallbank", sb, 2500, 96) != 0) return 1;
+  auto tpcc = [] {
+    TpccConfig c;
+    c.warehouses = 20;
+    return std::make_unique<TpccWorkload>(c);
+  };
+  return RunWorkload("TPC-C", tpcc, 600, 512);
+}

@@ -1,0 +1,118 @@
+#include "bench/harness.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace harmony {
+namespace bench {
+
+double Scale() {
+  const char* s = std::getenv("HARMONY_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+size_t ScaledTxns(size_t base) {
+  const size_t n = static_cast<size_t>(static_cast<double>(base) * Scale());
+  return n < 100 ? 100 : n;
+}
+
+SystemSpec HarmonySpec() { return {"HarmonyBC", DccKind::kHarmony, {}, false}; }
+SystemSpec AriaSpec() { return {"AriaBC", DccKind::kAria, {}, false}; }
+SystemSpec RbcSpec() { return {"RBC", DccKind::kRbc, {}, false}; }
+SystemSpec FabricSpec() { return {"Fabric", DccKind::kFabric, {}, true}; }
+SystemSpec FastFabricSpec() {
+  return {"FastFabric#", DccKind::kFastFabric, {}, true};
+}
+
+std::vector<SystemSpec> AllSystems() {
+  return {FabricSpec(), FastFabricSpec(), RbcSpec(), AriaSpec(),
+          HarmonySpec()};
+}
+
+std::vector<SystemSpec> RelationalSystems() {
+  return {RbcSpec(), AriaSpec(), HarmonySpec()};
+}
+
+Result<RunReport> RunPoint(
+    const BenchParams& params,
+    const std::function<std::unique_ptr<Workload>()>& make_workload) {
+  static int run_counter = 0;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("harmony-bench-" + std::to_string(::getpid()) + "-" +
+        std::to_string(run_counter++)))
+          .string();
+  std::filesystem::create_directories(dir);
+
+  std::unique_ptr<Workload> workload = make_workload();
+
+  ClusterOptions co;
+  co.dir = dir;
+  co.replica.dir = dir;
+  co.replica.dcc = params.system.kind;
+  co.replica.dcc_cfg = params.system.cfg;
+  co.replica.dcc_cfg.enable_false_abort_oracle = params.false_abort_oracle;
+  co.replica.disk = params.disk;
+  co.replica.in_memory = params.in_memory;
+  co.replica.pool_pages = params.pool_pages;
+  co.replica.threads = params.threads;
+  co.replica.checkpoint_every = params.checkpoint_every;
+  co.live_replicas = 1;
+  co.total_replicas = params.total_replicas;
+  co.block_size = params.block_size;
+  co.consensus = params.consensus;
+  co.net.wan = params.wan;
+  co.net.bandwidth_gbps = params.bandwidth_gbps;
+  co.net.nodes = params.total_replicas;
+  if (params.system.sov) co.sov_rwset_bytes = workload->avg_rwset_bytes();
+
+  Cluster cluster(co);
+  HARMONY_RETURN_NOT_OK(
+      cluster.Open([&](Replica& r) { return workload->Setup(r); }));
+  // Flush the load so the run starts from a checkpointed, disk-resident
+  // state (the measured phase pays real buffer-pool misses).
+  HARMONY_RETURN_NOT_OK(cluster.replica(0)->Checkpoint());
+
+  size_t remaining = params.total_txns;
+  auto report = cluster.Run(
+      [&](TxnRequest* out) {
+        if (remaining == 0) return false;
+        remaining--;
+        *out = workload->Next();
+        return true;
+      },
+      workload->avg_txn_bytes());
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return report;
+}
+
+void PrintHeader(const std::string& title,
+                 const std::vector<std::string>& cols) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const auto& c : cols) std::printf("%-14s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < cols.size(); i++) std::printf("%-14s", "------------");
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("%-14s", c.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string Fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace harmony

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replica/cluster.h"
+#include "workload/workload.h"
+
+namespace harmony {
+namespace bench {
+
+/// Scales per-point transaction counts: HARMONY_BENCH_SCALE=2 doubles them,
+/// 0.25 quarters them. Default 1.0 keeps the full suite at minutes.
+double Scale();
+size_t ScaledTxns(size_t base);
+
+/// One system under test, as labelled in the paper's figures.
+struct SystemSpec {
+  std::string label;
+  DccKind kind;
+  DccConfig cfg;
+  bool sov = false;  ///< ships read-write sets (network model differs)
+};
+
+SystemSpec HarmonySpec();
+SystemSpec AriaSpec();
+SystemSpec RbcSpec();
+SystemSpec FabricSpec();
+SystemSpec FastFabricSpec();
+/// Figure 7/8 order: Fabric, FastFabric#, RBC, AriaBC, HarmonyBC.
+std::vector<SystemSpec> AllSystems();
+/// Relational systems only (TPC-C): RBC, AriaBC, HarmonyBC.
+std::vector<SystemSpec> RelationalSystems();
+
+struct BenchParams {
+  SystemSpec system;
+  size_t block_size = 25;
+  size_t total_txns = 2000;
+  /// Worker threads. Like PostgreSQL's process-per-transaction model, a
+  /// worker blocked on (simulated) I/O holds no CPU, so the pool is sized
+  /// above the core count to let a whole block overlap its I/O.
+  size_t threads = 256;
+  size_t pool_pages = 96;       ///< deliberately smaller than the hot set
+  DiskModel disk = DiskModel::Ssd();
+  bool in_memory = false;
+  uint32_t total_replicas = 4;
+  ConsensusKind consensus = ConsensusKind::kKafka;
+  bool wan = false;
+  double bandwidth_gbps = 1.0;
+  bool false_abort_oracle = false;
+  size_t checkpoint_every = 10;
+};
+
+/// Runs one (system, workload, parameters) point and returns the report.
+/// The workload factory is invoked once; its Setup runs on each replica.
+Result<RunReport> RunPoint(const BenchParams& params,
+                           const std::function<std::unique_ptr<Workload>()>&
+                               make_workload);
+
+/// Formatted output helpers (every bench prints paper-style series).
+void PrintHeader(const std::string& title, const std::vector<std::string>& cols);
+void PrintRow(const std::vector<std::string>& cells);
+std::string Fmt(double v, int prec = 1);
+
+}  // namespace bench
+}  // namespace harmony

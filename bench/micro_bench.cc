@@ -1,0 +1,122 @@
+// Substrate microbenchmarks (google-benchmark): crypto, storage primitives,
+// reservation table, update coalescence, workload generation.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/codec.h"
+#include "common/rng.h"
+#include "common/sha256.h"
+#include "dcc/reservation.h"
+#include "storage/buffer_pool.h"
+#include "storage/slotted_page.h"
+#include "txn/update_command.h"
+
+namespace harmony {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_HmacSign(benchmark::State& state) {
+  const std::string data(256, 'm');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256("node-secret", data.data(), data.size()));
+  }
+}
+BENCHMARK(BM_HmacSign);
+
+void BM_Crc32(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'c');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(4096);
+
+void BM_SlottedPageInsert(benchmark::State& state) {
+  Page p;
+  const std::string value(40, 'v');
+  for (auto _ : state) {
+    p.Zero();
+    slotted::Init(p.data);
+    Key k = 0;
+    while (slotted::Insert(p.data, k, value) >= 0) k++;
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(BM_SlottedPageInsert);
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  const std::string path = (std::filesystem::temp_directory_path() /
+                            "harmony-micro-bp.db")
+                               .string();
+  DiskManager dm(path, DiskModel::RamDisk());
+  BufferPool pool(&dm, 16);
+  const PageId pid = dm.AllocatePage();
+  {
+    auto g = pool.NewPage(pid);
+    g->MarkDirty();
+  }
+  for (auto _ : state) {
+    auto g = pool.FetchPage(pid);
+    benchmark::DoNotOptimize(g->data());
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_ReservationRegister(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ReservationTable table(64);
+    state.ResumeTiming();
+    for (TxnId t = 1; t <= 100; t++) {
+      for (int i = 0; i < 10; i++) {
+        table.RegisterRead(rng.Uniform(1000), t);
+      }
+      for (int i = 0; i < 5; i++) {
+        table.RegisterWrite(rng.Uniform(1000), t, static_cast<uint32_t>(t));
+      }
+    }
+  }
+}
+BENCHMARK(BM_ReservationRegister);
+
+void BM_UpdateCoalesce(benchmark::State& state) {
+  const int chain = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    UpdateCommand merged = UpdateCommand::Ops({FieldOp::Add(0, 1)});
+    for (int i = 1; i < chain; i++) {
+      merged.Coalesce(UpdateCommand::Ops({FieldOp::Add(0, i)}));
+    }
+    std::optional<Value> v = Value({0});
+    merged.Apply(&v);
+    benchmark::DoNotOptimize(v->field(0));
+  }
+}
+BENCHMARK(BM_UpdateCoalesce)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Rng rng(2);
+  ZipfianGenerator zipf(10000, 0.8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+}  // namespace
+}  // namespace harmony
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// bank_audit: a Smallbank-style banking ledger with a regulator's audit —
+// demonstrates replica consistency across two independent nodes, the
+// money-conservation invariant under contention, and tamper detection on
+// the persisted chain.
+//
+//   ./build/examples/bank_audit
+#include <cstdio>
+#include <filesystem>
+
+#include "consensus/orderer.h"
+#include "replica/cluster.h"
+#include "workload/smallbank.h"
+
+using namespace harmony;
+
+int main() {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "harmonybc-bank").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  SmallbankConfig cfg;
+  cfg.num_accounts = 500;
+  cfg.skew = 0.9;  // branch-office hotspots
+  auto workload = std::make_shared<SmallbankWorkload>(cfg);
+
+  ClusterOptions co;
+  co.dir = dir;
+  co.replica.dir = dir;
+  co.replica.dcc = DccKind::kHarmony;
+  co.replica.disk = DiskModel::RamDisk();
+  co.replica.threads = 16;
+  co.live_replicas = 2;  // two banks' data centers, zero coordination
+  co.block_size = 20;
+  Cluster cluster(co);
+
+  if (Status s = cluster.Open([&](Replica& r) { return workload->Setup(r); });
+      !s.ok()) {
+    std::fprintf(stderr, "open: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  size_t remaining = 2000;
+  auto report = cluster.Run(
+      [&](TxnRequest* out) {
+        if (remaining == 0) return false;
+        remaining--;
+        *out = workload->Next();
+        return true;
+      },
+      workload->avg_txn_bytes());
+  if (!report.ok()) return 1;
+
+  std::printf("processed: %llu committed, abort rate %.1f%%, %.0f txns/s\n",
+              static_cast<unsigned long long>(report->committed),
+              100.0 * report->abort_rate, report->exec_tps);
+
+  // Audit 1: both replicas reached the identical state, independently.
+  if (Status s = cluster.VerifyConsistency(); !s.ok()) {
+    std::fprintf(stderr, "CONSISTENCY VIOLATION: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("audit 1: replica state digests identical\n");
+
+  // Audit 2: chain integrity on replica 0's persisted ledger.
+  if (Status s = cluster.replica(0)->AuditChain(); !s.ok()) {
+    std::fprintf(stderr, "chain audit failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("audit 2: hash chain + orderer signatures verify\n");
+
+  // Audit 3: tamper with the on-disk ledger, then re-audit. Flip one byte
+  // in the middle of the chain file: the audit must catch it.
+  const std::string chain_file = dir + "/replica-r0.chain";
+  {
+    FILE* f = std::fopen(chain_file.c_str(), "r+b");
+    if (f == nullptr) return 1;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, size / 2, SEEK_SET);
+    std::fputc(c ^ 0x01, f);
+    std::fclose(f);
+  }
+  Status tampered = cluster.replica(0)->AuditChain();
+  if (tampered.ok()) {
+    std::fprintf(stderr, "tampering was NOT detected!\n");
+    return 1;
+  }
+  std::printf("audit 3: tampering detected as expected (%s)\n",
+              tampered.ToString().c_str());
+  return 0;
+}

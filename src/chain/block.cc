@@ -1,0 +1,145 @@
+#include "chain/block.h"
+
+#include "common/codec.h"
+
+namespace harmony {
+
+void BlockCodec::EncodeTxn(const TxnRequest& t, std::string* out) {
+  codec::AppendU32(out, t.proc_id);
+  codec::AppendU64(out, t.client_seq);
+  codec::AppendU64(out, t.submit_time_us);
+  codec::AppendU32(out, t.retries);
+  codec::AppendU32(out, static_cast<uint32_t>(t.args.ints.size()));
+  for (int64_t v : t.args.ints) codec::AppendI64(out, v);
+  codec::AppendBytes(out, t.args.blob);
+}
+
+bool BlockCodec::DecodeTxn(codec::Reader* r, TxnRequest* out) {
+  uint32_t n_ints = 0;
+  if (!r->ReadU32(&out->proc_id) || !r->ReadU64(&out->client_seq) ||
+      !r->ReadU64(&out->submit_time_us) || !r->ReadU32(&out->retries) ||
+      !r->ReadU32(&n_ints)) {
+    return false;
+  }
+  out->args.ints.resize(n_ints);
+  for (uint32_t i = 0; i < n_ints; i++) {
+    if (!r->ReadI64(&out->args.ints[i])) return false;
+  }
+  return r->ReadBytes(&out->args.blob);
+}
+
+std::string BlockCodec::Encode(const Block& b) {
+  std::string out;
+  codec::AppendU64(&out, b.header.block_id);
+  codec::AppendU64(&out, b.header.first_tid);
+  codec::AppendU32(&out, b.header.txn_count);
+  codec::AppendU64(&out, b.header.order_time_us);
+  out.append(reinterpret_cast<const char*>(b.header.prev_hash.data()), 32);
+  out.append(reinterpret_cast<const char*>(b.header.txn_root.data()), 32);
+  out.append(reinterpret_cast<const char*>(b.header.block_hash.data()), 32);
+  out.append(reinterpret_cast<const char*>(b.header.signature.data()), 32);
+  for (const TxnRequest& t : b.batch.txns) EncodeTxn(t, &out);
+  return out;
+}
+
+Status BlockCodec::Decode(std::string_view bytes, Block* out) {
+  codec::Reader r(bytes);
+  uint64_t block_id = 0, first_tid = 0, order_time = 0;
+  uint32_t txn_count = 0;
+  if (!r.ReadU64(&block_id) || !r.ReadU64(&first_tid) ||
+      !r.ReadU32(&txn_count) || !r.ReadU64(&order_time)) {
+    return Status::Corruption("block header truncated");
+  }
+  out->header.block_id = block_id;
+  out->header.first_tid = first_tid;
+  out->header.txn_count = txn_count;
+  out->header.order_time_us = order_time;
+  // Digests are fixed-width raw bytes.
+  for (Digest* d : {&out->header.prev_hash, &out->header.txn_root,
+                    &out->header.block_hash, &out->header.signature}) {
+    for (size_t i = 0; i < 32; i += 8) {
+      uint64_t chunk;
+      if (!r.ReadU64(&chunk)) return Status::Corruption("digest truncated");
+      std::memcpy(d->data() + i, &chunk, 8);
+    }
+  }
+  out->batch.block_id = block_id;
+  out->batch.first_tid = first_tid;
+  out->batch.txns.resize(txn_count);
+  for (uint32_t i = 0; i < txn_count; i++) {
+    if (!DecodeTxn(&r, &out->batch.txns[i])) {
+      return Status::Corruption("txn truncated");
+    }
+  }
+  return Status::OK();
+}
+
+Digest BlockCodec::TxnRoot(const TxnBatch& batch) {
+  Sha256 h;
+  h.UpdateInt(batch.block_id);
+  h.UpdateInt(batch.first_tid);
+  std::string buf;
+  for (const TxnRequest& t : batch.txns) {
+    buf.clear();
+    EncodeTxn(t, &buf);
+    h.Update(buf);
+  }
+  return h.Finalize();
+}
+
+Digest BlockCodec::HashHeader(const BlockHeader& h) {
+  Sha256 s;
+  s.UpdateInt(h.block_id);
+  s.UpdateInt(h.first_tid);
+  s.UpdateInt(h.txn_count);
+  s.Update(h.prev_hash.data(), h.prev_hash.size());
+  s.Update(h.txn_root.data(), h.txn_root.size());
+  return s.Finalize();
+}
+
+Block BlockBuilder::Seal(TxnBatch batch, uint64_t order_time_us) {
+  Block b;
+  b.header.block_id = batch.block_id;
+  b.header.first_tid = batch.first_tid;
+  b.header.txn_count = static_cast<uint32_t>(batch.txns.size());
+  b.header.order_time_us = order_time_us;
+  b.header.prev_hash = prev_hash_;
+  b.header.txn_root = BlockCodec::TxnRoot(batch);
+  b.header.block_hash = BlockCodec::HashHeader(b.header);
+  b.header.signature =
+      HmacSha256(secret_, b.header.block_hash.data(), b.header.block_hash.size());
+  b.batch = std::move(batch);
+  prev_hash_ = b.header.block_hash;
+  return b;
+}
+
+Status ChainVerifier::Verify(const Block& b) {
+  if (b.header.prev_hash != expected_prev_) {
+    return Status::Corruption("hash chain broken at block " +
+                              std::to_string(b.header.block_id));
+  }
+  if (BlockCodec::TxnRoot(b.batch) != b.header.txn_root) {
+    return Status::Corruption("transaction root mismatch");
+  }
+  if (BlockCodec::HashHeader(b.header) != b.header.block_hash) {
+    return Status::Corruption("block hash mismatch");
+  }
+  const Digest expect_sig =
+      HmacSha256(secret_, b.header.block_hash.data(), b.header.block_hash.size());
+  if (expect_sig != b.header.signature) {
+    return Status::Corruption("bad orderer signature");
+  }
+  expected_prev_ = b.header.block_hash;
+  return Status::OK();
+}
+
+Status ChainVerifier::VerifyChain(const std::vector<Block>& blocks,
+                                  const std::string& secret) {
+  ChainVerifier v(secret);
+  for (const Block& b : blocks) {
+    HARMONY_RETURN_NOT_OK(v.Verify(b));
+  }
+  return Status::OK();
+}
+
+}  // namespace harmony

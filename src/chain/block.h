@@ -1,0 +1,95 @@
+#pragma once
+
+#include <string>
+
+#include "common/codec.h"
+#include "common/sha256.h"
+#include "common/status.h"
+#include "dcc/batch.h"
+
+namespace harmony {
+
+/// A ledger block: the ordered transaction batch plus the tamper-evidence
+/// header. Each block carries the hash of its predecessor (Section 4,
+/// "Security"), so any tampered block is detected by back-tracing hashes
+/// from the chain head.
+struct BlockHeader {
+  BlockId block_id = 0;
+  TxnId first_tid = 1;
+  uint32_t txn_count = 0;
+  uint64_t order_time_us = 0;  ///< when the ordering service sealed the block
+  Digest prev_hash{};          ///< hash of the previous block
+  Digest txn_root{};           ///< digest of the serialized transactions
+  Digest block_hash{};         ///< hash over (id, tids, prev_hash, txn_root)
+  Digest signature{};          ///< orderer HMAC over block_hash
+};
+
+struct Block {
+  BlockHeader header;
+  TxnBatch batch;
+};
+
+/// Serializes / parses transactions and blocks (the logical-log record
+/// format and the ordering-service wire format).
+class BlockCodec {
+ public:
+  static void EncodeTxn(const TxnRequest& t, std::string* out);
+  static bool DecodeTxn(codec::Reader* r, TxnRequest* out);
+
+  static std::string Encode(const Block& b);
+  static Status Decode(std::string_view bytes, Block* out);
+
+  /// Digest over the serialized transaction batch.
+  static Digest TxnRoot(const TxnBatch& batch);
+
+  /// Hash over the header's identity fields + txn_root + prev_hash.
+  static Digest HashHeader(const BlockHeader& h);
+};
+
+/// Builds signed, hash-chained blocks (the ordering service's last step).
+class BlockBuilder {
+ public:
+  /// `secret` is the orderer's signing key (HMAC-SHA256 stands in for an
+  /// asymmetric signature; replicas hold the verification secret).
+  explicit BlockBuilder(std::string secret) : secret_(std::move(secret)) {
+    prev_hash_.fill(0);
+  }
+
+  /// Seals a batch into the next block of the chain.
+  Block Seal(TxnBatch batch, uint64_t order_time_us);
+
+  /// Resumes chaining from an existing tip (orderer restart).
+  void ResumeFrom(const Digest& tip) { prev_hash_ = tip; }
+
+  const Digest& prev_hash() const { return prev_hash_; }
+
+ private:
+  std::string secret_;
+  Digest prev_hash_;
+};
+
+/// Replica-side block verification: signature, hash chain, txn root.
+class ChainVerifier {
+ public:
+  explicit ChainVerifier(std::string secret) : secret_(std::move(secret)) {
+    expected_prev_.fill(0);
+  }
+
+  /// Verifies block integrity and chain continuity; advances the expected
+  /// predecessor hash on success.
+  Status Verify(const Block& b);
+
+  /// Fast-forwards the verifier to expect a block whose predecessor hash is
+  /// `tip` (after replaying an already-audited chain).
+  void Reset(const Digest& tip) { expected_prev_ = tip; }
+
+  /// Re-checks an already-stored chain (audit / tamper detection).
+  static Status VerifyChain(const std::vector<Block>& blocks,
+                            const std::string& secret);
+
+ private:
+  std::string secret_;
+  Digest expected_prev_;
+};
+
+}  // namespace harmony

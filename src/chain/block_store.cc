@@ -1,0 +1,141 @@
+#include "chain/block_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/clock.h"
+#include "common/codec.h"
+
+namespace harmony {
+
+BlockStore::BlockStore(std::string path, uint64_t sync_latency_us)
+    : path_(std::move(path)), sync_latency_us_(sync_latency_us) {}
+
+BlockStore::~BlockStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status BlockStore::Open() {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) return Status::IOError("open block log");
+  return ScanAndRepair();
+}
+
+Status BlockStore::ScanAndRepair() {
+  append_offset_ = 0;
+  last_block_id_ = 0;
+  num_blocks_ = 0;
+  off_t off = 0;
+  while (true) {
+    uint32_t len = 0;
+    if (::pread(fd_, &len, 4, off) != 4) break;
+    std::string payload(len, '\0');
+    if (::pread(fd_, payload.data(), len, off + 4) !=
+        static_cast<ssize_t>(len)) {
+      break;  // torn tail
+    }
+    uint32_t crc = 0;
+    if (::pread(fd_, &crc, 4, off + 4 + len) != 4) break;
+    if (Crc32(payload) != crc) break;  // torn or corrupted tail
+    Block b;
+    if (!BlockCodec::Decode(payload, &b).ok()) break;
+    last_block_id_ = b.header.block_id;
+    num_blocks_++;
+    off += 8 + static_cast<off_t>(len);
+  }
+  append_offset_ = static_cast<uint64_t>(off);
+  // Drop any torn tail so future appends start from a clean record boundary.
+  if (::ftruncate(fd_, off) != 0) return Status::IOError("truncate block log");
+  return Status::OK();
+}
+
+Status BlockStore::Append(const Block& b) {
+  const std::string payload = BlockCodec::Encode(b);
+  std::string rec;
+  rec.reserve(payload.size() + 8);
+  codec::AppendU32(&rec, static_cast<uint32_t>(payload.size()));
+  rec.append(payload);
+  codec::AppendU32(&rec, Crc32(payload));
+
+  uint64_t off;
+  {
+    // Strict ordering: block n appends only after block n-1 (fresh stores
+    // have last_block_id_ == 0 and block ids start at 1).
+    std::unique_lock<std::mutex> lk(mu_);
+    order_cv_.wait(lk,
+                   [&] { return last_block_id_ + 1 == b.header.block_id; });
+    off = append_offset_;
+    append_offset_ += rec.size();
+    last_block_id_ = b.header.block_id;
+    num_blocks_++;
+  }
+  if (::pwrite(fd_, rec.data(), rec.size(), static_cast<off_t>(off)) !=
+      static_cast<ssize_t>(rec.size())) {
+    return Status::IOError("append block");
+  }
+  SimulateDelayMicros(sync_latency_us_);  // modelled group-commit flush
+  order_cv_.notify_all();
+  return Status::OK();
+}
+
+Status BlockStore::ReadBlocksAfter(BlockId after_block,
+                                   std::vector<Block>* out) {
+  out->clear();
+  off_t off = 0;
+  while (static_cast<uint64_t>(off) < append_offset_) {
+    uint32_t len = 0;
+    if (::pread(fd_, &len, 4, off) != 4) {
+      return Status::Corruption("block log length field");
+    }
+    std::string payload(len, '\0');
+    if (::pread(fd_, payload.data(), len, off + 4) !=
+        static_cast<ssize_t>(len)) {
+      return Status::Corruption("block log payload");
+    }
+    uint32_t crc = 0;
+    if (::pread(fd_, &crc, 4, off + 4 + len) != 4 || Crc32(payload) != crc) {
+      return Status::Corruption("block log crc");
+    }
+    Block b;
+    HARMONY_RETURN_NOT_OK(BlockCodec::Decode(payload, &b));
+    if (b.header.block_id > after_block) {
+      out->push_back(std::move(b));
+    }
+    off += 8 + static_cast<off_t>(len);
+  }
+  return Status::OK();
+}
+
+BlockId CheckpointManifest::Read() const {
+  FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return 0;
+  uint64_t block_id = 0;
+  uint32_t crc = 0;
+  const bool ok = std::fread(&block_id, 8, 1, f) == 1 &&
+                  std::fread(&crc, 4, 1, f) == 1 &&
+                  Crc32(&block_id, 8) == crc;
+  std::fclose(f);
+  return ok ? block_id : 0;
+}
+
+Status CheckpointManifest::Write(BlockId block_id) const {
+  const std::string tmp = path_ + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("open manifest tmp");
+  const uint32_t crc = Crc32(&block_id, 8);
+  const bool ok = std::fwrite(&block_id, 8, 1, f) == 1 &&
+                  std::fwrite(&crc, 4, 1, f) == 1;
+  std::fflush(f);
+  ::fsync(::fileno(f));
+  std::fclose(f);
+  if (!ok) return Status::IOError("write manifest");
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("rename manifest");
+  }
+  return Status::OK();
+}
+
+}  // namespace harmony

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "common/status.h"
+
+namespace harmony {
+
+/// Append-only logical log of input blocks (Section 4, "Recovery"): because
+/// execution is deterministic, persisting the *inputs* is sufficient for
+/// recovery — no ARIES-style physical log. Record format:
+///   u32 payload_len | payload (encoded block) | u32 crc32(payload)
+/// Torn tails (crash mid-append) are detected by CRC/length and truncated.
+class BlockStore {
+ public:
+  /// `sync_latency_us` is the modelled group-commit flush cost charged per
+  /// append (the simulated device's fsync latency). The host-filesystem
+  /// fsync is intentionally not issued on the hot path — the simulation
+  /// never hard-kills the process, and a real fsync would inject the host
+  /// disk's uncontrolled latency into every block.
+  explicit BlockStore(std::string path, uint64_t sync_latency_us = 150);
+  ~BlockStore();
+
+  /// Opens the log and scans it, truncating a torn tail if present.
+  Status Open();
+
+  /// Appends one block with the modelled group-commit flush. Thread-safe and
+  /// strictly ordered: a call for block n+1 waits until block n is appended
+  /// (pipelined replicas append from concurrent simulation threads).
+  Status Append(const Block& b);
+
+  /// Reads every block with id > after_block (recovery replay source).
+  Status ReadBlocksAfter(BlockId after_block, std::vector<Block>* out);
+
+  /// Reads the whole chain (audit).
+  Status ReadAll(std::vector<Block>* out) { return ReadBlocksAfter(0, out); }
+
+  BlockId last_block_id() const { return last_block_id_; }
+  size_t num_blocks() const { return num_blocks_; }
+
+ private:
+  Status ScanAndRepair();
+
+  std::string path_;
+  uint64_t sync_latency_us_;
+  int fd_ = -1;
+  std::mutex mu_;
+  std::condition_variable order_cv_;
+  uint64_t append_offset_ = 0;
+  BlockId last_block_id_ = 0;
+  size_t num_blocks_ = 0;
+};
+
+/// Tiny atomically-replaced manifest recording the latest checkpointed block
+/// (the paper's block_checkpoint_log). Recovery loads the checkpointed state
+/// and deterministically re-executes blocks after it.
+class CheckpointManifest {
+ public:
+  explicit CheckpointManifest(std::string path) : path_(std::move(path)) {}
+
+  /// Returns the checkpointed block id, or 0 if no checkpoint exists.
+  BlockId Read() const;
+
+  /// Durably records a new checkpoint (write-temp + rename).
+  Status Write(BlockId block_id) const;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <sys/prctl.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace harmony {
+
+/// Monotonic wall clock in microseconds.
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Delay used by the device models (disk latency, network latency). Always
+/// sleeps — a worker waiting on simulated I/O must release the CPU so other
+/// transactions can overlap with it, exactly like a process blocked on a
+/// real disk read. (Busy-waiting would serialize the whole block on
+/// low-core-count hosts.)
+inline void SimulateDelayMicros(uint64_t micros) {
+  if (micros == 0) return;
+  // Default kernel timer slack (50us) would inflate every modelled latency
+  // by up to 50%; tighten it once per thread.
+  static thread_local const bool slack_set = [] {
+#ifdef PR_SET_TIMERSLACK
+    ::prctl(PR_SET_TIMERSLACK, 1000UL, 0, 0, 0);
+#endif
+    return true;
+  }();
+  (void)slack_set;
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+/// Scoped stopwatch.
+class Timer {
+ public:
+  Timer() : start_(NowMicros()) {}
+  uint64_t ElapsedMicros() const { return NowMicros() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+  void Reset() { start_ = NowMicros(); }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace harmony

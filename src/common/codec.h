@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace harmony {
+
+/// Little-endian append/consume helpers for on-disk and on-wire encoding.
+namespace codec {
+
+inline void AppendU16(std::string* out, uint16_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 2);
+}
+inline void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 4);
+}
+inline void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+inline void AppendI64(std::string* out, int64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), 8);
+}
+inline void AppendBytes(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// Cursor-style reader; all Read* return false on underflow.
+class Reader {
+ public:
+  explicit Reader(std::string_view buf) : buf_(buf) {}
+
+  bool ReadU16(uint16_t* v) { return ReadRaw(v, 2); }
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, 4); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, 8); }
+  bool ReadI64(int64_t* v) { return ReadRaw(v, 8); }
+  bool ReadBytes(std::string* out) {
+    uint32_t len;
+    if (!ReadU32(&len) || buf_.size() - pos_ < len) return false;
+    out->assign(buf_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  bool ReadRaw(void* v, size_t n) {
+    if (buf_.size() - pos_ < n) return false;
+    std::memcpy(v, buf_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::string_view buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace codec
+
+/// CRC32 (IEEE 802.3 polynomial, table-driven). Guards log records against
+/// torn writes and bit rot.
+uint32_t Crc32(const void* data, size_t len);
+inline uint32_t Crc32(std::string_view s) { return Crc32(s.data(), s.size()); }
+
+}  // namespace harmony

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harmony {
+
+/// Latency histogram with exact percentiles (stores raw samples; benchmark
+/// scale keeps sample counts modest). Values are in microseconds.
+class Histogram {
+ public:
+  void Add(double v) { samples_.push_back(v); sorted_ = false; }
+
+  void Merge(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0;
+    Sort();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  }
+
+  double Min() const {
+    if (samples_.empty()) return 0;
+    Sort();
+    return samples_.front();
+  }
+  double Max() const {
+    if (samples_.empty()) return 0;
+    Sort();
+    return samples_.back();
+  }
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  void Sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace harmony

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace harmony {
+
+/// Deterministic xoshiro256** PRNG. Workload generation must be reproducible
+/// across runs and replicas, so we never use std::random_device or
+/// std::mt19937 seeded from time.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : s_) {
+      x = Mix64(x);
+      s = x | 1;  // avoid the all-zero state
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n).
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+/// Zipfian generator over [0, n) using the Gray/Jim ACM algorithm (the same
+/// construction YCSB uses). theta = 0 degenerates to uniform; theta -> 1
+/// concentrates mass on a few hot items.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta) : n_(n), theta_(theta) {
+    assert(n > 0);
+    if (theta_ <= 0.0) {
+      uniform_ = true;
+      return;
+    }
+    // Clamp pathological theta == 1 (harmonic series exponent).
+    if (theta_ >= 0.9999) theta_ = 0.9999;
+    alpha_ = 1.0 / (1.0 - theta_);
+    zetan_ = Zeta(n_, theta_);
+    zeta2_ = Zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  uint64_t Next(Rng& rng) {
+    if (uniform_) return rng.Uniform(n_);
+    const double u = rng.NextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    return static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; i++) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  uint64_t n_;
+  double theta_;
+  bool uniform_ = false;
+  double alpha_ = 0, zetan_ = 0, zeta2_ = 0, eta_ = 0;
+};
+
+/// Fisher-Yates shuffle with the deterministic Rng.
+template <typename T>
+void DeterministicShuffle(std::vector<T>& v, Rng& rng) {
+  for (size_t i = v.size(); i > 1; i--) {
+    std::swap(v[i - 1], v[rng.Uniform(i)]);
+  }
+}
+
+}  // namespace harmony

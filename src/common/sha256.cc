@@ -1,0 +1,173 @@
+#include "common/sha256.h"
+
+namespace harmony {
+
+namespace {
+
+constexpr uint32_t kInit[8] = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+};
+
+constexpr uint32_t kRound[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+}  // namespace
+
+void Sha256::Reset() {
+  std::memcpy(h_, kInit, sizeof(h_));
+  bit_len_ = 0;
+  buf_len_ = 0;
+}
+
+void Sha256::ProcessBlock(const uint8_t block[64]) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; i++) {
+    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+           (static_cast<uint32_t>(block[i * 4 + 3]));
+  }
+  for (int i = 16; i < 64; i++) {
+    const uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+
+  for (int i = 0; i < 64; i++) {
+    const uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
+    const uint32_t ch = (e & f) ^ (~e & g);
+    const uint32_t t1 = h + s1 + ch + kRound[i] + w[i];
+    const uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
+    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+  h_[5] += f;
+  h_[6] += g;
+  h_[7] += h;
+}
+
+void Sha256::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  bit_len_ += static_cast<uint64_t>(len) * 8;
+  if (buf_len_ > 0) {
+    const size_t take = std::min(len, sizeof(buf_) - buf_len_);
+    std::memcpy(buf_ + buf_len_, p, take);
+    buf_len_ += take;
+    p += take;
+    len -= take;
+    if (buf_len_ == sizeof(buf_)) {
+      ProcessBlock(buf_);
+      buf_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buf_, p, len);
+    buf_len_ = len;
+  }
+}
+
+Digest Sha256::Finalize() {
+  // Append 0x80, pad with zeros, then the 64-bit big-endian bit length.
+  uint8_t pad[72] = {0x80};
+  const uint64_t bits = bit_len_;
+  const size_t rem = buf_len_;
+  const size_t pad_len = (rem < 56) ? (56 - rem) : (120 - rem);
+  Update(pad, pad_len);  // Update() adjusts bit_len_, but we captured it.
+  uint8_t len_be[8];
+  for (int i = 0; i < 8; i++) len_be[i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+  Update(len_be, 8);
+
+  Digest out;
+  for (int i = 0; i < 8; i++) {
+    out[i * 4] = static_cast<uint8_t>(h_[i] >> 24);
+    out[i * 4 + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    out[i * 4 + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    out[i * 4 + 3] = static_cast<uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+Digest Sha256::Hash(const void* data, size_t len) {
+  Sha256 h;
+  h.Update(data, len);
+  return h.Finalize();
+}
+
+std::string DigestToHex(const Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(64);
+  for (uint8_t b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+Digest HmacSha256(std::string_view key, const void* data, size_t len) {
+  uint8_t k[64] = {0};
+  if (key.size() > 64) {
+    const Digest kd = Sha256::Hash(key);
+    std::memcpy(k, kd.data(), kd.size());
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+  uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; i++) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+  Sha256 inner;
+  inner.Update(ipad, 64);
+  inner.Update(data, len);
+  const Digest inner_d = inner.Finalize();
+  Sha256 outer;
+  outer.Update(opad, 64);
+  outer.Update(inner_d.data(), inner_d.size());
+  return outer.Finalize();
+}
+
+Digest CombineDigests(const Digest& a, const Digest& b) {
+  Sha256 h;
+  h.Update(a.data(), a.size());
+  h.Update(b.data(), b.size());
+  return h.Finalize();
+}
+
+}  // namespace harmony

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace harmony {
+
+/// 32-byte SHA-256 digest.
+using Digest = std::array<uint8_t, 32>;
+
+/// Incremental FIPS 180-4 SHA-256 implementation (from scratch; no external
+/// crypto dependency). Used for block hash chaining, state digests, and as
+/// the compression function of HMAC "signatures".
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  /// Convenience for appending fixed-width integers in little-endian order.
+  template <typename T>
+  void UpdateInt(T v) {
+    static_assert(std::is_integral_v<T>);
+    uint8_t buf[sizeof(T)];
+    std::memcpy(buf, &v, sizeof(T));
+    Update(buf, sizeof(T));
+  }
+
+  /// Finalizes and returns the digest. The object must be Reset() before
+  /// reuse.
+  Digest Finalize();
+
+  /// One-shot convenience.
+  static Digest Hash(const void* data, size_t len);
+  static Digest Hash(std::string_view s) { return Hash(s.data(), s.size()); }
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t h_[8];
+  uint64_t bit_len_;
+  uint8_t buf_[64];
+  size_t buf_len_;
+};
+
+/// Hex-encodes a digest (lower-case).
+std::string DigestToHex(const Digest& d);
+
+/// HMAC-SHA256 per RFC 2104. Stands in for per-node signatures: each node
+/// holds a secret key; peers verify with the shared secret. (A production
+/// deployment would use asymmetric signatures; the CPU-cost profile is what
+/// the evaluation needs.)
+Digest HmacSha256(std::string_view key, const void* data, size_t len);
+
+/// Combines two digests (Merkle-style parent).
+Digest CombineDigests(const Digest& a, const Digest& b);
+
+}  // namespace harmony

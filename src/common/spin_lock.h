@@ -1,0 +1,54 @@
+#pragma once
+
+#include <atomic>
+
+namespace harmony {
+
+/// Tiny test-and-test-and-set spin lock for short critical sections
+/// (reservation shard updates, update-command list handoff). Satisfies
+/// the Lockable named requirement so it composes with std::lock_guard.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Atomically sets *target = min(*target, v). Used by Harmony's parallel
+/// dependency aggregation (min_out updates race across worker threads).
+template <typename T>
+inline void AtomicFetchMin(std::atomic<T>* target, T v) {
+  T cur = target->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Atomically sets *target = max(*target, v).
+template <typename T>
+inline void AtomicFetchMax(std::atomic<T>* target, T v) {
+  T cur = target->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace harmony

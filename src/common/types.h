@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace harmony {
+
+/// Globally unique, monotonically increasing transaction id assigned by the
+/// ordering service. TIDs never reset across blocks; a block covers a dense
+/// TID range [first_tid, first_tid + size).
+using TxnId = uint64_t;
+
+/// Block (ledger height) identifier; block 0 is the genesis block.
+using BlockId = uint64_t;
+
+/// Keys are 64-bit. Workloads encode composite keys (e.g. TPC-C
+/// (table, w_id, d_id, ...)) into the 64 bits; the top byte is the table id.
+using Key = uint64_t;
+
+/// Replica / node identifier inside a cluster.
+using NodeId = uint32_t;
+
+inline constexpr TxnId kInvalidTxnId = std::numeric_limits<TxnId>::max();
+inline constexpr BlockId kInvalidBlockId = std::numeric_limits<BlockId>::max();
+
+/// Sentinel used by Harmony's Algorithm 1: max_in = -inf is modelled as 0
+/// (TIDs assigned by the sequencer start at 1).
+inline constexpr TxnId kNoIncomingTid = 0;
+
+/// Encodes (table, row) into a Key. Table id occupies the top 8 bits.
+inline constexpr Key MakeKey(uint8_t table, uint64_t row) {
+  return (static_cast<Key>(table) << 56) | (row & ((1ULL << 56) - 1));
+}
+
+inline constexpr uint8_t KeyTable(Key k) { return static_cast<uint8_t>(k >> 56); }
+inline constexpr uint64_t KeyRow(Key k) { return k & ((1ULL << 56) - 1); }
+
+/// 64-bit mix (splitmix64 finalizer); used for key sharding so that
+/// sequential keys spread uniformly across reservation shards.
+inline constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace harmony

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace harmony {
+
+/// Geographic placement of a node (the Section 5.5 cloud cluster spans
+/// Ohio, Mumbai, Sydney and Stockholm).
+enum class Region : uint8_t { kOhio = 0, kMumbai, kSydney, kStockholm };
+
+/// Network cost model for the cluster simulator: one-way latencies from a
+/// WAN matrix (measured AWS inter-region RTTs, halved) or a LAN constant,
+/// plus serialization delay from link bandwidth.
+struct NetworkModel {
+  double bandwidth_gbps = 1.0;     ///< per-node NIC (default cluster: 1 Gbps)
+  uint64_t lan_one_way_us = 100;   ///< same-region one-way latency
+  bool wan = false;                ///< nodes spread across 4 continents
+  uint32_t nodes = 4;
+
+  /// One-way inter-region latency in microseconds (approximate public AWS
+  /// figures: Ohio<->Stockholm ~55ms, Ohio<->Mumbai ~95ms, ...).
+  static uint64_t RegionOneWayUs(Region a, Region b) {
+    static constexpr uint64_t m[4][4] = {
+        //          Ohio    Mumbai  Sydney  Stockholm
+        /*Ohio*/ {0, 95000, 92000, 55000},
+        /*Mumbai*/ {95000, 0, 77000, 70000},
+        /*Sydney*/ {92000, 77000, 0, 140000},
+        /*Stockholm*/ {55000, 70000, 140000, 0},
+    };
+    return m[static_cast<int>(a)][static_cast<int>(b)];
+  }
+
+  /// Round-robin region assignment (20 nodes per region in the paper).
+  Region RegionOf(NodeId n) const {
+    if (!wan) return Region::kOhio;
+    const uint32_t per = std::max<uint32_t>(1, nodes / 4);
+    return static_cast<Region>(std::min<uint32_t>(3, n / per));
+  }
+
+  uint64_t OneWayUs(NodeId a, NodeId b) const {
+    if (a == b) return 0;
+    const Region ra = RegionOf(a), rb = RegionOf(b);
+    if (ra == rb) return lan_one_way_us;
+    return RegionOneWayUs(ra, rb);
+  }
+
+  /// Wire time for `bytes` at the configured bandwidth.
+  uint64_t TransferUs(uint64_t bytes) const {
+    const double bits = static_cast<double>(bytes) * 8.0;
+    return static_cast<uint64_t>(bits / (bandwidth_gbps * 1e3));  // us
+  }
+
+  /// Latency for the leader to reach a quorum of q nodes (sorted one-way
+  /// latencies, take the q-th smallest).
+  uint64_t QuorumOneWayUs(NodeId leader, uint32_t q) const {
+    std::vector<uint64_t> lats;
+    lats.reserve(nodes);
+    for (NodeId n = 0; n < nodes; n++) {
+      if (n != leader) lats.push_back(OneWayUs(leader, n));
+    }
+    std::sort(lats.begin(), lats.end());
+    if (lats.empty() || q == 0) return 0;
+    return lats[std::min<size_t>(q - 1, lats.size() - 1)];
+  }
+};
+
+}  // namespace harmony

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "consensus/network_model.h"
+
+namespace harmony {
+
+/// Estimated behaviour of a consensus configuration for a given block shape.
+struct ConsensusProfile {
+  uint64_t block_latency_us = 0;   ///< submit -> block delivered at replicas
+  double max_blocks_per_sec = 0;   ///< consensus-layer ceiling
+  double max_txns_per_sec = 0;     ///< ceiling in transactions
+};
+
+/// The ordering service: collects client transactions, assigns TIDs, seals
+/// hash-chained signed blocks, and exposes a latency/throughput profile of
+/// the underlying consensus protocol (Kafka CFT or HotStuff BFT).
+///
+/// The database layer is the bottleneck in every disk-oriented configuration
+/// (Figure 1), so consensus is modelled analytically: the profile caps
+/// end-to-end throughput and adds ordering latency, while block production
+/// itself is exact (real hashing, real signatures, real TID assignment).
+class Orderer {
+ public:
+  Orderer(std::string secret, NetworkModel net)
+      : builder_(std::move(secret)), net_(net) {}
+  virtual ~Orderer() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Consensus cost profile for blocks of `block_txns` transactions of
+  /// `avg_txn_bytes` each.
+  virtual ConsensusProfile Profile(size_t block_txns,
+                                   size_t avg_txn_bytes) const = 0;
+
+  /// Seals the next block from a batch of requests (assigns block id, dense
+  /// TIDs, hash chain, signature).
+  Block SealBlock(std::vector<TxnRequest> txns, uint64_t now_us) {
+    TxnBatch batch;
+    batch.block_id = ++last_block_;
+    batch.first_tid = next_tid_;
+    next_tid_ += txns.size();
+    batch.txns = std::move(txns);
+    return builder_.Seal(std::move(batch), now_us);
+  }
+
+  /// Resumes after an orderer restart: continue the chain from an existing
+  /// tip with the next block id / TID.
+  void ResumeFrom(BlockId last_block, TxnId next_tid, const Digest& tip) {
+    last_block_ = last_block;
+    next_tid_ = next_tid;
+    builder_.ResumeFrom(tip);
+  }
+
+  BlockId last_block() const { return last_block_; }
+  const NetworkModel& network() const { return net_; }
+
+ protected:
+  BlockBuilder builder_;
+  NetworkModel net_;
+  BlockId last_block_ = 0;
+  TxnId next_tid_ = 1;
+};
+
+/// Crash-fault-tolerant ordering à la Kafka: client -> broker leader ->
+/// follower replication (quorum ack) -> broadcast to replicas.
+class KafkaOrderer : public Orderer {
+ public:
+  KafkaOrderer(std::string secret, NetworkModel net, uint32_t brokers = 3)
+      : Orderer(std::move(secret), net), brokers_(brokers) {}
+
+  std::string_view name() const override { return "Kafka"; }
+
+  ConsensusProfile Profile(size_t block_txns,
+                           size_t avg_txn_bytes) const override;
+
+ private:
+  uint32_t brokers_;
+};
+
+/// HotStuff BFT (Yin et al., PODC'19): pipelined 3-phase, rotating leader,
+/// quorum 2f+1 of n = 3f+1. Latency is 8 one-way quorum hops per decided
+/// block; throughput is capped by leader NIC bandwidth and per-signature
+/// verification CPU.
+class HotStuffOrderer : public Orderer {
+ public:
+  HotStuffOrderer(std::string secret, NetworkModel net,
+                  uint64_t sig_verify_us = 40)
+      : Orderer(std::move(secret), net), sig_verify_us_(sig_verify_us) {}
+
+  std::string_view name() const override { return "HotStuff"; }
+
+  ConsensusProfile Profile(size_t block_txns,
+                           size_t avg_txn_bytes) const override;
+
+ private:
+  uint64_t sig_verify_us_;  ///< ECDSA-class verification cost per signature
+};
+
+}  // namespace harmony

@@ -1,0 +1,97 @@
+#include "core/harmonybc.h"
+
+#include "common/clock.h"
+
+namespace harmony {
+
+Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
+  auto db = std::unique_ptr<HarmonyBC>(new HarmonyBC());
+  db->opts_ = options;
+
+  ReplicaOptions ro;
+  ro.dir = options.dir;
+  ro.dcc = options.protocol;
+  ro.dcc_cfg = options.dcc;
+  ro.in_memory = options.in_memory;
+  ro.disk = options.disk;
+  ro.pool_pages = options.pool_pages;
+  ro.threads = options.threads;
+  ro.checkpoint_every = options.checkpoint_every;
+  ro.orderer_secret = options.orderer_secret;
+  db->replica_ = std::make_unique<Replica>(ro);
+  HARMONY_RETURN_NOT_OK(db->replica_->Open());
+
+  NetworkModel net;
+  db->orderer_ =
+      std::make_unique<KafkaOrderer>(options.orderer_secret, net);
+
+  // Collect CC aborts for automatic resubmission.
+  HarmonyBC* raw = db.get();
+  db->replica_->SetCommitCallback(
+      [raw](const Block& blk, const BlockResult& res) {
+        for (size_t i = 0; i < res.outcomes.size(); i++) {
+          if (res.outcomes[i] == TxnOutcome::kCcAborted &&
+              blk.batch.txns[i].retries < 50) {
+            TxnRequest retry = blk.batch.txns[i];
+            retry.retries++;
+            raw->retries_.push_back(std::move(retry));
+          }
+        }
+      });
+  return db;
+}
+
+Result<BlockId> HarmonyBC::Recover() {
+  auto tip = replica_->Recover();
+  HARMONY_RETURN_NOT_OK(tip.status());
+  if (*tip == 0) {
+    // First boot: make the genesis state durable before any block executes
+    // (a crash before the first periodic checkpoint must not lose it).
+    HARMONY_RETURN_NOT_OK(replica_->Checkpoint());
+  }
+  if (*tip != 0) {
+    // Resume the embedded orderer from the recovered chain tip so future
+    // blocks extend the same hash chain.
+    std::vector<Block> blocks;
+    BlockStore store(opts_.dir + "/replica.chain");
+    HARMONY_RETURN_NOT_OK(store.Open());
+    HARMONY_RETURN_NOT_OK(store.ReadAll(&blocks));
+    const Block& last = blocks.back();
+    orderer_->ResumeFrom(last.header.block_id,
+                         last.header.first_tid + last.header.txn_count,
+                         last.header.block_hash);
+  }
+  return *tip;
+}
+
+Status HarmonyBC::SealPending() {
+  if (pending_.empty()) return Status::OK();
+  Block block = orderer_->SealBlock(std::move(pending_), NowMicros());
+  pending_.clear();
+  return replica_->SubmitBlock(std::move(block));
+}
+
+Status HarmonyBC::Submit(TxnRequest req) {
+  if (req.client_seq == 0) req.client_seq = ++next_seq_;
+  if (req.submit_time_us == 0) req.submit_time_us = NowMicros();
+  pending_.push_back(std::move(req));
+  if (pending_.size() >= opts_.block_size) return SealPending();
+  return Status::OK();
+}
+
+Status HarmonyBC::Sync() {
+  // Seal pending, drain, then keep resubmitting CC-aborted transactions
+  // until none remain (bounded by the per-request retry cap).
+  for (int round = 0; round < 200; round++) {
+    HARMONY_RETURN_NOT_OK(SealPending());
+    HARMONY_RETURN_NOT_OK(replica_->Drain());
+    if (retries_.empty()) return Status::OK();
+    pending_.insert(pending_.end(),
+                    std::make_move_iterator(retries_.begin()),
+                    std::make_move_iterator(retries_.end()));
+    retries_.clear();
+  }
+  return Status::Busy("transactions kept aborting after 200 rounds");
+}
+
+}  // namespace harmony

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/orderer.h"
+#include "replica/replica.h"
+
+namespace harmony {
+
+/// Embedded single-node HarmonyBC: the public entry point for applications.
+///
+/// Wraps an ordering service and a replica into one handle:
+///
+///   HarmonyBC::Options opt;
+///   opt.dir = "/tmp/mychain";
+///   auto db = HarmonyBC::Open(opt);
+///   db->RegisterProcedure(1, "transfer", TransferFn);
+///   db->Load(key, value);              // genesis state
+///   db->Recover();                     // replay the chain if one exists
+///   db->Submit({.proc_id = 1, .args = {{from, to, amount}}});
+///   db->Sync();                        // seal + execute pending blocks
+///   db->Query(key, &v);
+///   db->AuditChain();                  // tamper check, end to end
+///
+/// For multi-replica deployments and benchmarks use Cluster (replica/),
+/// which feeds several Replica instances the same ordered chain.
+class HarmonyBC {
+ public:
+  struct Options {
+    std::string dir;
+    DccKind protocol = DccKind::kHarmony;
+    DccConfig dcc;
+    bool in_memory = false;
+    DiskModel disk = DiskModel::Ssd();
+    size_t pool_pages = 4096;
+    size_t threads = 8;
+    size_t block_size = 25;        ///< transactions per sealed block
+    size_t checkpoint_every = 10;  ///< blocks between checkpoints
+    std::string orderer_secret = "orderer-secret";
+  };
+
+  /// Opens (or creates) the chain directory. Call RegisterProcedure and
+  /// (on first boot) Load before Recover/Submit.
+  static Result<std::unique_ptr<HarmonyBC>> Open(const Options& options);
+
+  /// Registers a stored procedure (smart contract).
+  void RegisterProcedure(uint32_t proc_id, std::string name, ProcedureFn fn) {
+    replica_->RegisterProcedure(proc_id, std::move(name), std::move(fn));
+  }
+
+  /// Loads a genesis row (before the first block only).
+  Status Load(Key key, const Value& v) { return replica_->LoadRow(key, v); }
+
+  /// Replays the persisted chain after the last checkpoint. Returns the
+  /// chain tip height (0 for a fresh chain).
+  Result<BlockId> Recover();
+
+  /// Buffers a transaction; seals a block automatically once block_size
+  /// transactions are pending.
+  Status Submit(TxnRequest req);
+
+  /// Seals any pending transactions into a block and waits for all sealed
+  /// blocks to commit. CC-aborted transactions are resubmitted
+  /// automatically (bounded retries).
+  Status Sync();
+
+  /// Latest committed value.
+  Status Query(Key key, std::optional<Value>* out) {
+    return replica_->Query(key, out);
+  }
+
+  /// Verifies the whole persisted chain (hashes + signatures).
+  Status AuditChain() { return replica_->AuditChain(); }
+
+  /// SHA-256 of the full latest state (replica-consistency fingerprint).
+  Result<Digest> StateDigest() { return replica_->StateDigest(); }
+
+  const ProtocolStats& stats() const { return replica_->protocol_stats(); }
+  BlockId height() const { return replica_->last_committed(); }
+  Replica* replica() { return replica_.get(); }
+
+ private:
+  HarmonyBC() = default;
+
+  Status SealPending();
+
+  Options opts_;
+  std::unique_ptr<Replica> replica_;
+  std::unique_ptr<KafkaOrderer> orderer_;
+  std::vector<TxnRequest> pending_;
+  std::vector<TxnRequest> retries_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace harmony

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "dcc/protocol.h"
+
+namespace harmony {
+
+/// Aria [Lu et al., VLDB'20] as chainified in the paper (AriaBC): simulate
+/// against the block snapshot, reserve reads/writes, then commit in parallel
+/// with first-writer-wins:
+///   abort T iff waw(T)                       — someone smaller wrote T's key
+///          or  raw(T)                        — T read a key a smaller TID wrote
+///   (with Aria's deterministic reordering: waw(T) or (raw(T) and war(T))).
+/// Breaking every ww-dependency keeps commit parallel but aborts all
+/// concurrent updaters of a hot record — the weakness Harmony's update
+/// reordering removes.
+class AriaProtocol : public DccProtocol {
+ public:
+  using DccProtocol::DccProtocol;
+
+  DccKind kind() const override { return DccKind::kAria; }
+
+  Status Simulate(const TxnBatch& batch) override;
+  Status Commit(const TxnBatch& batch, BlockResult* result) override;
+};
+
+}  // namespace harmony

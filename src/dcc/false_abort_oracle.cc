@@ -1,0 +1,101 @@
+#include "dcc/false_abort_oracle.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "dcc/protocol.h"
+
+namespace harmony {
+
+std::vector<int> FalseAbortOracle::Scc(
+    const std::vector<std::vector<int>>& adj, std::vector<int>* comp_size) {
+  // Iterative Tarjan.
+  const int n = static_cast<int>(adj.size());
+  std::vector<int> index(n, -1), low(n, 0), comp(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0, next_comp = 0;
+
+  struct Frame {
+    int v;
+    size_t edge;
+  };
+  std::vector<Frame> call;
+
+  for (int root = 0; root < n; root++) {
+    if (index[root] != -1) continue;
+    call.push_back({root, 0});
+    while (!call.empty()) {
+      Frame& f = call.back();
+      const int v = f.v;
+      if (f.edge == 0) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool recursed = false;
+      while (f.edge < adj[v].size()) {
+        const int w = adj[v][f.edge++];
+        if (index[w] == -1) {
+          call.push_back({w, 0});
+          recursed = true;
+          break;
+        }
+        if (on_stack[w]) low[v] = std::min(low[v], index[w]);
+      }
+      if (recursed) continue;
+      if (low[v] == index[v]) {
+        while (true) {
+          const int w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = next_comp;
+          if (w == v) break;
+        }
+        next_comp++;
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        const int parent = call.back().v;
+        low[parent] = std::min(low[parent], low[v]);
+      }
+    }
+  }
+
+  comp_size->assign(next_comp, 0);
+  for (int v = 0; v < n; v++) (*comp_size)[comp[v]]++;
+  return comp;
+}
+
+size_t FalseAbortOracle::Count(const std::vector<SimRecord>& records) {
+  const int n = static_cast<int>(records.size());
+  // Per-key reader/writer lists (indices into records).
+  std::unordered_map<Key, std::pair<std::vector<int>, std::vector<int>>> by_key;
+  for (int i = 0; i < n; i++) {
+    const SimRecord& r = records[i];
+    if (r.logic_abort) continue;
+    for (Key k : r.reads) by_key[k].first.push_back(i);
+    for (const auto& w : r.writes) by_key[w.first].second.push_back(i);
+  }
+
+  std::vector<std::vector<int>> adj(n);
+  for (auto& [key, rw] : by_key) {
+    (void)key;
+    for (int r : rw.first) {
+      for (int w : rw.second) {
+        if (r != w) adj[r].push_back(w);  // reader precedes writer: r -> w
+      }
+    }
+  }
+
+  std::vector<int> comp_size;
+  const std::vector<int> comp = Scc(adj, &comp_size);
+
+  size_t false_aborts = 0;
+  for (int i = 0; i < n; i++) {
+    if (records[i].cc_abort && comp_size[comp[i]] == 1) false_aborts++;
+  }
+  return false_aborts;
+}
+
+}  // namespace harmony

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace harmony {
+
+struct SimRecord;
+
+/// Figure 13 oracle: a CC abort is *false* when the aborted transaction is
+/// not part of any cycle in the block's rw-subgraph (the only dependencies
+/// that can force aborts under snapshot-based ODCC; ww/wr are orderable).
+/// Implementation: build the rw-subgraph (reader -> writer per key), run
+/// Tarjan SCC, and flag aborted transactions whose SCC is a singleton.
+class FalseAbortOracle {
+ public:
+  /// Counts false aborts among records with cc_abort set.
+  static size_t Count(const std::vector<SimRecord>& records);
+
+  /// Strongly-connected-component ids for an adjacency list (exposed for
+  /// FastFabric#'s graph traversal and for tests). Returns comp id per node
+  /// and fills comp_size.
+  static std::vector<int> Scc(const std::vector<std::vector<int>>& adj,
+                              std::vector<int>* comp_size);
+};
+
+}  // namespace harmony

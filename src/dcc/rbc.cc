@@ -1,0 +1,102 @@
+#include "dcc/rbc.h"
+
+#include <unordered_set>
+
+#include "common/clock.h"
+
+namespace harmony {
+
+Status RbcProtocol::Simulate(const TxnBatch& batch) {
+  const BlockId snapshot = batch.block_id >= 1 ? batch.block_id - 1 : 0;
+  SimState st;
+  HARMONY_RETURN_NOT_OK(SimulateBatch(batch, snapshot,
+                                      /*register_reservations=*/false, &st));
+  StashSimState(batch.block_id, std::move(st));
+  return Status::OK();
+}
+
+Status RbcProtocol::Commit(const TxnBatch& batch, BlockResult* result) {
+  SimState st = TakeSimState(batch.block_id);
+  auto& records = st.records;
+  const size_t n = records.size();
+  const BlockId base_snapshot = batch.block_id - 1;
+
+  Timer timer;
+
+  // Serial validation & apply, in TID order — determinism by construction.
+  std::unordered_set<Key> committed_writes;
+  std::unordered_set<Key> committed_reads;
+  for (size_t i = 0; i < n; i++) {
+    SimRecord& rec = records[i];
+    if (rec.logic_abort) continue;
+
+    bool ww = false;
+    bool in_rw = false;   // a committed txn read a key T writes
+    for (const auto& [k, cmd] : rec.writes) {
+      (void)cmd;
+      if (committed_writes.count(k) != 0) {
+        ww = true;
+        break;
+      }
+      if (committed_reads.count(k) != 0) in_rw = true;
+    }
+    bool out_rw = false;  // T read a key a committed txn wrote
+    if (!ww) {
+      for (Key k : rec.reads) {
+        if (committed_writes.count(k) != 0) {
+          out_rw = true;
+          break;
+        }
+      }
+    }
+    if (ww || (in_rw && out_rw)) {
+      rec.cc_abort = true;
+      continue;
+    }
+
+    // Commit: apply simulated writes (evaluated against the block snapshot,
+    // which is correct because committed ww overlaps are impossible and
+    // committed readers of T's keys are serialized before T).
+    for (const auto& [key, cmd] : rec.writes) {
+      std::optional<Value> slot;
+      if (cmd.kind() != UpdateCommand::Kind::kPut &&
+          cmd.kind() != UpdateCommand::Kind::kErase) {
+        std::optional<std::string> raw;
+        HARMONY_RETURN_NOT_OK(store_->ReadAtSnapshot(key, base_snapshot, &raw));
+        if (raw.has_value()) slot.emplace(Value::Decode(*raw));
+      }
+      cmd.Apply(&slot);
+      std::optional<std::string> encoded;
+      if (slot.has_value()) encoded.emplace(slot->Encode());
+      HARMONY_RETURN_NOT_OK(store_->ApplyWrite(key, batch.block_id, encoded));
+      committed_writes.insert(key);
+    }
+    for (Key k : rec.reads) committed_reads.insert(k);
+  }
+
+  result->block_id = batch.block_id;
+  result->outcomes.resize(n);
+  for (size_t i = 0; i < n; i++) {
+    const SimRecord& rec = records[i];
+    if (rec.logic_abort) {
+      result->outcomes[i] = TxnOutcome::kLogicAborted;
+      result->logic_aborted++;
+    } else if (rec.cc_abort) {
+      result->outcomes[i] = TxnOutcome::kCcAborted;
+      result->cc_aborted++;
+    } else {
+      result->outcomes[i] = TxnOutcome::kCommitted;
+      result->committed++;
+    }
+  }
+  if (cfg_.enable_false_abort_oracle) {
+    result->false_aborts = CountFalseAborts(st);
+  }
+  result->sim_micros = st.sim_micros;
+  result->commit_micros = timer.ElapsedMicros();
+  stats_.Accumulate(*result);
+  store_->Prune(batch.block_id);
+  return Status::OK();
+}
+
+}  // namespace harmony

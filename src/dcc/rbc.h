@@ -1,0 +1,26 @@
+#pragma once
+
+#include "dcc/protocol.h"
+
+namespace harmony {
+
+/// RBC [Nathan et al., VLDB'19] — "blockchain relational database":
+/// Order-Execute architecture; transactions simulate against the block
+/// snapshot in parallel, then validate and commit **serially** in TID order
+/// using the SSI dangerous structure:
+///   abort T on a ww-dependency with an already-committed transaction of the
+///   block (first-committer-wins), or when T is an SSI pivot (has both an
+///   incoming and an outgoing rw-antidependency).
+/// Fewer false aborts than Fabric's stale-read rule, but the serial commit
+/// step caps concurrency (Section 5.2: small optimal block sizes).
+class RbcProtocol : public DccProtocol {
+ public:
+  using DccProtocol::DccProtocol;
+
+  DccKind kind() const override { return DccKind::kRbc; }
+
+  Status Simulate(const TxnBatch& batch) override;
+  Status Commit(const TxnBatch& batch, BlockResult* result) override;
+};
+
+}  // namespace harmony

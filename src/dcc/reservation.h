@@ -1,0 +1,117 @@
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "common/spin_lock.h"
+#include "common/types.h"
+
+namespace harmony {
+
+/// Per-block, per-key conflict aggregation shared by the snapshot-based ODCC
+/// protocols (Harmony, Aria). Registration runs in parallel during the
+/// simulation step (sharded spin locks); afterwards the table is read-only
+/// and every transaction derives its dependency summary without any
+/// cross-thread coordination — this is what keeps Harmony's Algorithm 1 O(e)
+/// and fully parallel.
+///
+/// For each key we keep the two smallest / largest reader & writer TIDs so a
+/// transaction can exclude itself when looking up "the smallest *other*
+/// writer" (self-dependencies are not dependencies).
+class ReservationTable {
+ public:
+  struct KeyEntry {
+    TxnId w_min1 = kInvalidTxnId, w_min2 = kInvalidTxnId;  ///< smallest writers
+    TxnId r_min1 = kInvalidTxnId, r_min2 = kInvalidTxnId;  ///< smallest readers
+    TxnId r_max1 = kNoIncomingTid, r_max2 = kNoIncomingTid; ///< largest readers
+    std::vector<uint32_t> writer_idx;  ///< sim-record indices of writers
+    bool handled = false;              ///< update-coalescence handoff flag
+
+    /// Smallest writer TID other than `self`; kInvalidTxnId if none.
+    TxnId MinWriterExcluding(TxnId self) const {
+      return w_min1 != self ? w_min1 : w_min2;
+    }
+    TxnId MinReaderExcluding(TxnId self) const {
+      return r_min1 != self ? r_min1 : r_min2;
+    }
+    /// Largest reader TID other than `self`; kNoIncomingTid if none.
+    TxnId MaxReaderExcluding(TxnId self) const {
+      return r_max1 != self ? r_max1 : r_max2;
+    }
+    bool HasWriterOtherThan(TxnId self) const {
+      return MinWriterExcluding(self) != kInvalidTxnId;
+    }
+  };
+
+  explicit ReservationTable(size_t shards = 64) : shards_(shards) {}
+
+  void Clear() {
+    for (auto& s : shards_) s.map.clear();
+  }
+
+  /// Registers tid as a reader of key. Thread-safe.
+  void RegisterRead(Key key, TxnId tid) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<SpinLock> lk(s.mu);
+    KeyEntry& e = s.map[key];
+    if (tid < e.r_min1) {
+      e.r_min2 = e.r_min1;
+      e.r_min1 = tid;
+    } else if (tid < e.r_min2 && tid != e.r_min1) {
+      e.r_min2 = tid;
+    }
+    if (tid > e.r_max1) {
+      e.r_max2 = e.r_max1;
+      e.r_max1 = tid;
+    } else if (tid > e.r_max2 && tid != e.r_max1) {
+      e.r_max2 = tid;
+    }
+  }
+
+  /// Registers tid (with sim-record index idx) as a writer of key.
+  void RegisterWrite(Key key, TxnId tid, uint32_t idx) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<SpinLock> lk(s.mu);
+    KeyEntry& e = s.map[key];
+    if (tid < e.w_min1) {
+      e.w_min2 = e.w_min1;
+      e.w_min1 = tid;
+    } else if (tid < e.w_min2 && tid != e.w_min1) {
+      e.w_min2 = tid;
+    }
+    e.writer_idx.push_back(idx);
+  }
+
+  /// Read-only lookup (post-registration). Returns nullptr if the key was
+  /// never touched this block.
+  const KeyEntry* Find(Key key) const {
+    const Shard& s = ShardFor(key);
+    auto it = s.map.find(key);
+    return it == s.map.end() ? nullptr : &it->second;
+  }
+
+  /// Claims the key's update list for coalesced application; returns true
+  /// exactly once per key per block (lines 11-12 of Algorithm 2).
+  bool ClaimHandled(Key key) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<SpinLock> lk(s.mu);
+    auto it = s.map.find(key);
+    if (it == s.map.end() || it->second.handled) return false;
+    it->second.handled = true;
+    return true;
+  }
+
+ private:
+  struct Shard {
+    mutable SpinLock mu;
+    std::unordered_map<Key, KeyEntry> map;
+  };
+
+  Shard& ShardFor(Key k) { return shards_[Mix64(k) % shards_.size()]; }
+  const Shard& ShardFor(Key k) const { return shards_[Mix64(k) % shards_.size()]; }
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace harmony

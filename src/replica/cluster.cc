@@ -1,0 +1,249 @@
+#include "replica/cluster.h"
+
+#include <sys/resource.h>
+
+#include <cassert>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace harmony {
+
+namespace {
+
+double ProcessCpuSeconds() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) +
+           static_cast<double>(t.tv_usec) / 1e6;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterOptions opts) : opts_(std::move(opts)) {
+  NetworkModel net = opts_.net;
+  net.nodes = opts_.total_replicas;
+  if (opts_.consensus == ConsensusKind::kKafka) {
+    orderer_ = std::make_unique<KafkaOrderer>(opts_.replica.orderer_secret, net);
+  } else {
+    orderer_ = std::make_unique<HotStuffOrderer>(opts_.replica.orderer_secret, net);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Status Cluster::Open(const std::function<Status(Replica&)>& setup) {
+  for (size_t i = 0; i < opts_.live_replicas; i++) {
+    ReplicaOptions ro = opts_.replica;
+    ro.name = ro.name + "-r" + std::to_string(i);
+    auto rep = std::make_unique<Replica>(ro);
+    HARMONY_RETURN_NOT_OK(rep->Open());
+    HARMONY_RETURN_NOT_OK(setup(*rep));
+    replicas_.push_back(std::move(rep));
+  }
+  return Status::OK();
+}
+
+Result<RunReport> Cluster::Run(
+    const std::function<bool(TxnRequest*)>& supply, size_t avg_txn_bytes) {
+  Replica* primary = replicas_[0].get();
+
+  const ConsensusProfile profile =
+      orderer_->Profile(opts_.block_size, avg_txn_bytes);
+
+  // Secondary replicas consume the identical chain on their own threads —
+  // independent execution, exactly like real OE replicas.
+  struct SecondaryFeed {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Block> q;
+    bool done = false;
+    Status status;
+  };
+  std::vector<std::unique_ptr<SecondaryFeed>> feeds;
+  std::vector<std::thread> feed_threads;
+  for (size_t i = 1; i < replicas_.size(); i++) {
+    feeds.push_back(std::make_unique<SecondaryFeed>());
+    SecondaryFeed* f = feeds.back().get();
+    Replica* rep = replicas_[i].get();
+    feed_threads.emplace_back([f, rep] {
+      while (true) {
+        Block b;
+        {
+          std::unique_lock<std::mutex> lk(f->mu);
+          f->cv.wait(lk, [&] { return f->done || !f->q.empty(); });
+          if (f->q.empty()) break;
+          b = std::move(f->q.front());
+          f->q.pop_front();
+        }
+        Status s = rep->SubmitBlock(std::move(b));
+        if (!s.ok()) {
+          std::lock_guard<std::mutex> lk(f->mu);
+          f->status = s;
+          break;
+        }
+      }
+      Status s = rep->Drain();
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lk(f->mu);
+        if (f->status.ok()) f->status = s;
+      }
+    });
+  }
+
+  // Outcome collection + deterministic retry of CC-aborted transactions.
+  std::mutex out_mu;
+  Histogram latencies;
+  std::deque<TxnRequest> retry_q;
+  uint64_t committed = 0, dropped = 0;
+  primary->SetCommitCallback([&](const Block& blk, const BlockResult& res) {
+    std::lock_guard<std::mutex> lk(out_mu);
+    const uint64_t now = NowMicros();
+    for (size_t i = 0; i < res.outcomes.size(); i++) {
+      const TxnRequest& req = blk.batch.txns[i];
+      switch (res.outcomes[i]) {
+        case TxnOutcome::kCommitted:
+          committed++;
+          latencies.Add(
+              static_cast<double>(now - req.submit_time_us));
+          break;
+        case TxnOutcome::kCcAborted:
+          if (req.retries < opts_.max_retries) {
+            TxnRequest retry = req;
+            retry.retries++;
+            retry_q.push_back(std::move(retry));
+          } else {
+            dropped++;
+          }
+          break;
+        case TxnOutcome::kLogicAborted:
+          break;  // deterministic application-level rejection
+      }
+    }
+  });
+
+  const double cpu_before = ProcessCpuSeconds();
+  Timer wall;
+
+  bool supply_exhausted = false;
+  while (true) {
+    // Assemble the next block: retries first (clients resubmit), then fresh
+    // transactions from the workload.
+    std::vector<TxnRequest> txns;
+    txns.reserve(opts_.block_size);
+    {
+      std::lock_guard<std::mutex> lk(out_mu);
+      while (txns.size() < opts_.block_size && !retry_q.empty()) {
+        txns.push_back(std::move(retry_q.front()));
+        retry_q.pop_front();
+      }
+    }
+    while (!supply_exhausted && txns.size() < opts_.block_size) {
+      TxnRequest req;
+      if (!supply(&req)) {
+        supply_exhausted = true;
+        break;
+      }
+      req.submit_time_us = NowMicros();
+      txns.push_back(std::move(req));
+    }
+    if (txns.empty()) {
+      if (!supply_exhausted) continue;
+      // Drain the pipeline; aborted txns may still flow into retry_q.
+      HARMONY_RETURN_NOT_OK(primary->Drain());
+      std::lock_guard<std::mutex> lk(out_mu);
+      if (retry_q.empty()) break;
+      continue;
+    }
+
+    Block block = orderer_->SealBlock(std::move(txns), NowMicros());
+    for (size_t i = 0; i < feeds.size(); i++) {
+      std::lock_guard<std::mutex> lk(feeds[i]->mu);
+      feeds[i]->q.push_back(block);  // copy: independent replicas
+      feeds[i]->cv.notify_one();
+    }
+    HARMONY_RETURN_NOT_OK(primary->SubmitBlock(std::move(block)));
+  }
+  HARMONY_RETURN_NOT_OK(primary->Drain());
+
+  const double wall_s = wall.ElapsedSeconds();
+  const double cpu_s = ProcessCpuSeconds() - cpu_before;
+
+  for (size_t i = 0; i < feeds.size(); i++) {
+    {
+      std::lock_guard<std::mutex> lk(feeds[i]->mu);
+      feeds[i]->done = true;
+    }
+    feeds[i]->cv.notify_all();
+  }
+  for (auto& t : feed_threads) t.join();
+  for (auto& f : feeds) {
+    HARMONY_RETURN_NOT_OK(f->status);
+  }
+
+  RunReport rep;
+  rep.committed = committed;
+  rep.dropped = dropped;
+  rep.exec_tps = wall_s > 0 ? static_cast<double>(committed) / wall_s : 0;
+  const ProtocolStats& ps = primary->protocol_stats();
+  rep.abort_rate = ps.abort_rate();
+  rep.false_abort_rate = ps.false_abort_rate();
+  rep.dangerous_hit_rate = ps.dangerous_hit_rate();
+  rep.mean_latency_ms = latencies.Mean() / 1e3;
+  rep.p50_latency_ms = latencies.Percentile(50) / 1e3;
+  rep.p99_latency_ms = latencies.Percentile(99) / 1e3;
+  // CPU utilization relative to the cores actually available: simulated I/O
+  // sleeps release the CPU, so idle gaps show up here exactly as they would
+  // in the paper's CPU-utilization row (Figure 20).
+  const double cores = std::max(1u, std::thread::hardware_concurrency());
+  rep.cpu_util = wall_s > 0 ? std::min(1.0, cpu_s / (wall_s * cores)) : 0;
+  rep.blocks = ps.blocks.load();
+  if (rep.blocks > 0) {
+    rep.sim_ms_per_block =
+        static_cast<double>(ps.sim_micros.load()) / 1e3 /
+        static_cast<double>(rep.blocks);
+    rep.commit_ms_per_block =
+        static_cast<double>(ps.commit_micros.load()) / 1e3 /
+        static_cast<double>(rep.blocks);
+  }
+  rep.page_reads = primary->backend()->page_reads();
+  rep.page_writes = primary->backend()->page_writes();
+  rep.pool_hits = primary->backend()->pool_hits();
+  rep.pool_misses = primary->backend()->pool_misses();
+
+  rep.consensus_cap_tps = profile.max_txns_per_sec;
+  rep.consensus_latency_ms =
+      static_cast<double>(profile.block_latency_us) / 1e3;
+  if (opts_.sov_rwset_bytes > 0) {
+    // SOV ships signed read-write sets: client -> orderer -> every replica.
+    NetworkModel net = opts_.net;
+    net.nodes = opts_.total_replicas;
+    const double per_txn_us = static_cast<double>(
+        net.TransferUs(opts_.sov_rwset_bytes * opts_.total_replicas));
+    rep.sov_cap_tps = per_txn_us > 0 ? 1e6 / per_txn_us : 0;
+    // Extra endorsement round trip (client -> endorser -> client).
+    rep.consensus_latency_ms +=
+        2.0 * static_cast<double>(net.lan_one_way_us) / 1e3;
+  }
+  return rep;
+}
+
+Status Cluster::VerifyConsistency() {
+  if (replicas_.empty()) return Status::OK();
+  auto d0 = replicas_[0]->StateDigest();
+  HARMONY_RETURN_NOT_OK(d0.status());
+  for (size_t i = 1; i < replicas_.size(); i++) {
+    auto di = replicas_[i]->StateDigest();
+    HARMONY_RETURN_NOT_OK(di.status());
+    if (*di != *d0) {
+      return Status::Corruption("replica " + std::to_string(i) +
+                                " diverged from replica 0");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace harmony

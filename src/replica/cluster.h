@@ -1,0 +1,99 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "consensus/orderer.h"
+#include "replica/replica.h"
+
+namespace harmony {
+
+enum class ConsensusKind { kKafka, kHotStuff };
+
+/// Cluster-level configuration for a benchmark / integration run.
+struct ClusterOptions {
+  std::string dir;
+  ReplicaOptions replica;       ///< template; name/dir specialized per node
+  size_t live_replicas = 1;     ///< replicas actually executed + verified
+  uint32_t total_replicas = 4;  ///< replicas modelled for network effects
+  size_t block_size = 25;
+  ConsensusKind consensus = ConsensusKind::kKafka;
+  NetworkModel net;
+  uint32_t max_retries = 20;    ///< CC-aborted txns are requeued this often
+  uint64_t sov_rwset_bytes = 0; ///< >0 marks an SOV system shipping rw-sets
+};
+
+/// Outcome of one cluster run.
+struct RunReport {
+  // Database-layer numbers (measured on replica 0).
+  double exec_tps = 0;        ///< committed txns / wall second
+  double abort_rate = 0;      ///< cc aborts / simulated txns
+  double false_abort_rate = 0;
+  double dangerous_hit_rate = 0;
+  double mean_latency_ms = 0; ///< submit -> commit, incl. consensus model
+  double p50_latency_ms = 0;
+  double p99_latency_ms = 0;
+  double cpu_util = 0;        ///< process CPU / (wall * worker threads)
+  uint64_t committed = 0;
+  uint64_t dropped = 0;       ///< exceeded max_retries
+  uint64_t page_reads = 0, page_writes = 0;
+  uint64_t pool_hits = 0, pool_misses = 0;
+  uint64_t blocks = 0;
+  double sim_ms_per_block = 0;     ///< mean simulation-step time
+  double commit_ms_per_block = 0;  ///< mean commit-step time
+
+  // Modelled network/consensus ceilings (Section 5.4/5.5 sweeps).
+  double consensus_cap_tps = 0;
+  double sov_cap_tps = 0;       ///< rw-set broadcast ceiling (SOV only)
+  double consensus_latency_ms = 0;
+
+  /// End-to-end throughput: execution throughput clipped by the consensus
+  /// and (for SOV) rw-set distribution ceilings.
+  double end_to_end_tps() const {
+    double t = exec_tps;
+    if (consensus_cap_tps > 0) t = std::min(t, consensus_cap_tps);
+    if (sov_cap_tps > 0) t = std::min(t, sov_cap_tps);
+    return t;
+  }
+  double end_to_end_latency_ms() const {
+    return mean_latency_ms + consensus_latency_ms;
+  }
+};
+
+/// Drives a set of live replicas through an ordered block stream: seals
+/// blocks, feeds every replica the identical chain, requeues CC-aborted
+/// transactions (deterministically), gathers latency/throughput, and checks
+/// replica consistency via state digests.
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions opts);
+  ~Cluster();
+
+  /// Opens all live replicas; `setup` registers procedures and loads genesis
+  /// rows (invoked once per replica — must be deterministic).
+  Status Open(const std::function<Status(Replica&)>& setup);
+
+  /// Pulls transactions from `supply` until it returns false, executes
+  /// everything (including retries of aborted txns), and reports.
+  /// `avg_txn_bytes` sizes the consensus model's blocks.
+  Result<RunReport> Run(const std::function<bool(TxnRequest*)>& supply,
+                        size_t avg_txn_bytes);
+
+  /// All live replicas must have identical state digests.
+  Status VerifyConsistency();
+
+  Replica* replica(size_t i) { return replicas_[i].get(); }
+  size_t live_replicas() const { return replicas_.size(); }
+  Orderer* orderer() { return orderer_.get(); }
+
+ private:
+  ClusterOptions opts_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::unique_ptr<Orderer> orderer_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,261 @@
+#include "replica/replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/clock.h"
+
+namespace harmony {
+
+Replica::Replica(ReplicaOptions opts) : opts_(std::move(opts)) {}
+
+Replica::~Replica() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (commit_thread_.joinable()) commit_thread_.join();
+}
+
+Status Replica::Open() {
+  // Checkpoint barriers and the checkpoint period must agree (see
+  // DccConfig::barrier_every).
+  opts_.dcc_cfg.barrier_every = opts_.checkpoint_every;
+
+  if (opts_.in_memory) {
+    backend_ = std::make_unique<MemoryBackend>();
+  } else {
+    auto disk = std::make_unique<DiskBackend>(opts_.dir, opts_.name, opts_.disk,
+                                              opts_.pool_pages);
+    HARMONY_RETURN_NOT_OK(disk->Open());
+    backend_ = std::move(disk);
+  }
+  store_ = std::make_unique<VersionedStore>(backend_.get());
+  pool_ = std::make_unique<ThreadPool>(opts_.threads);
+  protocol_ = MakeProtocol(opts_.dcc, store_.get(), &procs_, pool_.get(),
+                           opts_.dcc_cfg);
+  block_store_ = std::make_unique<BlockStore>(
+      opts_.dir + "/" + opts_.name + ".chain", opts_.disk.fsync_latency_us);
+  HARMONY_RETURN_NOT_OK(block_store_->Open());
+  manifest_ = std::make_unique<CheckpointManifest>(opts_.dir + "/" +
+                                                   opts_.name + ".ckpt");
+  verifier_ = std::make_unique<ChainVerifier>(opts_.orderer_secret);
+
+  if (protocol_->supports_inter_block()) {
+    commit_thread_ = std::thread([this] { CommitWorker(); });
+  }
+  return Status::OK();
+}
+
+Status Replica::LoadRow(Key key, const Value& v) {
+  return backend_->Put(key, v.Encode(), nullptr);
+}
+
+void Replica::RegisterProcedure(uint32_t proc_id, std::string name,
+                                ProcedureFn fn) {
+  procs_.Register(proc_id, std::move(name), std::move(fn));
+}
+
+Result<BlockId> Replica::Recover() {
+  const BlockId checkpointed = manifest_->Read();
+  HARMONY_RETURN_NOT_OK(ReplayFrom(checkpointed));
+  return block_store_->last_block_id();
+}
+
+Status Replica::ReplayFrom(BlockId checkpointed) {
+  std::vector<Block> blocks;
+  HARMONY_RETURN_NOT_OK(block_store_->ReadAll(&blocks));
+  // Audit the whole chain before trusting it, then fast-forward the live
+  // verifier to the chain tip.
+  ChainVerifier v(opts_.orderer_secret);
+  for (const Block& b : blocks) {
+    HARMONY_RETURN_NOT_OK(v.Verify(b));
+  }
+  if (!blocks.empty()) {
+    verifier_->Reset(blocks.back().header.block_hash);
+    std::lock_guard<std::mutex> lk(mu_);
+    last_committed_ = checkpointed;
+  }
+  replaying_ = true;
+  for (Block& b : blocks) {
+    if (b.header.block_id <= checkpointed) continue;
+    Status s = SubmitBlock(std::move(b));
+    if (!s.ok()) {
+      replaying_ = false;
+      return s;
+    }
+  }
+  Status s = Drain();
+  replaying_ = false;
+  return s;
+}
+
+Status Replica::SubmitBlock(Block block) {
+  const BlockId id = block.header.block_id;
+  if (opts_.verify_blocks && !replaying_) {
+    // Incremental verification against the replica's view of the chain head.
+    HARMONY_RETURN_NOT_OK(verifier_->Verify(block));
+  }
+  if (opts_.persist_blocks && !replaying_ &&
+      !protocol_->supports_inter_block()) {
+    // Logical logging: persist the input block before execution (Section 4).
+    // (The pipelined path overlaps this append with simulation instead.)
+    HARMONY_RETURN_NOT_OK(block_store_->Append(block));
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    last_submitted_ = id;
+  }
+  if (!protocol_->supports_inter_block()) {
+    // Serial pipeline: simulate + commit inline, in block order.
+    HARMONY_RETURN_NOT_OK(protocol_->Simulate(block.batch));
+    BlockResult result;
+    HARMONY_RETURN_NOT_OK(protocol_->Commit(block.batch, &result));
+    HARMONY_RETURN_NOT_OK(AfterCommit(block, result));
+    std::lock_guard<std::mutex> lk(mu_);
+    last_committed_ = id;
+    return Status::OK();
+  }
+  return ExecuteBlockPipelined(std::move(block));
+}
+
+Status Replica::ExecuteBlockPipelined(Block block) {
+  const BlockId id = block.header.block_id;
+  const BlockId lag = protocol_->snapshot_lag();
+  // Barrier followers additionally need the previous block fully committed
+  // (their snapshot is block id-1 and they carry no pipeline state).
+  const bool barrier_follower =
+      opts_.checkpoint_every != 0 && id > 1 &&
+      (id - 1) % opts_.checkpoint_every == 0;
+  const BlockId need_committed =
+      barrier_follower ? id - 1 : (id >= lag ? id - lag : 0);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] {
+      return !pipeline_error_.ok() || stop_ || last_committed_ >= need_committed;
+    });
+    if (!pipeline_error_.ok()) return pipeline_error_;
+    if (stop_) return Status::Aborted("replica shutting down");
+  }
+
+  // Simulation runs on its own thread: consecutive blocks' simulations
+  // overlap with each other and with the commit worker — a straggler in
+  // block i does not detain block i+1 (Section 3.4). The logical-log append
+  // (group commit of the input) overlaps with simulation; it only has to
+  // complete before the block's own commit step, which joins this thread.
+  const bool persist_inflight = opts_.persist_blocks && !replaying_;
+  auto inflight = std::make_shared<InFlight>();
+  inflight->block = std::move(block);
+  inflight->sim_thread = std::thread([this, inflight, persist_inflight] {
+    if (persist_inflight) {
+      inflight->sim_status = block_store_->Append(inflight->block);
+      if (!inflight->sim_status.ok()) return;
+    }
+    inflight->sim_status = protocol_->Simulate(inflight->block.batch);
+  });
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    commit_queue_.push(inflight);
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void Replica::CommitWorker() {
+  while (true) {
+    std::shared_ptr<InFlight> item;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !commit_queue_.empty(); });
+      if (commit_queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      item = commit_queue_.front();
+      commit_queue_.pop();
+    }
+    if (item->sim_thread.joinable()) item->sim_thread.join();
+    Status s = item->sim_status;
+    BlockResult result;
+    if (s.ok()) s = protocol_->Commit(item->block.batch, &result);
+    if (s.ok()) {
+      // Callbacks and checkpointing complete before the block counts as
+      // committed: Drain() then implies every callback has fired, and the
+      // barrier-follower wait covers the checkpoint itself.
+      s = AfterCommit(item->block, result);
+      std::lock_guard<std::mutex> lk(mu_);
+      if (s.ok()) last_committed_ = item->block.header.block_id;
+    }
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lk(mu_);
+      pipeline_error_ = s;
+    }
+    cv_.notify_all();
+  }
+}
+
+Status Replica::AfterCommit(const Block& block, const BlockResult& result) {
+  const BlockId id = block.header.block_id;
+  if (opts_.checkpoint_every != 0 && id % opts_.checkpoint_every == 0) {
+    HARMONY_RETURN_NOT_OK(backend_->Checkpoint());
+    HARMONY_RETURN_NOT_OK(manifest_->Write(id));
+  }
+  if (commit_cb_) commit_cb_(block, result);
+  return Status::OK();
+}
+
+Status Replica::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] {
+    return !pipeline_error_.ok() || last_committed_ >= last_submitted_;
+  });
+  return pipeline_error_;
+}
+
+Status Replica::Query(Key key, std::optional<Value>* out) {
+  std::string raw;
+  Status s = backend_->Get(key, &raw);
+  if (s.IsNotFound()) {
+    out->reset();
+    return Status::OK();
+  }
+  HARMONY_RETURN_NOT_OK(s);
+  out->emplace(Value::Decode(raw));
+  return Status::OK();
+}
+
+Result<Digest> Replica::StateDigest() {
+  std::vector<std::pair<Key, std::string>> rows;
+  Status s = backend_->ScanAll([&](Key k, std::string_view v) {
+    rows.emplace_back(k, std::string(v));
+  });
+  HARMONY_RETURN_NOT_OK(s);
+  std::sort(rows.begin(), rows.end());
+  Sha256 h;
+  for (const auto& [k, v] : rows) {
+    h.UpdateInt(k);
+    h.Update(v);
+  }
+  return h.Finalize();
+}
+
+Status Replica::Checkpoint() {
+  HARMONY_RETURN_NOT_OK(Drain());
+  HARMONY_RETURN_NOT_OK(backend_->Checkpoint());
+  return manifest_->Write(last_committed());
+}
+
+Status Replica::AuditChain() {
+  std::vector<Block> blocks;
+  HARMONY_RETURN_NOT_OK(block_store_->ReadAll(&blocks));
+  return ChainVerifier::VerifyChain(blocks, opts_.orderer_secret);
+}
+
+BlockId Replica::last_committed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return last_committed_;
+}
+
+}  // namespace harmony

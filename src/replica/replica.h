@@ -1,0 +1,140 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+
+#include "chain/block.h"
+#include "chain/block_store.h"
+#include "common/thread_pool.h"
+#include "dcc/protocol.h"
+#include "storage/state_backend.h"
+#include "storage/versioned_store.h"
+
+namespace harmony {
+
+/// Node configuration.
+struct ReplicaOptions {
+  std::string dir;                ///< working directory (files live here)
+  std::string name = "replica";   ///< file prefix
+  DccKind dcc = DccKind::kHarmony;
+  DccConfig dcc_cfg;
+
+  bool in_memory = false;         ///< Section 5.8 memory engine
+  DiskModel disk = DiskModel::Ssd();
+  size_t pool_pages = 4096;       ///< buffer pool capacity (16 MiB default)
+  size_t threads = 8;             ///< execution worker threads
+
+  size_t checkpoint_every = 10;   ///< checkpoint period p, in blocks
+  std::string orderer_secret = "orderer-secret";
+  bool verify_blocks = true;      ///< verify signature/hash chain on receipt
+  bool persist_blocks = true;     ///< append input blocks to the logical log
+};
+
+/// Invoked (on the commit thread, in block order) after each block commits.
+using CommitCallback =
+    std::function<void(const Block& block, const BlockResult& result)>;
+
+/// A HarmonyBC database node: disk-oriented storage engine + versioned
+/// snapshot store + a deterministic concurrency control protocol + the
+/// hash-chained logical log. Replicas receive blocks from the ordering
+/// service and execute them independently; determinism guarantees replica
+/// consistency without coordination.
+class Replica {
+ public:
+  explicit Replica(ReplicaOptions opts);
+  ~Replica();
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// Opens storage, rolls back interrupted checkpoints, and replays the
+  /// logical log past the last checkpoint (crash recovery).
+  Status Open();
+
+  /// Loads initial data directly into the backend (the genesis state,
+  /// "block 0"). Must precede any SubmitBlock. Call Checkpoint() after the
+  /// last LoadRow to make genesis durable — recovery replays blocks on top
+  /// of the latest checkpoint, so an uncheckpointed genesis is lost by a
+  /// crash before the first periodic checkpoint.
+  Status LoadRow(Key key, const Value& v);
+
+  /// Crash recovery: loads the checkpoint manifest and deterministically
+  /// re-executes every logged block after it. Call after Open() and
+  /// procedure registration (and after genesis loading on first boot —
+  /// replay is a no-op then). Returns the recovered chain tip.
+  Result<BlockId> Recover();
+
+  /// Registers a stored procedure (smart contract). All replicas of a chain
+  /// must register the same set.
+  void RegisterProcedure(uint32_t proc_id, std::string name, ProcedureFn fn);
+
+  /// Feeds the next block. With an inter-block-parallel protocol this
+  /// returns once the block's simulation has been scheduled (the previous
+  /// block may still be committing); otherwise it blocks until commit.
+  /// Blocks must arrive in increasing block-id order.
+  Status SubmitBlock(Block block);
+
+  /// Waits until every submitted block has committed.
+  Status Drain();
+
+  void SetCommitCallback(CommitCallback cb) { commit_cb_ = std::move(cb); }
+
+  /// Latest committed value of a key (read-your-writes after Drain()).
+  Status Query(Key key, std::optional<Value>* out);
+
+  /// SHA-256 over the sorted latest state — the replica-consistency check.
+  Result<Digest> StateDigest();
+
+  /// Forces a checkpoint now (flush + manifest).
+  Status Checkpoint();
+
+  /// Reads the whole chain back and verifies hashes + signatures.
+  Status AuditChain();
+
+  const ProtocolStats& protocol_stats() const { return protocol_->stats(); }
+  StateBackend* backend() { return backend_.get(); }
+  DccProtocol* protocol() { return protocol_.get(); }
+  BlockId last_committed() const;
+  const ReplicaOptions& options() const { return opts_; }
+
+ private:
+  Status ExecuteBlockPipelined(Block block);
+  Status CommitLoopStep();
+  void CommitWorker();
+  Status AfterCommit(const Block& block, const BlockResult& result);
+  Status ReplayFrom(BlockId checkpointed);
+
+  ReplicaOptions opts_;
+  std::unique_ptr<StateBackend> backend_;
+  std::unique_ptr<VersionedStore> store_;
+  std::unique_ptr<ThreadPool> pool_;
+  ProcedureRegistry procs_;
+  std::unique_ptr<DccProtocol> protocol_;
+  std::unique_ptr<BlockStore> block_store_;
+  std::unique_ptr<CheckpointManifest> manifest_;
+  std::unique_ptr<ChainVerifier> verifier_;
+  CommitCallback commit_cb_;
+
+  // Pipeline state (inter-block parallelism).
+  struct InFlight {
+    Block block;
+    Status sim_status;
+    std::thread sim_thread;  ///< joined by the commit worker
+  };
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::shared_ptr<InFlight>> commit_queue_;
+  BlockId last_committed_ = 0;
+  BlockId last_submitted_ = 0;
+  Status pipeline_error_;
+  bool stop_ = false;
+  std::thread commit_thread_;
+  bool replaying_ = false;
+};
+
+}  // namespace harmony

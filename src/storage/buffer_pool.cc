@@ -1,0 +1,188 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace harmony {
+
+PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_ = o.frame_;
+    page_ = o.page_;
+    o.pool_ = nullptr;
+    o.page_ = nullptr;
+  }
+  return *this;
+}
+
+void PageGuard::MarkDirty() {
+  if (pool_ != nullptr) pool_->MarkDirtyFrame(frame_);
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+    page_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {
+  frames_.reserve(capacity_);
+}
+
+BufferPool::~BufferPool() {
+  // Deliberately no flush: durability is the checkpoint's job (no-steal
+  // contract). Tearing down with dirty pages == losing un-checkpointed
+  // work, exactly like a crash; recovery replays the logical log.
+  for (Frame* f : frames_) delete f;
+}
+
+size_t BufferPool::num_frames() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return frames_.size();
+}
+
+size_t BufferPool::PickVictimLocked() {
+  // Room to allocate a fresh frame.
+  if (frames_.size() < capacity_) {
+    frames_.push_back(new Frame());
+    return frames_.size() - 1;
+  }
+  // CLOCK sweep over clean, unpinned, non-loading frames. Two full sweeps:
+  // the first clears reference bits, the second takes the first candidate.
+  const size_t n = frames_.size();
+  for (size_t step = 0; step < 2 * n; step++) {
+    Frame& f = *frames_[clock_hand_];
+    const size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (f.pin_count > 0 || f.loading) continue;
+    if (f.dirty) continue;  // no-steal: never write back outside FlushAll
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    if (f.page_id != kInvalidPageId) page_table_.erase(f.page_id);
+    f.page_id = kInvalidPageId;
+    return idx;
+  }
+  // Every unpinned frame is dirty: grow instead of stealing.
+  stats_.dirty_evictions.fetch_add(1, std::memory_order_relaxed);
+  frames_.push_back(new Frame());
+  return frames_.size() - 1;
+}
+
+Result<PageGuard> BufferPool::FetchPage(PageId page_id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    auto it = page_table_.find(page_id);
+    if (it != page_table_.end()) {
+      Frame& f = *frames_[it->second];
+      if (f.loading) {
+        // Another thread is reading this page from disk; wait for it.
+        load_cv_.wait(lk);
+        continue;
+      }
+      f.pin_count++;
+      f.referenced = true;
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      return PageGuard(this, it->second, &f.page);
+    }
+    break;
+  }
+  const size_t victim = PickVictimLocked();
+  Frame& f = *frames_[victim];
+  f.page_id = page_id;
+  f.pin_count = 1;
+  f.loading = true;
+  f.dirty = false;
+  f.referenced = true;
+  page_table_[page_id] = victim;
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  lk.unlock();
+
+  Status s = disk_->ReadPage(page_id, &f.page);
+
+  lk.lock();
+  f.loading = false;
+  load_cv_.notify_all();
+  if (!s.ok()) {
+    f.pin_count--;
+    page_table_.erase(page_id);
+    f.page_id = kInvalidPageId;
+    return s;
+  }
+  return PageGuard(this, victim, &f.page);
+}
+
+Result<PageGuard> BufferPool::NewPage(PageId page_id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  assert(page_table_.find(page_id) == page_table_.end());
+  const size_t victim = PickVictimLocked();
+  Frame& f = *frames_[victim];
+  f.page_id = page_id;
+  f.pin_count = 1;
+  f.loading = false;
+  f.dirty = true;  // a new page must reach disk eventually
+  f.referenced = true;
+  f.page.Zero();
+  page_table_[page_id] = victim;
+  return PageGuard(this, victim, &f.page);
+}
+
+Status BufferPool::FlushAll() {
+  // Snapshot the dirty set under the lock, write outside it. Checkpointing
+  // runs while no block is mutating state, so pages cannot re-dirty
+  // concurrently.
+  std::vector<size_t> dirty;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (size_t i = 0; i < frames_.size(); i++) {
+      if (frames_[i]->page_id != kInvalidPageId && frames_[i]->dirty) {
+        dirty.push_back(i);
+      }
+    }
+  }
+  for (size_t i : dirty) {
+    Frame& f = *frames_[i];
+    HARMONY_RETURN_NOT_OK(disk_->WritePage(f.page_id, f.page));
+    std::lock_guard<std::mutex> lk(mu_);
+    f.dirty = false;
+  }
+  // Shrink emergency growth: drop clean unpinned frames beyond capacity.
+  std::lock_guard<std::mutex> lk(mu_);
+  while (frames_.size() > capacity_) {
+    Frame* f = frames_.back();
+    if (f->pin_count > 0 || f->dirty || f->loading) break;
+    if (f->page_id != kInvalidPageId) page_table_.erase(f->page_id);
+    delete f;
+    frames_.pop_back();
+  }
+  if (clock_hand_ >= frames_.size()) clock_hand_ = 0;
+  return Status::OK();
+}
+
+std::vector<PageId> BufferPool::DirtyPageIds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<PageId> out;
+  for (const Frame* f : frames_) {
+    if (f->page_id != kInvalidPageId && f->dirty) out.push_back(f->page_id);
+  }
+  return out;
+}
+
+void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Frame& f = *frames_[frame];
+  assert(f.pin_count > 0);
+  f.pin_count--;
+}
+
+void BufferPool::MarkDirtyFrame(size_t frame) {
+  std::lock_guard<std::mutex> lk(mu_);
+  frames_[frame]->dirty = true;
+}
+
+}  // namespace harmony

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace harmony {
+
+class BufferPool;
+
+/// RAII pin on a buffer frame. While alive, the page stays in memory and can
+/// be read; call MarkDirty() after mutating.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame, Page* page)
+      : pool_(pool), frame_(frame), page_(page) {}
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return page_ != nullptr; }
+  Page* page() { return page_; }
+  const Page* page() const { return page_; }
+  char* data() { return page_->data; }
+  const char* data() const { return page_->data; }
+
+  void MarkDirty();
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  size_t frame_ = 0;
+  Page* page_ = nullptr;
+};
+
+struct BufferPoolStats {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> dirty_evictions{0};  ///< emergency grows (no-steal)
+};
+
+/// DRAM page cache with CLOCK eviction.
+///
+/// Recovery contract (no-steal): dirty pages are never written back outside
+/// FlushAll(). If every unpinned frame is dirty, the pool grows temporarily
+/// instead of stealing, so the on-disk image always equals the last
+/// checkpoint — the precondition for deterministic logical-log replay
+/// (Section 4, "Recovery"). FlushAll() shrinks the pool back.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page, reading it from disk on a miss.
+  Result<PageGuard> FetchPage(PageId page_id);
+
+  /// Pins a brand-new zeroed page (no disk read).
+  Result<PageGuard> NewPage(PageId page_id);
+
+  /// Writes every dirty page to disk (checkpoint path). Pages stay cached.
+  Status FlushAll();
+
+  /// Page ids currently dirty in the pool (checkpoint journaling).
+  std::vector<PageId> DirtyPageIds() const;
+
+  const BufferPoolStats& stats() const { return stats_; }
+  size_t capacity() const { return capacity_; }
+  size_t num_frames() const;
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    Page page;
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    bool loading = false;
+    bool referenced = false;
+  };
+
+  void Unpin(size_t frame);
+  void MarkDirtyFrame(size_t frame);
+
+  /// Picks a victim frame (clean + unpinned), growing the pool if all
+  /// candidates are dirty. Caller holds mu_.
+  size_t PickVictimLocked();
+
+  DiskManager* disk_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable load_cv_;
+  std::vector<Frame*> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  size_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,90 @@
+#include "storage/disk_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace harmony {
+
+DiskManager::DiskManager(std::string path, DiskModel model)
+    : path_(std::move(path)), model_(model) {
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    // Failing to open the backing file is unrecoverable for the node.
+    std::abort();
+  }
+  struct stat st;
+  if (::fstat(fd_, &st) == 0) {
+    next_page_.store(static_cast<PageId>(st.st_size / kPageSize));
+  }
+}
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+DiskManager::IoSlot::IoSlot(DiskManager* dm) : dm_(dm) {
+  if (dm_->model_.queue_depth == 0) return;  // RAMDisk: unlimited
+  std::unique_lock<std::mutex> lk(dm_->io_mu_);
+  dm_->io_cv_.wait(lk, [&] {
+    return dm_->inflight_io_ < dm_->model_.queue_depth;
+  });
+  dm_->inflight_io_++;
+}
+
+DiskManager::IoSlot::~IoSlot() {
+  if (dm_->model_.queue_depth == 0) return;
+  {
+    std::lock_guard<std::mutex> lk(dm_->io_mu_);
+    dm_->inflight_io_--;
+  }
+  dm_->io_cv_.notify_one();
+}
+
+Status DiskManager::ReadPage(PageId page_id, Page* out) {
+  IoSlot slot(this);
+  SimulateDelayMicros(model_.read_latency_us);
+  HARMONY_RETURN_NOT_OK(ReadPageRaw(page_id, out));
+  stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DiskManager::ReadPageRaw(PageId page_id, Page* out) {
+  const off_t off = static_cast<off_t>(page_id) * kPageSize;
+  ssize_t n = ::pread(fd_, out->data, kPageSize, off);
+  if (n < 0) return Status::IOError(std::strerror(errno));
+  if (n < static_cast<ssize_t>(kPageSize)) {
+    // Page allocated but never written: treat as zeroed.
+    std::memset(out->data + n, 0, kPageSize - static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId page_id, const Page& page) {
+  IoSlot slot(this);
+  SimulateDelayMicros(model_.write_latency_us);
+  const off_t off = static_cast<off_t>(page_id) * kPageSize;
+  ssize_t n = ::pwrite(fd_, page.data, kPageSize, off);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError(std::strerror(errno));
+  }
+  stats_.page_writes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  // Modelled flush only: the simulation never hard-kills the process, and a
+  // host fsync would charge the host device's latency, not the model's.
+  SimulateDelayMicros(model_.fsync_latency_us);
+  stats_.fsyncs.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+PageId DiskManager::AllocatePage() { return next_page_.fetch_add(1); }
+
+}  // namespace harmony

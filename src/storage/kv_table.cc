@@ -1,0 +1,163 @@
+#include "storage/kv_table.h"
+
+#include <cassert>
+
+namespace harmony {
+
+KvTable::KvTable(DiskManager* disk, BufferPool* pool)
+    : disk_(disk), pool_(pool) {}
+
+Status KvTable::RebuildIndex() {
+  std::unique_lock<std::shared_mutex> ilk(index_mu_);
+  index_.clear();
+  std::lock_guard<std::mutex> alk(alloc_mu_);
+  free_pages_.clear();
+  const PageId n = disk_->num_pages();
+  for (PageId p = 0; p < n; p++) {
+    auto guard = pool_->FetchPage(p);
+    HARMONY_RETURN_NOT_OK(guard.status());
+    const char* d = guard->data();
+    slotted::ForEach(d, [&](uint16_t slot, Key k, std::string_view) {
+      index_[k] = Rid{p, slot};
+    });
+    free_pages_.emplace_back(p, slotted::TotalFree(d));
+  }
+  return Status::OK();
+}
+
+Status KvTable::Get(Key key, std::string* out) {
+  Rid rid;
+  {
+    std::shared_lock<std::shared_mutex> lk(index_mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return Status::NotFound();
+    rid = it->second;
+  }
+  auto guard = pool_->FetchPage(rid.page);
+  HARMONY_RETURN_NOT_OK(guard.status());
+  std::lock_guard<SpinLock> latch(PageLatch(rid.page));
+  Key k;
+  std::string_view v;
+  if (!slotted::Read(guard->data(), rid.slot, &k, &v) || k != key) {
+    return Status::Corruption("index points at stale slot");
+  }
+  out->assign(v.data(), v.size());
+  return Status::OK();
+}
+
+Result<Rid> KvTable::InsertRecord(Key key, std::string_view value) {
+  const size_t need = slotted::kRecordHeader + value.size() + slotted::kSlotSize;
+  std::lock_guard<std::mutex> alk(alloc_mu_);
+  // Try recently allocated pages first (they have the most room).
+  for (size_t attempt = 0; attempt < free_pages_.size(); attempt++) {
+    auto& [pid, free_est] = free_pages_[free_pages_.size() - 1 - attempt];
+    if (free_est < need) continue;
+    auto guard = pool_->FetchPage(pid);
+    HARMONY_RETURN_NOT_OK(guard.status());
+    std::lock_guard<SpinLock> latch(PageLatch(pid));
+    const int slot = slotted::Insert(guard->data(), key, value);
+    free_est = slotted::TotalFree(guard->data());
+    if (slot >= 0) {
+      guard->MarkDirty();
+      return Rid{pid, static_cast<uint16_t>(slot)};
+    }
+  }
+  // No page fits: allocate a new one.
+  const PageId pid = disk_->AllocatePage();
+  auto guard = pool_->NewPage(pid);
+  HARMONY_RETURN_NOT_OK(guard.status());
+  std::lock_guard<SpinLock> latch(PageLatch(pid));
+  slotted::Init(guard->data());
+  const int slot = slotted::Insert(guard->data(), key, value);
+  if (slot < 0) return Status::InvalidArgument("record too large for a page");
+  guard->MarkDirty();
+  free_pages_.emplace_back(pid, slotted::TotalFree(guard->data()));
+  return Rid{pid, static_cast<uint16_t>(slot)};
+}
+
+Status KvTable::Put(Key key, std::string_view value,
+                    std::optional<std::string>* old_value) {
+  if (old_value != nullptr) old_value->reset();
+  Rid rid;
+  bool exists = false;
+  {
+    std::shared_lock<std::shared_mutex> lk(index_mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      rid = it->second;
+      exists = true;
+    }
+  }
+  if (exists) {
+    auto guard = pool_->FetchPage(rid.page);
+    HARMONY_RETURN_NOT_OK(guard.status());
+    bool in_place = false;
+    {
+      std::lock_guard<SpinLock> latch(PageLatch(rid.page));
+      Key k;
+      std::string_view v;
+      if (!slotted::Read(guard->data(), rid.slot, &k, &v) || k != key) {
+        return Status::Corruption("index points at stale slot");
+      }
+      if (old_value != nullptr) old_value->emplace(v.data(), v.size());
+      in_place = slotted::UpdateInPlace(guard->data(), rid.slot, value);
+      if (!in_place) slotted::Erase(guard->data(), rid.slot);
+      guard->MarkDirty();
+    }
+    if (in_place) return Status::OK();
+    // Relocate: record no longer fits its allocation.
+    auto new_rid = InsertRecord(key, value);
+    HARMONY_RETURN_NOT_OK(new_rid.status());
+    std::unique_lock<std::shared_mutex> lk(index_mu_);
+    index_[key] = *new_rid;
+    return Status::OK();
+  }
+  auto new_rid = InsertRecord(key, value);
+  HARMONY_RETURN_NOT_OK(new_rid.status());
+  std::unique_lock<std::shared_mutex> lk(index_mu_);
+  index_[key] = *new_rid;
+  return Status::OK();
+}
+
+Status KvTable::Erase(Key key, std::optional<std::string>* old_value) {
+  if (old_value != nullptr) old_value->reset();
+  Rid rid;
+  {
+    std::unique_lock<std::shared_mutex> lk(index_mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return Status::OK();
+    rid = it->second;
+    index_.erase(it);
+  }
+  auto guard = pool_->FetchPage(rid.page);
+  HARMONY_RETURN_NOT_OK(guard.status());
+  std::lock_guard<SpinLock> latch(PageLatch(rid.page));
+  if (old_value != nullptr) {
+    Key k;
+    std::string_view v;
+    if (slotted::Read(guard->data(), rid.slot, &k, &v) && k == key) {
+      old_value->emplace(v.data(), v.size());
+    }
+  }
+  slotted::Erase(guard->data(), rid.slot);
+  guard->MarkDirty();
+  return Status::OK();
+}
+
+size_t KvTable::size() const {
+  std::shared_lock<std::shared_mutex> lk(index_mu_);
+  return index_.size();
+}
+
+Status KvTable::ScanAll(const std::function<void(Key, std::string_view)>& fn) {
+  const PageId n = disk_->num_pages();
+  for (PageId p = 0; p < n; p++) {
+    auto guard = pool_->FetchPage(p);
+    HARMONY_RETURN_NOT_OK(guard.status());
+    slotted::ForEach(guard->data(),
+                     [&](uint16_t, Key k, std::string_view v) { fn(k, v); });
+  }
+  return Status::OK();
+}
+
+}  // namespace harmony

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <array>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/spin_lock.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/slotted_page.h"
+
+namespace harmony {
+
+/// Disk-backed key-value table: heap of slotted pages behind a buffer pool,
+/// plus an in-memory hash index (Key -> Rid). The index is rebuilt by a heap
+/// scan on open — the same recovery model as main-memory indexes over a disk
+/// heap; persistence of record data goes through checkpoints.
+///
+/// Thread-safety: concurrent Get/Put/Erase on distinct keys are safe
+/// (per-page latches serialize byte-level page access); Puts that allocate
+/// serialize on the allocation mutex.
+class KvTable {
+ public:
+  KvTable(DiskManager* disk, BufferPool* pool);
+
+  /// Scans the heap and rebuilds the index (open/recovery path).
+  Status RebuildIndex();
+
+  /// Reads the latest value. Returns NotFound for absent keys.
+  Status Get(Key key, std::string* out);
+
+  /// Inserts or updates. If old_value != nullptr, receives the pre-image
+  /// (unset if the key was absent).
+  Status Put(Key key, std::string_view value,
+             std::optional<std::string>* old_value = nullptr);
+
+  /// Removes the key (no-op if absent). Pre-image reported like Put.
+  Status Erase(Key key, std::optional<std::string>* old_value = nullptr);
+
+  /// Number of live keys.
+  size_t size() const;
+
+  /// Iterates all (key, value) pairs. Not concurrent with writers.
+  Status ScanAll(const std::function<void(Key, std::string_view)>& fn);
+
+ private:
+  SpinLock& PageLatch(PageId id) { return latches_[id % kLatchCount]; }
+
+  /// Inserts into some page with room; returns the Rid. Caller must not hold
+  /// page latches.
+  Result<Rid> InsertRecord(Key key, std::string_view value);
+
+  static constexpr size_t kLatchCount = 1024;
+
+  DiskManager* disk_;
+  BufferPool* pool_;
+
+  mutable std::shared_mutex index_mu_;
+  std::unordered_map<Key, Rid> index_;
+
+  std::mutex alloc_mu_;
+  /// Pages with estimated free space, most-recently-allocated last.
+  std::vector<std::pair<PageId, size_t>> free_pages_;
+
+  std::array<SpinLock, kLatchCount> latches_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace harmony {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+inline constexpr size_t kPageSize = 4096;
+
+/// A fixed-size page image. The buffer pool owns Page frames; storage
+/// structures (slotted pages, heap files) interpret the raw bytes.
+struct alignas(64) Page {
+  char data[kPageSize];
+
+  void Zero() { std::memset(data, 0, kPageSize); }
+};
+
+/// Record id: physical location of a record inside a heap file.
+struct Rid {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page != kInvalidPageId; }
+  bool operator==(const Rid& o) const { return page == o.page && slot == o.slot; }
+};
+
+}  // namespace harmony

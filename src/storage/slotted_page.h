@@ -1,0 +1,180 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+#include "storage/page.h"
+
+namespace harmony {
+
+/// Classic slotted-page record layout over a raw 4 KiB page:
+///
+///   [ header | slot directory -> ...              ... <- record data ]
+///
+/// Header: slot_count (u16), free_end (u16, start of data region),
+///         dead_bytes (u16, reclaimable space from deleted records).
+/// Slot:   offset (u16, 0 = free slot), alloc_len (u16), used_len (u16).
+/// Record: key (u64 LE) + value bytes.
+///
+/// Updates that fit within a record's allocated length are applied in place;
+/// larger updates relocate the record (the heap file fixes the index).
+namespace slotted {
+
+inline constexpr size_t kHeaderSize = 6;
+inline constexpr size_t kSlotSize = 6;
+inline constexpr size_t kRecordHeader = 8;  // key
+inline constexpr uint16_t kFreeSlot = 0;
+
+inline uint16_t LoadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+inline void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+
+inline uint16_t SlotCount(const char* d) { return LoadU16(d); }
+inline uint16_t FreeEnd(const char* d) { return LoadU16(d + 2); }
+inline uint16_t DeadBytes(const char* d) { return LoadU16(d + 4); }
+
+inline void Init(char* d) {
+  StoreU16(d, 0);
+  StoreU16(d + 2, static_cast<uint16_t>(kPageSize));
+  StoreU16(d + 4, 0);
+}
+
+inline char* SlotPtr(char* d, uint16_t slot) {
+  return d + kHeaderSize + static_cast<size_t>(slot) * kSlotSize;
+}
+inline const char* SlotPtr(const char* d, uint16_t slot) {
+  return d + kHeaderSize + static_cast<size_t>(slot) * kSlotSize;
+}
+
+/// Bytes available for a fresh insert that needs a new slot entry.
+inline size_t ContiguousFree(const char* d) {
+  const size_t dir_end = kHeaderSize + static_cast<size_t>(SlotCount(d)) * kSlotSize;
+  const size_t free_end = FreeEnd(d);
+  return free_end > dir_end ? free_end - dir_end : 0;
+}
+
+/// Total reclaimable free space (contiguous + dead), used to decide whether
+/// compaction would make an insert fit.
+inline size_t TotalFree(const char* d) { return ContiguousFree(d) + DeadBytes(d); }
+
+/// Reads the record in `slot`. Returns false for a free slot.
+inline bool Read(const char* d, uint16_t slot, Key* key, std::string_view* value) {
+  if (slot >= SlotCount(d)) return false;
+  const char* sp = SlotPtr(d, slot);
+  const uint16_t off = LoadU16(sp);
+  if (off == kFreeSlot) return false;
+  const uint16_t used = LoadU16(sp + 4);
+  uint64_t k;
+  std::memcpy(&k, d + off, 8);
+  *key = k;
+  *value = std::string_view(d + off + kRecordHeader, used - kRecordHeader);
+  return true;
+}
+
+/// Rewrites the record data region dropping dead space. O(page).
+inline void Compact(char* d) {
+  char tmp[kPageSize];
+  size_t write_end = kPageSize;
+  const uint16_t n = SlotCount(d);
+  for (uint16_t s = 0; s < n; s++) {
+    char* sp = SlotPtr(d, s);
+    const uint16_t off = LoadU16(sp);
+    if (off == kFreeSlot) continue;
+    const uint16_t used = LoadU16(sp + 4);
+    write_end -= used;
+    std::memcpy(tmp + write_end, d + off, used);
+    StoreU16(sp, static_cast<uint16_t>(write_end));
+    StoreU16(sp + 2, used);  // alloc shrinks to used on compaction
+  }
+  std::memcpy(d + write_end, tmp + write_end, kPageSize - write_end);
+  StoreU16(d + 2, static_cast<uint16_t>(write_end));
+  StoreU16(d + 4, 0);
+}
+
+/// Inserts (key, value); returns the slot index or -1 if it cannot fit even
+/// after compaction.
+inline int Insert(char* d, Key key, std::string_view value) {
+  const size_t rec_len = kRecordHeader + value.size();
+  if (rec_len > kPageSize / 2) return -1;  // oversized records unsupported
+
+  // Reuse a free slot if possible (saves directory space).
+  const uint16_t n = SlotCount(d);
+  int free_slot = -1;
+  for (uint16_t s = 0; s < n; s++) {
+    if (LoadU16(SlotPtr(d, s)) == kFreeSlot) {
+      free_slot = s;
+      break;
+    }
+  }
+  const size_t need = rec_len + (free_slot < 0 ? kSlotSize : 0);
+  if (ContiguousFree(d) < need) {
+    if (TotalFree(d) < need) return -1;
+    Compact(d);
+    if (ContiguousFree(d) < need) return -1;
+  }
+
+  uint16_t slot;
+  if (free_slot >= 0) {
+    slot = static_cast<uint16_t>(free_slot);
+  } else {
+    slot = n;
+    StoreU16(d, static_cast<uint16_t>(n + 1));
+  }
+  const uint16_t new_end = static_cast<uint16_t>(FreeEnd(d) - rec_len);
+  StoreU16(d + 2, new_end);
+  std::memcpy(d + new_end, &key, 8);
+  std::memcpy(d + new_end + kRecordHeader, value.data(), value.size());
+  char* sp = SlotPtr(d, slot);
+  StoreU16(sp, new_end);
+  StoreU16(sp + 2, static_cast<uint16_t>(rec_len));
+  StoreU16(sp + 4, static_cast<uint16_t>(rec_len));
+  return slot;
+}
+
+/// In-place update; returns false if the new value exceeds the record's
+/// allocated length (caller must relocate).
+inline bool UpdateInPlace(char* d, uint16_t slot, std::string_view value) {
+  if (slot >= SlotCount(d)) return false;
+  char* sp = SlotPtr(d, slot);
+  const uint16_t off = LoadU16(sp);
+  if (off == kFreeSlot) return false;
+  const uint16_t alloc = LoadU16(sp + 2);
+  const size_t rec_len = kRecordHeader + value.size();
+  if (rec_len > alloc) return false;
+  std::memcpy(d + off + kRecordHeader, value.data(), value.size());
+  StoreU16(sp + 4, static_cast<uint16_t>(rec_len));
+  return true;
+}
+
+/// Frees the slot; space becomes dead until compaction.
+inline void Erase(char* d, uint16_t slot) {
+  if (slot >= SlotCount(d)) return;
+  char* sp = SlotPtr(d, slot);
+  const uint16_t off = LoadU16(sp);
+  if (off == kFreeSlot) return;
+  const uint16_t alloc = LoadU16(sp + 2);
+  StoreU16(d + 4, static_cast<uint16_t>(DeadBytes(d) + alloc));
+  StoreU16(sp, kFreeSlot);
+}
+
+/// Invokes fn(slot, key, value) for every live record.
+inline void ForEach(
+    const char* d,
+    const std::function<void(uint16_t, Key, std::string_view)>& fn) {
+  const uint16_t n = SlotCount(d);
+  for (uint16_t s = 0; s < n; s++) {
+    Key k;
+    std::string_view v;
+    if (Read(d, s, &k, &v)) fn(s, k, v);
+  }
+}
+
+}  // namespace slotted
+}  // namespace harmony

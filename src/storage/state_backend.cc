@@ -1,0 +1,186 @@
+#include "storage/state_backend.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+namespace harmony {
+
+namespace {
+constexpr uint64_t kJournalMagic = 0x4841524d4f4e5931ULL;  // "HARMONY1"
+}
+
+DiskBackend::DiskBackend(const std::string& dir, const std::string& name,
+                         DiskModel model, size_t pool_pages)
+    : journal_path_(dir + "/" + name + ".journal"),
+      disk_(std::make_unique<DiskManager>(dir + "/" + name + ".tbl", model)),
+      pool_(std::make_unique<BufferPool>(disk_.get(), pool_pages)),
+      table_(std::make_unique<KvTable>(disk_.get(), pool_.get())) {}
+
+Status DiskBackend::Open() {
+  HARMONY_RETURN_NOT_OK(RollbackJournalIfNeeded());
+  return table_->RebuildIndex();
+}
+
+Status DiskBackend::Get(Key key, std::string* out) {
+  return table_->Get(key, out);
+}
+
+Status DiskBackend::Put(Key key, std::string_view value,
+                        std::optional<std::string>* old_value) {
+  return table_->Put(key, value, old_value);
+}
+
+Status DiskBackend::Erase(Key key, std::optional<std::string>* old_value) {
+  return table_->Erase(key, old_value);
+}
+
+Status DiskBackend::WriteJournal() {
+  // Journal format: magic | count | count * (page_id, page image) | magic.
+  // The trailing magic commits the journal; a torn journal is ignored.
+  std::vector<PageId> dirty;
+  {
+    // The buffer pool does not expose dirty ids directly; conservatively
+    // journal the pre-image of every allocated page that differs... To keep
+    // the journal proportional to the dirty set, we reuse FlushAll's
+    // contract: pages that were written since the last checkpoint are dirty
+    // in the pool. We read their *on-disk* pre-images before FlushAll
+    // overwrites them.
+    dirty = pool_->DirtyPageIds();
+  }
+  if (dirty.empty()) return Status::OK();
+  int fd = ::open(journal_path_.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError("open journal");
+  const uint64_t count = dirty.size();
+  ::pwrite(fd, &kJournalMagic, 8, 0);
+  ::pwrite(fd, &count, 8, 8);
+  off_t off = 16;
+  Page img;
+  for (PageId pid : dirty) {
+    // Pre-image straight from disk, bypassing the pool and the device
+    // latency model (see DiskManager::ReadPageRaw).
+    HARMONY_RETURN_NOT_OK(disk_->ReadPageRaw(pid, &img));
+    uint64_t pid64 = pid;
+    ::pwrite(fd, &pid64, 8, off);
+    ::pwrite(fd, img.data, kPageSize, off + 8);
+    off += 8 + static_cast<off_t>(kPageSize);
+  }
+  // Trailing magic marks the journal complete (modelled flush; see
+  // DiskManager::Sync).
+  ::pwrite(fd, &kJournalMagic, 8, off);
+  ::close(fd);
+  return Status::OK();
+}
+
+Status DiskBackend::RollbackJournalIfNeeded() {
+  int fd = ::open(journal_path_.c_str(), O_RDONLY);
+  if (fd < 0) return Status::OK();  // no journal, nothing to do
+  uint64_t magic = 0, count = 0;
+  if (::pread(fd, &magic, 8, 0) != 8 || magic != kJournalMagic ||
+      ::pread(fd, &count, 8, 8) != 8) {
+    ::close(fd);
+    ::unlink(journal_path_.c_str());
+    return Status::OK();  // torn/empty journal: previous checkpoint completed
+  }
+  const off_t tail = 16 + static_cast<off_t>(count) * (8 + kPageSize);
+  uint64_t trailer = 0;
+  if (::pread(fd, &trailer, 8, tail) != 8 || trailer != kJournalMagic) {
+    ::close(fd);
+    ::unlink(journal_path_.c_str());
+    return Status::OK();  // incomplete journal: checkpoint never started
+  }
+  // Complete journal exists => a checkpoint may have been interrupted after
+  // the journal was committed. Roll pages back to their pre-images.
+  off_t off = 16;
+  Page img;
+  for (uint64_t i = 0; i < count; i++) {
+    uint64_t pid64 = 0;
+    if (::pread(fd, &pid64, 8, off) != 8 ||
+        ::pread(fd, img.data, kPageSize, off + 8) !=
+            static_cast<ssize_t>(kPageSize)) {
+      ::close(fd);
+      return Status::Corruption("journal body truncated");
+    }
+    HARMONY_RETURN_NOT_OK(disk_->WritePage(static_cast<PageId>(pid64), img));
+    off += 8 + static_cast<off_t>(kPageSize);
+  }
+  ::close(fd);
+  HARMONY_RETURN_NOT_OK(disk_->Sync());
+  ::unlink(journal_path_.c_str());
+  return Status::OK();
+}
+
+Status DiskBackend::Checkpoint() {
+  HARMONY_RETURN_NOT_OK(WriteJournal());
+  HARMONY_RETURN_NOT_OK(pool_->FlushAll());
+  HARMONY_RETURN_NOT_OK(disk_->Sync());
+  // Checkpoint durable: retire the journal.
+  ::unlink(journal_path_.c_str());
+  return Status::OK();
+}
+
+Status MemoryBackend::Get(Key key, std::string* out) {
+  Shard& s = ShardFor(key);
+  std::lock_guard<SpinLock> lk(s.mu);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) return Status::NotFound();
+  *out = it->second;
+  return Status::OK();
+}
+
+Status MemoryBackend::Put(Key key, std::string_view value,
+                          std::optional<std::string>* old_value) {
+  Shard& s = ShardFor(key);
+  std::lock_guard<SpinLock> lk(s.mu);
+  auto it = s.map.find(key);
+  if (old_value != nullptr) {
+    if (it != s.map.end()) {
+      old_value->emplace(it->second);
+    } else {
+      old_value->reset();
+    }
+  }
+  if (it != s.map.end()) {
+    it->second.assign(value.data(), value.size());
+  } else {
+    s.map.emplace(key, std::string(value));
+  }
+  return Status::OK();
+}
+
+Status MemoryBackend::Erase(Key key, std::optional<std::string>* old_value) {
+  Shard& s = ShardFor(key);
+  std::lock_guard<SpinLock> lk(s.mu);
+  auto it = s.map.find(key);
+  if (old_value != nullptr) {
+    if (it != s.map.end()) {
+      old_value->emplace(it->second);
+    } else {
+      old_value->reset();
+    }
+  }
+  if (it != s.map.end()) s.map.erase(it);
+  return Status::OK();
+}
+
+size_t MemoryBackend::size() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<SpinLock> lk(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+Status MemoryBackend::ScanAll(
+    const std::function<void(Key, std::string_view)>& fn) {
+  for (auto& s : shards_) {
+    std::lock_guard<SpinLock> lk(s.mu);
+    for (const auto& [k, v] : s.map) fn(k, v);
+  }
+  return Status::OK();
+}
+
+}  // namespace harmony

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/spin_lock.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/kv_table.h"
+
+namespace harmony {
+
+/// Storage engine behind the versioned store. Holds the *latest committed*
+/// value of every key. Two implementations:
+///  - DiskBackend:   buffer pool + heap file (the paper's default,
+///                   disk-oriented database layer);
+///  - MemoryBackend: sharded hash map (the Section 5.8 "memory engine").
+class StateBackend {
+ public:
+  virtual ~StateBackend() = default;
+
+  /// Latest value; NotFound if absent.
+  virtual Status Get(Key key, std::string* out) = 0;
+
+  /// Writes the latest value; reports the pre-image via old_value
+  /// (unset if the key was absent).
+  virtual Status Put(Key key, std::string_view value,
+                     std::optional<std::string>* old_value) = 0;
+
+  /// Deletes the key; pre-image like Put.
+  virtual Status Erase(Key key, std::optional<std::string>* old_value) = 0;
+
+  /// Durably persists current state (checkpoint). Crash-safe: a crash during
+  /// checkpointing must leave the previous checkpoint recoverable.
+  virtual Status Checkpoint() = 0;
+
+  virtual size_t size() const = 0;
+
+  virtual Status ScanAll(
+      const std::function<void(Key, std::string_view)>& fn) = 0;
+
+  /// I/O counters; zero for the memory backend.
+  virtual uint64_t page_reads() const { return 0; }
+  virtual uint64_t page_writes() const { return 0; }
+  virtual uint64_t pool_hits() const { return 0; }
+  virtual uint64_t pool_misses() const { return 0; }
+};
+
+/// Disk-oriented backend: data pages on "SSD" behind a DRAM buffer pool.
+/// Checkpoints use a rollback journal (pre-images of dirty pages) so that a
+/// crash mid-checkpoint recovers to the previous checkpoint — mirroring how
+/// HarmonyBC keeps the previous checkpoint reachable through PostgreSQL's
+/// multi-versioned storage.
+class DiskBackend : public StateBackend {
+ public:
+  /// Files created: <dir>/<name>.tbl and <dir>/<name>.journal.
+  DiskBackend(const std::string& dir, const std::string& name, DiskModel model,
+              size_t pool_pages);
+
+  /// Runs journal rollback if a previous checkpoint was interrupted, then
+  /// rebuilds the index. Must be called before use.
+  Status Open();
+
+  Status Get(Key key, std::string* out) override;
+  Status Put(Key key, std::string_view value,
+             std::optional<std::string>* old_value) override;
+  Status Erase(Key key, std::optional<std::string>* old_value) override;
+  Status Checkpoint() override;
+  size_t size() const override { return table_->size(); }
+  Status ScanAll(const std::function<void(Key, std::string_view)>& fn) override {
+    return table_->ScanAll(fn);
+  }
+
+  uint64_t page_reads() const override { return disk_->stats().page_reads; }
+  uint64_t page_writes() const override { return disk_->stats().page_writes; }
+  uint64_t pool_hits() const override { return pool_->stats().hits; }
+  uint64_t pool_misses() const override { return pool_->stats().misses; }
+
+  BufferPool* pool() { return pool_.get(); }
+  DiskManager* disk() { return disk_.get(); }
+
+ private:
+  Status RollbackJournalIfNeeded();
+  Status WriteJournal();
+
+  std::string journal_path_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<KvTable> table_;
+};
+
+/// Main-memory backend (Section 5.8): no pages, no buffer pool; checkpoints
+/// are a no-op (memory blockchains group-commit their logical log instead,
+/// which the chain layer already persists).
+class MemoryBackend : public StateBackend {
+ public:
+  MemoryBackend() = default;
+
+  Status Get(Key key, std::string* out) override;
+  Status Put(Key key, std::string_view value,
+             std::optional<std::string>* old_value) override;
+  Status Erase(Key key, std::optional<std::string>* old_value) override;
+  Status Checkpoint() override { return Status::OK(); }
+  size_t size() const override;
+  Status ScanAll(const std::function<void(Key, std::string_view)>& fn) override;
+
+ private:
+  static constexpr size_t kShards = 64;
+  struct Shard {
+    mutable SpinLock mu;
+    std::unordered_map<Key, std::string> map;
+  };
+  Shard& ShardFor(Key k) { return shards_[Mix64(k) % kShards]; }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/update_command.h"
+#include "txn/value.h"
+
+namespace harmony {
+
+/// Reads a key at the executing snapshot. Supplied by the protocol engine
+/// (block snapshot for ODCC simulation, latest state for SOV endorsement).
+using SnapshotReader =
+    std::function<Status(Key, std::optional<Value>*)>;
+
+/// Per-transaction execution context: the interface stored procedures use.
+///
+/// The simulation step runs the procedure against a deterministic snapshot;
+/// reads are recorded in the read set and updates are recorded as *commands*
+/// in the write set (never applied during simulation). Reading a key this
+/// transaction already updated evaluates the pending command over the
+/// snapshot value (read-own-write, corner case (1) of Section 3.3.2).
+class TxnContext {
+ public:
+  TxnContext(TxnId tid, BlockId block, SnapshotReader reader)
+      : tid_(tid), block_(block), reader_(std::move(reader)) {}
+
+  TxnId tid() const { return tid_; }
+  BlockId block() const { return block_; }
+
+  /// Point read. *out unset if the key does not exist.
+  Status Get(Key key, std::optional<Value>* out) {
+    std::optional<Value> snap;
+    HARMONY_RETURN_NOT_OK(ReadSnapshot(key, &snap));
+    auto it = write_index_.find(key);
+    if (it != write_index_.end()) {
+      // Evaluate own pending command over the snapshot value.
+      writes_[it->second].second.Apply(&snap);
+    }
+    *out = std::move(snap);
+    return Status::OK();
+  }
+
+  /// Read that fails if the key is absent (common case in the workloads).
+  Status GetExisting(Key key, Value* out) {
+    std::optional<Value> v;
+    HARMONY_RETURN_NOT_OK(Get(key, &v));
+    if (!v.has_value()) return Status::NotFound();
+    *out = std::move(*v);
+    return Status::OK();
+  }
+
+  /// Blind full-record write (insert or overwrite).
+  void Put(Key key, Value v) { AddCommand(key, UpdateCommand::Put(std::move(v))); }
+
+  /// Delete.
+  void Erase(Key key) { AddCommand(key, UpdateCommand::Erase()); }
+
+  /// Field-level update commands — the reorderable/coalescable path.
+  void AddField(Key key, uint32_t field, int64_t delta) {
+    AddCommand(key, UpdateCommand::Ops({FieldOp::Add(field, delta)}));
+  }
+  void MulField(Key key, uint32_t field, int64_t factor) {
+    AddCommand(key, UpdateCommand::Ops({FieldOp::Mul(field, factor)}));
+  }
+  void SetField(Key key, uint32_t field, int64_t v) {
+    AddCommand(key, UpdateCommand::Ops({FieldOp::Set(field, v)}));
+  }
+  void ApplyOps(Key key, std::vector<FieldOp> ops) {
+    AddCommand(key, UpdateCommand::Ops(std::move(ops)));
+  }
+
+  /// Opaque read-modify-write command (chains at commit; never merges).
+  void Rmw(Key key, std::function<Value(const Value&)> fn) {
+    AddCommand(key, UpdateCommand::Rmw(std::move(fn)));
+  }
+
+  /// Registers a read on a virtual "scan token" key guarding a predicate
+  /// range; inserters into the range write the same token, which makes
+  /// phantoms visible as ordinary rw-dependencies (Section 3.2).
+  Status ScanToken(Key token_key) {
+    std::optional<Value> ignored;
+    return ReadSnapshot(token_key, &ignored);
+  }
+
+  const std::vector<Key>& read_set() const { return reads_; }
+  const std::vector<std::pair<Key, UpdateCommand>>& write_set() const {
+    return writes_;
+  }
+  std::vector<std::pair<Key, UpdateCommand>>& mutable_write_set() {
+    return writes_;
+  }
+
+ private:
+  Status ReadSnapshot(Key key, std::optional<Value>* out) {
+    if (read_dedup_.insert(key).second) reads_.push_back(key);
+    return reader_(key, out);
+  }
+
+  void AddCommand(Key key, UpdateCommand cmd) {
+    auto it = write_index_.find(key);
+    if (it != write_index_.end()) {
+      // Corner case (2): several updates to one key coalesce immediately so
+      // the per-key command list holds at most one command per transaction.
+      writes_[it->second].second.Coalesce(cmd);
+      return;
+    }
+    write_index_[key] = writes_.size();
+    writes_.emplace_back(key, std::move(cmd));
+  }
+
+  TxnId tid_;
+  BlockId block_;
+  SnapshotReader reader_;
+
+  std::vector<Key> reads_;
+  std::unordered_set<Key> read_dedup_;
+  std::vector<std::pair<Key, UpdateCommand>> writes_;
+  std::unordered_map<Key, size_t> write_index_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,203 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "txn/value.h"
+
+namespace harmony {
+
+/// Per-field affine transform x <- a * x + b. Closed under composition, so
+/// chains of set / add / mul commands on a field coalesce into a single
+/// application:
+///   set(v)  == (a=0, b=v)
+///   add(d)  == (a=1, b=d)
+///   mul(m)  == (a=m, b=0)
+struct FieldOp {
+  uint32_t field = 0;
+  int64_t a = 1;
+  int64_t b = 0;
+
+  static FieldOp Set(uint32_t f, int64_t v) { return {f, 0, v}; }
+  static FieldOp Add(uint32_t f, int64_t d) { return {f, 1, d}; }
+  static FieldOp Mul(uint32_t f, int64_t m) { return {f, m, 0}; }
+
+  int64_t Apply(int64_t x) const { return a * x + b; }
+
+  /// Composition: result applies `first` then `second` (second ∘ first).
+  static FieldOp Compose(const FieldOp& first, const FieldOp& second) {
+    return {first.field, second.a * first.a, second.a * first.b + second.b};
+  }
+
+  bool is_read_modify_write() const { return a != 0; }
+};
+
+/// An update *command* — the unit Harmony stores in write-sets instead of
+/// computed values (Section 3.3). Commands are evaluated in the commit step
+/// after update reordering; consecutive commands on the same record coalesce.
+class UpdateCommand {
+ public:
+  enum class Kind : uint8_t {
+    kNone,      ///< identity (empty composition seed)
+    kPut,       ///< blind write of a full value (also used for inserts)
+    kErase,     ///< delete
+    kFieldOps,  ///< per-field affine updates (read-modify-write at commit)
+    kRmw,       ///< opaque read-modify-write function (chains, never merges)
+  };
+
+  UpdateCommand() : kind_(Kind::kNone) {}
+
+  static UpdateCommand Put(Value v) {
+    UpdateCommand c;
+    c.kind_ = Kind::kPut;
+    c.value_ = std::move(v);
+    return c;
+  }
+  static UpdateCommand Erase() {
+    UpdateCommand c;
+    c.kind_ = Kind::kErase;
+    return c;
+  }
+  static UpdateCommand Ops(std::vector<FieldOp> ops) {
+    UpdateCommand c;
+    c.kind_ = Kind::kFieldOps;
+    // Canonicalize: at most one (composed) op per field, so later merges
+    // can compose per-field without caring about intra-command order.
+    c.MergeOps(ops);
+    return c;
+  }
+  static UpdateCommand Rmw(std::function<Value(const Value&)> fn) {
+    UpdateCommand c;
+    c.kind_ = Kind::kRmw;
+    c.rmw_chain_.push_back(std::move(fn));
+    return c;
+  }
+
+  Kind kind() const { return kind_; }
+  bool empty() const { return kind_ == Kind::kNone; }
+
+  /// True when evaluating this command reads the record's prior state, which
+  /// induces a wr-dependency on whoever is ordered before it (Section 3.3.1).
+  bool reads_prior_state() const {
+    if (kind_ == Kind::kRmw) return true;
+    if (kind_ != Kind::kFieldOps) return false;
+    return std::any_of(ops_.begin(), ops_.end(),
+                       [](const FieldOp& o) { return o.is_read_modify_write(); });
+  }
+
+  /// Applies to a record slot (nullopt = key currently absent).
+  /// FieldOps / Rmw on an absent key are deterministic no-ops.
+  void Apply(std::optional<Value>* slot) const {
+    switch (kind_) {
+      case Kind::kNone:
+        break;
+      case Kind::kPut:
+        *slot = value_;
+        break;
+      case Kind::kErase:
+        slot->reset();
+        break;
+      case Kind::kFieldOps:
+        if (slot->has_value()) {
+          for (const FieldOp& op : ops_) {
+            (*slot)->set_field(op.field, op.Apply((*slot)->field(op.field)));
+          }
+        }
+        break;
+      case Kind::kRmw:
+        if (slot->has_value()) {
+          for (const auto& fn : rmw_chain_) **slot = fn(**slot);
+        }
+        break;
+    }
+  }
+
+  /// Update coalescence (Section 3.3.2): merges `next` (ordered after this
+  /// command) into this command, preserving semantics.
+  void Coalesce(const UpdateCommand& next) {
+    switch (next.kind_) {
+      case Kind::kNone:
+        return;
+      case Kind::kPut:
+      case Kind::kErase:
+        *this = next;  // blind write / delete absorbs all prior commands
+        return;
+      case Kind::kFieldOps:
+        if (kind_ == Kind::kNone) {
+          *this = next;
+          return;
+        }
+        if (kind_ == Kind::kPut) {
+          // Evaluate the ops against the known value now.
+          std::optional<Value> v = value_;
+          next.Apply(&v);
+          value_ = std::move(*v);
+          return;
+        }
+        if (kind_ == Kind::kErase) return;  // ops on absent key: no-op
+        if (kind_ == Kind::kFieldOps) {
+          MergeOps(next.ops_);
+          return;
+        }
+        // kRmw: append as a function step.
+        rmw_chain_.push_back([ops = next.ops_](const Value& in) {
+          std::optional<Value> v = in;
+          UpdateCommand::Ops(ops).Apply(&v);
+          return *v;
+        });
+        return;
+      case Kind::kRmw:
+        if (kind_ == Kind::kNone) {
+          *this = next;
+          return;
+        }
+        if (kind_ == Kind::kPut) {
+          std::optional<Value> v = value_;
+          next.Apply(&v);
+          value_ = std::move(*v);
+          return;
+        }
+        if (kind_ == Kind::kErase) return;
+        if (kind_ == Kind::kFieldOps) {
+          // Convert self to an Rmw chain, then append.
+          auto self_ops = std::move(ops_);
+          ops_.clear();
+          kind_ = Kind::kRmw;
+          rmw_chain_.clear();
+          rmw_chain_.push_back([ops = std::move(self_ops)](const Value& in) {
+            std::optional<Value> v = in;
+            UpdateCommand::Ops(ops).Apply(&v);
+            return *v;
+          });
+        }
+        for (const auto& fn : next.rmw_chain_) rmw_chain_.push_back(fn);
+        return;
+    }
+  }
+
+  const Value& put_value() const { return value_; }
+  const std::vector<FieldOp>& ops() const { return ops_; }
+
+ private:
+  void MergeOps(const std::vector<FieldOp>& next_ops) {
+    for (const FieldOp& n : next_ops) {
+      auto it = std::find_if(ops_.begin(), ops_.end(),
+                             [&](const FieldOp& o) { return o.field == n.field; });
+      if (it != ops_.end()) {
+        *it = FieldOp::Compose(*it, n);
+      } else {
+        ops_.push_back(n);
+      }
+    }
+  }
+
+  Kind kind_;
+  Value value_;
+  std::vector<FieldOp> ops_;
+  std::vector<std::function<Value(const Value&)>> rmw_chain_;
+};
+
+}  // namespace harmony

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harmony {
+
+/// A typed record value: a fixed small schema of int64 fields plus an
+/// opaque payload (e.g. TPC-C character filler). Numeric fields are what
+/// update commands (add / mul / set) operate on, which is what makes
+/// Harmony's update reordering and coalescence possible at the command level.
+struct Value {
+  std::vector<int64_t> fields;
+  std::string payload;
+
+  Value() = default;
+  explicit Value(std::vector<int64_t> f, std::string p = "")
+      : fields(std::move(f)), payload(std::move(p)) {}
+
+  static Value OfInt(int64_t v) { return Value({v}); }
+
+  int64_t field(size_t i) const { return i < fields.size() ? fields[i] : 0; }
+  void set_field(size_t i, int64_t v) {
+    if (i >= fields.size()) fields.resize(i + 1, 0);
+    fields[i] = v;
+  }
+
+  bool operator==(const Value& o) const {
+    return fields == o.fields && payload == o.payload;
+  }
+
+  /// Serializes to bytes: u16 field count | fields (LE) | payload.
+  std::string Encode() const {
+    std::string out;
+    out.reserve(2 + fields.size() * 8 + payload.size());
+    const uint16_t n = static_cast<uint16_t>(fields.size());
+    out.append(reinterpret_cast<const char*>(&n), 2);
+    for (int64_t f : fields) {
+      out.append(reinterpret_cast<const char*>(&f), 8);
+    }
+    out.append(payload);
+    return out;
+  }
+
+  static Value Decode(std::string_view bytes) {
+    Value v;
+    if (bytes.size() < 2) return v;
+    uint16_t n;
+    std::memcpy(&n, bytes.data(), 2);
+    size_t off = 2;
+    v.fields.reserve(n);
+    for (uint16_t i = 0; i < n && off + 8 <= bytes.size(); i++, off += 8) {
+      int64_t f;
+      std::memcpy(&f, bytes.data() + off, 8);
+      v.fields.push_back(f);
+    }
+    v.payload.assign(bytes.substr(off));
+    return v;
+  }
+};
+
+}  // namespace harmony

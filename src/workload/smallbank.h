@@ -1,0 +1,59 @@
+#pragma once
+
+#include "workload/workload.h"
+
+namespace harmony {
+
+/// Smallbank [Alomari et al., ICDE'08] with the standard H-Store mix:
+///   Amalgamate 15%, Balance 15%, DepositChecking 15%, SendPayment 25%,
+///   TransactSavings 15%, WriteCheck 15%.
+/// Two tables (savings, checking), one row per customer; account ids drawn
+/// Zipfian. Deposit/payment-style updates are single-statement
+/// read-modify-writes — prime update-command material.
+struct SmallbankConfig {
+  uint64_t num_accounts = 10000;
+  double skew = 0.6;
+  uint64_t seed = 11;
+  int64_t initial_balance = 10000;
+  size_t payload_bytes = 100;  ///< account filler (name, address, ...)
+};
+
+class SmallbankWorkload : public Workload {
+ public:
+  static constexpr uint8_t kSavings = 2;
+  static constexpr uint8_t kChecking = 3;
+
+  static constexpr uint32_t kProcAmalgamate = 10;
+  static constexpr uint32_t kProcBalance = 11;
+  static constexpr uint32_t kProcDepositChecking = 12;
+  static constexpr uint32_t kProcSendPayment = 13;
+  static constexpr uint32_t kProcTransactSavings = 14;
+  static constexpr uint32_t kProcWriteCheck = 15;
+
+  explicit SmallbankWorkload(SmallbankConfig cfg)
+      : cfg_(cfg), rng_(cfg.seed), zipf_(cfg.num_accounts, cfg.skew) {}
+
+  std::string_view name() const override { return "Smallbank"; }
+  Status Setup(Replica& r) override;
+  TxnRequest Next() override;
+
+  size_t avg_txn_bytes() const override { return 48; }
+  size_t avg_rwset_bytes() const override {
+    // read/write entries + the Fabric envelope (certs + endorsements).
+    return 4 * 16 + 2 * (16 + cfg_.payload_bytes) + 2500;
+  }
+
+  /// Total money in the system is invariant under every procedure except
+  /// WriteCheck penalties and deposits; tests use the audited total.
+  const SmallbankConfig& config() const { return cfg_; }
+
+ private:
+  uint64_t PickAccount() { return zipf_.Next(rng_); }
+
+  SmallbankConfig cfg_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace harmony

@@ -1,0 +1,277 @@
+#include "workload/tpcc.h"
+
+#include <algorithm>
+
+#include "txn/txn_context.h"
+
+namespace harmony {
+
+namespace {
+
+using W = TpccWorkload;
+
+/// NewOrder(w, d, c, n_items, (i_id, supply_w, qty)*): allocates the next
+/// order id from the district sequence (the classic per-district hotspot —
+/// a read followed by an increment), checks item prices, adjusts stock, and
+/// inserts the order and its lines.
+Status NewOrder(TxnContext& ctx, const ProcArgs& args) {
+  const int64_t w = args.at(0), d = args.at(1), c = args.at(2);
+  const int64_t n_items = args.at(3);
+
+  Value wh, dist, cust;
+  HARMONY_RETURN_NOT_OK(ctx.GetExisting(W::WarehouseKey(w), &wh));
+  HARMONY_RETURN_NOT_OK(ctx.GetExisting(W::DistrictKey(w, d), &dist));
+  HARMONY_RETURN_NOT_OK(ctx.GetExisting(W::CustomerKey(w, d, c), &cust));
+  const int64_t o_id = dist.field(2);
+  ctx.AddField(W::DistrictKey(w, d), 2, 1);  // next_o_id++
+
+  const int64_t w_tax = wh.field(1), d_tax = dist.field(1);
+  const int64_t discount = cust.field(5);
+  int64_t total = 0;
+
+  for (int64_t l = 0; l < n_items; l++) {
+    const int64_t i_id = args.at(4 + l * 3);
+    const int64_t supply_w = args.at(5 + l * 3);
+    const int64_t qty = args.at(6 + l * 3);
+
+    Value item;
+    Status s = ctx.GetExisting(W::ItemKey(i_id), &item);
+    if (s.IsNotFound()) {
+      // TPC-C mandated 1% rollback: unused item number.
+      return Status::Aborted("invalid item");
+    }
+    HARMONY_RETURN_NOT_OK(s);
+
+    Value stock;
+    HARMONY_RETURN_NOT_OK(ctx.GetExisting(W::StockKey(supply_w, i_id), &stock));
+    const int64_t s_qty = stock.field(0);
+    // Branch on a run-time read — the pattern static analysis cannot crack.
+    const int64_t new_qty =
+        (s_qty - qty >= 10) ? (s_qty - qty) : (s_qty - qty + 91);
+    ctx.SetField(W::StockKey(supply_w, i_id), 0, new_qty);
+    ctx.AddField(W::StockKey(supply_w, i_id), 1, qty);  // ytd
+    ctx.AddField(W::StockKey(supply_w, i_id), 2, 1);    // order_cnt
+    if (supply_w != w) ctx.AddField(W::StockKey(supply_w, i_id), 3, 1);
+
+    const int64_t amount = qty * item.field(0);
+    total += amount;
+    ctx.Put(W::OrderLineKey(w, d, o_id, l),
+            Value({i_id, supply_w, qty, amount, /*delivery_d=*/0}));
+  }
+
+  total = total * (10000 - discount) * (10000 + w_tax + d_tax) / 100000000;
+  (void)total;
+
+  ctx.Put(W::OrderKey(w, d, o_id),
+          Value({c, /*entry_d=*/static_cast<int64_t>(ctx.tid()),
+                 /*carrier=*/0, n_items}));
+  ctx.SetField(W::CustomerKey(w, d, c), 4, o_id);  // last_o_id
+  return Status::OK();
+}
+
+/// Payment(w, d, c_w, c_d, c, amount, hist_seq): warehouse / district YTD
+/// bumps are single-statement increments — pure add commands, the hotspot
+/// pattern Harmony coalesces.
+Status Payment(TxnContext& ctx, const ProcArgs& args) {
+  const int64_t w = args.at(0), d = args.at(1);
+  const int64_t c_w = args.at(2), c_d = args.at(3), c = args.at(4);
+  const int64_t amount = args.at(5);
+  const uint64_t hist_seq = static_cast<uint64_t>(args.at(6));
+
+  ctx.AddField(W::WarehouseKey(w), 0, amount);      // w_ytd
+  ctx.AddField(W::DistrictKey(w, d), 0, amount);    // d_ytd
+
+  Value cust;
+  HARMONY_RETURN_NOT_OK(ctx.GetExisting(W::CustomerKey(c_w, c_d, c), &cust));
+  ctx.AddField(W::CustomerKey(c_w, c_d, c), 0, -amount);  // balance
+  ctx.AddField(W::CustomerKey(c_w, c_d, c), 1, amount);   // ytd_payment
+  ctx.AddField(W::CustomerKey(c_w, c_d, c), 2, 1);        // payment_cnt
+
+  ctx.Put(W::HistoryKey(w, d, hist_seq), Value({amount, c_w, c_d, c}));
+  return Status::OK();
+}
+
+/// OrderStatus(w, d, c): read-only — customer, their latest order, its lines.
+Status OrderStatus(TxnContext& ctx, const ProcArgs& args) {
+  const int64_t w = args.at(0), d = args.at(1), c = args.at(2);
+  Value cust;
+  HARMONY_RETURN_NOT_OK(ctx.GetExisting(W::CustomerKey(w, d, c), &cust));
+  const int64_t o_id = cust.field(4);
+  if (o_id == 0) return Status::OK();  // customer has no orders yet
+  Value order;
+  Status s = ctx.GetExisting(W::OrderKey(w, d, o_id), &order);
+  if (s.IsNotFound()) return Status::OK();
+  HARMONY_RETURN_NOT_OK(s);
+  for (int64_t l = 0; l < order.field(3); l++) {
+    Value line;
+    s = ctx.GetExisting(W::OrderLineKey(w, d, o_id, l), &line);
+    if (!s.ok() && !s.IsNotFound()) return s;
+  }
+  return Status::OK();
+}
+
+/// Delivery(w, carrier): for every district, pop the oldest undelivered
+/// order through the district's delivery cursor, stamp the carrier, credit
+/// the customer with the order total.
+Status Delivery(TxnContext& ctx, const ProcArgs& args) {
+  const int64_t w = args.at(0), carrier = args.at(1);
+  const int64_t districts = args.at(2);
+  for (int64_t d = 1; d <= districts; d++) {
+    Value dist;
+    HARMONY_RETURN_NOT_OK(ctx.GetExisting(W::DistrictKey(w, d), &dist));
+    const int64_t next_deliv = dist.field(3);
+    if (next_deliv >= dist.field(2)) continue;  // nothing undelivered
+
+    Value order;
+    Status s = ctx.GetExisting(W::OrderKey(w, d, next_deliv), &order);
+    if (s.IsNotFound()) {
+      // Order allocated by a concurrent NewOrder that has not committed in
+      // an earlier block yet; skip this district deterministically.
+      continue;
+    }
+    HARMONY_RETURN_NOT_OK(s);
+
+    int64_t total = 0;
+    for (int64_t l = 0; l < order.field(3); l++) {
+      Value line;
+      s = ctx.GetExisting(W::OrderLineKey(w, d, next_deliv, l), &line);
+      if (s.ok()) {
+        total += line.field(3);
+        ctx.SetField(W::OrderLineKey(w, d, next_deliv, l), 4, ctx.tid());
+      } else if (!s.IsNotFound()) {
+        return s;
+      }
+    }
+    ctx.SetField(W::OrderKey(w, d, next_deliv), 2, carrier);
+    const int64_t c = order.field(0);
+    ctx.AddField(W::CustomerKey(w, d, c), 0, total);  // balance
+    ctx.AddField(W::CustomerKey(w, d, c), 3, 1);      // delivery_cnt
+    ctx.AddField(W::DistrictKey(w, d), 3, 1);         // cursor++
+  }
+  return Status::OK();
+}
+
+/// StockLevel(w, d, threshold): read-only — count recent order lines whose
+/// stock quantity sits below the threshold.
+Status StockLevel(TxnContext& ctx, const ProcArgs& args) {
+  const int64_t w = args.at(0), d = args.at(1), threshold = args.at(2);
+  Value dist;
+  HARMONY_RETURN_NOT_OK(ctx.GetExisting(W::DistrictKey(w, d), &dist));
+  const int64_t next_o = dist.field(2);
+  const int64_t from = std::max<int64_t>(1, next_o - 20);
+  int64_t low = 0;
+  for (int64_t o = from; o < next_o; o++) {
+    Value order;
+    Status s = ctx.GetExisting(W::OrderKey(w, d, o), &order);
+    if (s.IsNotFound()) continue;
+    HARMONY_RETURN_NOT_OK(s);
+    for (int64_t l = 0; l < order.field(3); l++) {
+      Value line;
+      s = ctx.GetExisting(W::OrderLineKey(w, d, o, l), &line);
+      if (s.IsNotFound()) continue;
+      HARMONY_RETURN_NOT_OK(s);
+      Value stock;
+      s = ctx.GetExisting(W::StockKey(w, line.field(0)), &stock);
+      if (s.IsNotFound()) continue;
+      HARMONY_RETURN_NOT_OK(s);
+      if (stock.field(0) < threshold) low++;
+    }
+  }
+  (void)low;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status TpccWorkload::Setup(Replica& r) {
+  r.RegisterProcedure(kProcNewOrder, "new_order", NewOrder);
+  r.RegisterProcedure(kProcPayment, "payment", Payment);
+  r.RegisterProcedure(kProcOrderStatus, "order_status", OrderStatus);
+  r.RegisterProcedure(kProcDelivery, "delivery", Delivery);
+  r.RegisterProcedure(kProcStockLevel, "stock_level", StockLevel);
+
+  Rng load_rng(cfg_.seed);
+  for (uint32_t i = 1; i <= cfg_.items; i++) {
+    HARMONY_RETURN_NOT_OK(r.LoadRow(
+        ItemKey(i), Value({load_rng.UniformRange(100, 10000)}, "item")));
+  }
+  for (uint32_t w = 1; w <= cfg_.warehouses; w++) {
+    HARMONY_RETURN_NOT_OK(r.LoadRow(
+        WarehouseKey(w), Value({0, load_rng.UniformRange(0, 2000)}, "wh")));
+    for (uint32_t i = 1; i <= cfg_.items; i++) {
+      HARMONY_RETURN_NOT_OK(r.LoadRow(
+          StockKey(w, i),
+          Value({load_rng.UniformRange(10, 100), 0, 0, 0})));
+    }
+    for (uint32_t d = 1; d <= cfg_.districts_per_wh; d++) {
+      HARMONY_RETURN_NOT_OK(r.LoadRow(
+          DistrictKey(w, d),
+          Value({0, load_rng.UniformRange(0, 2000), 1, 1})));
+      for (uint32_t c = 1; c <= cfg_.customers_per_district; c++) {
+        HARMONY_RETURN_NOT_OK(r.LoadRow(
+            CustomerKey(w, d, c),
+            Value({/*balance=*/-1000, 0, 0, 0, 0,
+                   load_rng.UniformRange(0, 5000)},
+                  "cust")));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+TxnRequest TpccWorkload::Next() {
+  TxnRequest req;
+  req.client_seq = ++seq_;
+  const int64_t w = rng_.UniformRange(1, cfg_.warehouses);
+  const int64_t d = rng_.UniformRange(1, cfg_.districts_per_wh);
+  const int64_t c = rng_.UniformRange(1, cfg_.customers_per_district);
+  const uint64_t dice = rng_.Uniform(100);
+  if (dice < 45) {
+    req.proc_id = kProcNewOrder;
+    const int64_t n_items = rng_.UniformRange(5, 15);
+    req.args.ints = {w, d, c, n_items};
+    const bool rollback = rng_.Chance(cfg_.rollback_rate);
+    for (int64_t l = 0; l < n_items; l++) {
+      int64_t i_id = rng_.UniformRange(1, cfg_.items);
+      if (rollback && l == n_items - 1) {
+        i_id = cfg_.items + 1;  // unused item -> deterministic rollback
+      }
+      // 1% remote warehouse per line (when more than one warehouse exists).
+      int64_t supply_w = w;
+      if (cfg_.warehouses > 1 && rng_.Chance(0.01)) {
+        supply_w = rng_.UniformRange(1, cfg_.warehouses);
+      }
+      req.args.ints.push_back(i_id);
+      req.args.ints.push_back(supply_w);
+      req.args.ints.push_back(rng_.UniformRange(1, 10));
+    }
+  } else if (dice < 88) {
+    req.proc_id = kProcPayment;
+    // 15% remote customer.
+    int64_t c_w = w, c_d = d;
+    if (cfg_.warehouses > 1 && rng_.Chance(0.15)) {
+      c_w = rng_.UniformRange(1, cfg_.warehouses);
+      c_d = rng_.UniformRange(1, cfg_.districts_per_wh);
+    }
+    req.args.ints = {w,
+                     d,
+                     c_w,
+                     c_d,
+                     c,
+                     rng_.UniformRange(100, 500000),
+                     static_cast<int64_t>(seq_)};
+  } else if (dice < 92) {
+    req.proc_id = kProcOrderStatus;
+    req.args.ints = {w, d, c};
+  } else if (dice < 96) {
+    req.proc_id = kProcDelivery;
+    req.args.ints = {w, rng_.UniformRange(1, 10),
+                     static_cast<int64_t>(cfg_.districts_per_wh)};
+  } else {
+    req.proc_id = kProcStockLevel;
+    req.args.ints = {w, d, rng_.UniformRange(10, 20)};
+  }
+  return req;
+}
+
+}  // namespace harmony

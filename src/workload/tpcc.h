@@ -1,0 +1,126 @@
+#pragma once
+
+#include "workload/workload.h"
+
+namespace harmony {
+
+/// TPC-C over the relational-on-KV schema. All nine tables that the five
+/// transaction profiles touch are materialized (warehouse, district,
+/// customer, item, stock, order, order-line, history; new-order is
+/// represented by per-district delivery cursors, see below). The standard
+/// mix runs NewOrder 45%, Payment 43%, OrderStatus 4%, Delivery 4%,
+/// StockLevel 4%; contention is controlled by the warehouse count
+/// (1 warehouse = the paper's high-contention point).
+///
+/// Scaling: cardinalities default below TPC-C spec sizes (items 1000 vs
+/// 100K, customers 300/district vs 3000) to keep the simulated-disk
+/// benchmarks laptop-sized; the contention structure — per-district
+/// next_o_id sequences, warehouse/district YTD hotspots — is unchanged.
+/// The new-order table is replaced by (next_o_id, next_delivery_o_id)
+/// cursors in the district row: Delivery pops the oldest undelivered order
+/// through the cursor exactly as a min-scan would, without a range index.
+/// Payment-by-last-name resolves the customer id in the (deterministic)
+/// generator instead of a secondary index scan.
+struct TpccConfig {
+  uint32_t warehouses = 20;
+  uint32_t districts_per_wh = 10;
+  uint32_t customers_per_district = 300;
+  uint32_t items = 1000;
+  uint64_t seed = 13;
+  double rollback_rate = 0.01;  ///< NewOrder deliberate rollbacks (TPC-C 1%)
+};
+
+class TpccWorkload : public Workload {
+ public:
+  // Table ids.
+  static constexpr uint8_t kWarehouse = 10;
+  static constexpr uint8_t kDistrict = 11;
+  static constexpr uint8_t kCustomer = 12;
+  static constexpr uint8_t kItem = 13;
+  static constexpr uint8_t kStock = 14;
+  static constexpr uint8_t kOrder = 15;
+  static constexpr uint8_t kOrderLine = 16;
+  static constexpr uint8_t kHistory = 17;
+
+  // Procedure ids.
+  static constexpr uint32_t kProcNewOrder = 20;
+  static constexpr uint32_t kProcPayment = 21;
+  static constexpr uint32_t kProcOrderStatus = 22;
+  static constexpr uint32_t kProcDelivery = 23;
+  static constexpr uint32_t kProcStockLevel = 24;
+
+  // Key codec (row encodings within the 56-bit row space).
+  static Key WarehouseKey(int64_t w) {
+    return MakeKey(kWarehouse, static_cast<uint64_t>(w));
+  }
+  static Key DistrictKey(int64_t w, int64_t d) {
+    return MakeKey(kDistrict, (static_cast<uint64_t>(w) << 8) |
+                                  static_cast<uint64_t>(d));
+  }
+  static Key CustomerKey(int64_t w, int64_t d, int64_t c) {
+    return MakeKey(kCustomer,
+                   (((static_cast<uint64_t>(w) << 8) |
+                     static_cast<uint64_t>(d))
+                    << 20) |
+                       static_cast<uint64_t>(c));
+  }
+  static Key ItemKey(int64_t i) {
+    return MakeKey(kItem, static_cast<uint64_t>(i));
+  }
+  static Key StockKey(int64_t w, int64_t i) {
+    return MakeKey(kStock, (static_cast<uint64_t>(w) << 20) |
+                               static_cast<uint64_t>(i));
+  }
+  static Key OrderKey(int64_t w, int64_t d, int64_t o) {
+    return MakeKey(kOrder,
+                   (((static_cast<uint64_t>(w) << 8) |
+                     static_cast<uint64_t>(d))
+                    << 24) |
+                       static_cast<uint64_t>(o));
+  }
+  static Key OrderLineKey(int64_t w, int64_t d, int64_t o, int64_t ol) {
+    return MakeKey(kOrderLine,
+                   ((((static_cast<uint64_t>(w) << 8) |
+                      static_cast<uint64_t>(d))
+                     << 24) |
+                    static_cast<uint64_t>(o))
+                           << 4 |
+                       static_cast<uint64_t>(ol));
+  }
+  static Key HistoryKey(int64_t w, int64_t d, uint64_t seq) {
+    return MakeKey(kHistory, (((static_cast<uint64_t>(w) << 8) |
+                               static_cast<uint64_t>(d))
+                              << 32) |
+                                 seq);
+  }
+
+  // Field indices.
+  // warehouse: 0=ytd, 1=tax
+  // district:  0=ytd, 1=tax, 2=next_o_id, 3=next_delivery_o_id
+  // customer:  0=balance, 1=ytd_payment, 2=payment_cnt, 3=delivery_cnt,
+  //            4=last_o_id, 5=discount
+  // item:      0=price
+  // stock:     0=quantity, 1=ytd, 2=order_cnt, 3=remote_cnt
+  // order:     0=c_id, 1=entry_d, 2=carrier_id, 3=ol_cnt
+  // orderline: 0=i_id, 1=supply_w, 2=qty, 3=amount, 4=delivery_d
+
+  explicit TpccWorkload(TpccConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+  std::string_view name() const override { return "TPC-C"; }
+  Status Setup(Replica& r) override;
+  TxnRequest Next() override;
+
+  size_t avg_txn_bytes() const override { return 40 + 10 * 24; }
+  size_t avg_rwset_bytes() const override {
+    return 24 * 16 + 12 * 24 + 2500;  // entries + Fabric envelope
+  }
+
+  const TpccConfig& config() const { return cfg_; }
+
+ private:
+  TpccConfig cfg_;
+  Rng rng_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace harmony

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string_view>
+
+#include "common/rng.h"
+#include "replica/replica.h"
+
+namespace harmony {
+
+/// A benchmark workload: procedure registration + genesis data + a
+/// deterministic transaction generator. Setup must be deterministic — every
+/// replica of a chain loads the identical genesis state.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Registers stored procedures and loads genesis rows into the replica.
+  virtual Status Setup(Replica& r) = 0;
+
+  /// Produces the next transaction request (unbounded stream).
+  virtual TxnRequest Next() = 0;
+
+  /// Average encoded request size (consensus block sizing).
+  virtual size_t avg_txn_bytes() const = 0;
+
+  /// Average signed read-write-set size (SOV network modelling).
+  virtual size_t avg_rwset_bytes() const = 0;
+};
+
+}  // namespace harmony

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "workload/workload.h"
+
+namespace harmony {
+
+/// YCSB as configured in Section 5: 10K keys, 10 operations per transaction,
+/// each operation a SELECT or an UPDATE with equal probability, keys drawn
+/// from a Zipfian distribution with configurable skew.
+///
+/// The hotspot variant (Figure 14) marks 1% of records as hotspots; each
+/// operation targets a hotspot with probability `hotspot_prob`, and a
+/// SELECT+UPDATE pair on the same record is rewritten into a single
+/// read-modify-write UPDATE statement (an add command) — the rewrite that
+/// unlocks Harmony's update reordering/coalescence.
+struct YcsbConfig {
+  uint64_t num_keys = 10000;
+  size_t ops_per_txn = 10;
+  double skew = 0.6;           ///< Zipfian theta
+  size_t payload_bytes = 64;   ///< record filler
+  uint64_t seed = 7;
+
+  // Hotspot variant.
+  double hotspot_prob = 0.0;   ///< probability an op hits a hotspot record
+  double hotspot_ratio = 0.01; ///< fraction of records that are hotspots
+};
+
+class YcsbWorkload : public Workload {
+ public:
+  static constexpr uint32_t kProcTxn = 1;
+  static constexpr uint8_t kTable = 1;
+
+  explicit YcsbWorkload(YcsbConfig cfg)
+      : cfg_(cfg), rng_(cfg.seed), zipf_(cfg.num_keys, cfg.skew) {}
+
+  std::string_view name() const override { return "YCSB"; }
+  Status Setup(Replica& r) override;
+  TxnRequest Next() override;
+
+  size_t avg_txn_bytes() const override {
+    return 32 + cfg_.ops_per_txn * 24;
+  }
+  size_t avg_rwset_bytes() const override {
+    // keys+versions for reads, keys+values for writes, plus the Fabric
+    // transaction envelope (x509 certificate chains and endorsement
+    // signatures dominate real Fabric messages at ~2.5 KiB).
+    return cfg_.ops_per_txn / 2 * 16 +
+           cfg_.ops_per_txn / 2 * (8 + cfg_.payload_bytes) + 2500;
+  }
+
+ private:
+  YcsbConfig cfg_;
+  Rng rng_;
+  ZipfianGenerator zipf_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace harmony

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "consensus/network_model.h"
+#include "consensus/orderer.h"
+#include "tests/test_util.h"
+
+namespace harmony {
+namespace {
+
+TEST(NetworkModel, LanAndWanLatencies) {
+  NetworkModel lan;
+  lan.nodes = 8;
+  EXPECT_EQ(lan.OneWayUs(0, 0), 0u);
+  EXPECT_EQ(lan.OneWayUs(0, 5), lan.lan_one_way_us);
+
+  NetworkModel wan;
+  wan.wan = true;
+  wan.nodes = 80;
+  // Nodes 0 and 1 share a region; node 0 and node 79 are on different
+  // continents.
+  EXPECT_EQ(wan.OneWayUs(0, 1), wan.lan_one_way_us);
+  EXPECT_GT(wan.OneWayUs(0, 79), 10000u);
+}
+
+TEST(NetworkModel, TransferTimeScalesWithBytes) {
+  NetworkModel net;
+  net.bandwidth_gbps = 1.0;
+  EXPECT_EQ(net.TransferUs(0), 0u);
+  // 1 Gbps = 125 bytes/us: 125 KB ~ 1000 us.
+  EXPECT_NEAR(static_cast<double>(net.TransferUs(125000)), 1000.0, 2.0);
+  net.bandwidth_gbps = 5.0;
+  EXPECT_NEAR(static_cast<double>(net.TransferUs(125000)), 200.0, 2.0);
+}
+
+TEST(NetworkModel, QuorumLatencyPicksKthSmallest) {
+  NetworkModel wan;
+  wan.wan = true;
+  wan.nodes = 80;
+  // A small quorum is satisfiable within the leader's region (cheap);
+  // a 2f+1 quorum of 80 must cross continents (expensive).
+  EXPECT_EQ(wan.QuorumOneWayUs(0, 5), wan.lan_one_way_us);
+  EXPECT_GT(wan.QuorumOneWayUs(0, 53), 10000u);
+}
+
+TEST(KafkaOrderer, ProfileLatencyAndCap) {
+  NetworkModel net;
+  net.nodes = 4;
+  KafkaOrderer ord("s", net);
+  const ConsensusProfile p = ord.Profile(25, 100);
+  EXPECT_GT(p.block_latency_us, 0u);
+  EXPECT_GT(p.max_txns_per_sec, 10000.0);  // consensus is not the bottleneck
+}
+
+TEST(HotStuffOrderer, WanLatencyGrowsThroughputHolds) {
+  NetworkModel lan;
+  lan.nodes = 20;
+  lan.bandwidth_gbps = 5.0;
+  NetworkModel wan = lan;
+  wan.wan = true;
+  wan.nodes = 80;
+  HotStuffOrderer h_lan("s", lan);
+  HotStuffOrderer h_wan("s", wan);
+  const ConsensusProfile p_lan = h_lan.Profile(25, 100);
+  const ConsensusProfile p_wan = h_wan.Profile(25, 100);
+  // Section 5.5: latency grows with geo-distribution, throughput ceiling
+  // stays far above the database layer.
+  EXPECT_GT(p_wan.block_latency_us, 10 * p_lan.block_latency_us);
+  EXPECT_GT(p_wan.max_txns_per_sec, 20000.0);
+  EXPECT_GT(p_lan.max_txns_per_sec, 20000.0);
+}
+
+TEST(Orderer, SealAssignsDenseTids) {
+  KafkaOrderer ord("s", NetworkModel{});
+  std::vector<TxnRequest> txns(3);
+  Block b1 = ord.SealBlock(txns, 0);
+  EXPECT_EQ(b1.header.block_id, 1u);
+  EXPECT_EQ(b1.header.first_tid, 1u);
+  std::vector<TxnRequest> txns2(5);
+  Block b2 = ord.SealBlock(txns2, 0);
+  EXPECT_EQ(b2.header.block_id, 2u);
+  EXPECT_EQ(b2.header.first_tid, 4u);
+  // Chain continuity.
+  EXPECT_EQ(b2.header.prev_hash, b1.header.block_hash);
+}
+
+TEST(Orderer, ResumeContinuesChain) {
+  KafkaOrderer a("s", NetworkModel{});
+  std::vector<TxnRequest> txns(2);
+  Block b1 = a.SealBlock(txns, 0);
+  Block b2 = a.SealBlock(txns, 0);
+
+  KafkaOrderer b("s", NetworkModel{});
+  b.ResumeFrom(b2.header.block_id, b2.header.first_tid + 2,
+               b2.header.block_hash);
+  Block b3 = b.SealBlock(txns, 0);
+  EXPECT_EQ(b3.header.block_id, 3u);
+  EXPECT_EQ(b3.header.first_tid, 5u);
+  EXPECT_EQ(b3.header.prev_hash, b2.header.block_hash);
+
+  ChainVerifier v("s");
+  ASSERT_OK(v.Verify(b1));
+  ASSERT_OK(v.Verify(b2));
+  ASSERT_OK(v.Verify(b3));
+}
+
+}  // namespace
+}  // namespace harmony

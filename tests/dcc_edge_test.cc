@@ -1,0 +1,290 @@
+// Edge cases and degenerate inputs for the DCC protocols: empty blocks,
+// all-abort blocks, read-only blocks, phantoms via scan tokens, checkpoint
+// barriers, FastFabric#'s graph cap, and large-block stress.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "dcc/protocol.h"
+#include "storage/state_backend.h"
+#include "storage/versioned_store.h"
+#include "tests/test_util.h"
+#include "txn/txn_context.h"
+
+namespace harmony {
+namespace {
+
+TxnRequest Req(uint32_t proc, std::vector<int64_t> ints) {
+  TxnRequest r;
+  r.proc_id = proc;
+  r.args.ints = std::move(ints);
+  return r;
+}
+
+class EdgeEngine {
+ public:
+  EdgeEngine(DccKind kind, DccConfig cfg, size_t threads = 4) {
+    store_ = std::make_unique<VersionedStore>(&backend_);
+    pool_ = std::make_unique<ThreadPool>(threads);
+    proto_ = MakeProtocol(kind, store_.get(), &procs_, pool_.get(), cfg);
+  }
+
+  ProcedureRegistry* procs() { return &procs_; }
+  VersionedStore* store() { return store_.get(); }
+  MemoryBackend* backend() { return &backend_; }
+
+  BlockResult Execute(std::vector<TxnRequest> txns) {
+    TxnBatch b;
+    b.block_id = ++last_block_;
+    b.first_tid = next_tid_;
+    next_tid_ += txns.size();
+    b.txns = std::move(txns);
+    BlockResult res;
+    EXPECT_OK(proto_->ExecuteBlock(b, &res));
+    return res;
+  }
+
+  int64_t Field0(Key k) {
+    std::string raw;
+    EXPECT_OK(backend_.Get(k, &raw));
+    return Value::Decode(raw).field(0);
+  }
+
+ private:
+  MemoryBackend backend_;
+  std::unique_ptr<VersionedStore> store_;
+  ProcedureRegistry procs_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<DccProtocol> proto_;
+  BlockId last_block_ = 0;
+  TxnId next_tid_ = 1;
+};
+
+void RegisterBasics(ProcedureRegistry* reg) {
+  reg->Register(1, "add", [](TxnContext& ctx, const ProcArgs& a) {
+    ctx.AddField(static_cast<Key>(a.at(0)), 0, a.at(1));
+    return Status::OK();
+  });
+  reg->Register(2, "read", [](TxnContext& ctx, const ProcArgs& a) {
+    std::optional<Value> v;
+    return ctx.Get(static_cast<Key>(a.at(0)), &v);
+  });
+  reg->Register(3, "always_abort", [](TxnContext& ctx, const ProcArgs& a) {
+    ctx.SetField(static_cast<Key>(a.at(0)), 0, 1);  // write then bail
+    return Status::Aborted("business rule");
+  });
+  reg->Register(4, "put", [](TxnContext& ctx, const ProcArgs& a) {
+    ctx.Put(static_cast<Key>(a.at(0)), Value({a.at(1)}));
+    return Status::OK();
+  });
+  reg->Register(5, "erase_then_put", [](TxnContext& ctx, const ProcArgs& a) {
+    ctx.Erase(static_cast<Key>(a.at(0)));
+    ctx.Put(static_cast<Key>(a.at(0)), Value({a.at(1)}));
+    return Status::OK();
+  });
+}
+
+class ProtocolEdgeTest : public ::testing::TestWithParam<DccKind> {};
+
+TEST_P(ProtocolEdgeTest, EmptyBlock) {
+  EdgeEngine e(GetParam(), {});
+  RegisterBasics(e.procs());
+  BlockResult r = e.Execute({});
+  EXPECT_EQ(r.committed, 0u);
+  EXPECT_EQ(r.cc_aborted, 0u);
+  EXPECT_EQ(r.outcomes.size(), 0u);
+}
+
+TEST_P(ProtocolEdgeTest, AllLogicAbortsLeaveStateUntouched) {
+  EdgeEngine e(GetParam(), {});
+  RegisterBasics(e.procs());
+  ASSERT_OK(e.backend()->Put(1, Value({7}).Encode(), nullptr));
+  BlockResult r = e.Execute({Req(3, {1}), Req(3, {1}), Req(3, {1})});
+  EXPECT_EQ(r.logic_aborted, 3u);
+  EXPECT_EQ(r.committed, 0u);
+  EXPECT_EQ(e.Field0(1), 7);  // writes of logic-aborted txns never apply
+}
+
+TEST_P(ProtocolEdgeTest, ReadOnlyBlockNeverAborts) {
+  EdgeEngine e(GetParam(), {});
+  RegisterBasics(e.procs());
+  ASSERT_OK(e.backend()->Put(1, Value({7}).Encode(), nullptr));
+  std::vector<TxnRequest> txns;
+  for (int i = 0; i < 20; i++) txns.push_back(Req(2, {1}));
+  BlockResult r = e.Execute(std::move(txns));
+  EXPECT_EQ(r.committed, 20u);
+  EXPECT_EQ(r.cc_aborted, 0u);
+}
+
+TEST_P(ProtocolEdgeTest, UnknownProcedureIsDeterministicRejection) {
+  EdgeEngine e(GetParam(), {});
+  RegisterBasics(e.procs());
+  BlockResult r = e.Execute({Req(999, {})});
+  EXPECT_EQ(r.logic_aborted, 1u);
+}
+
+TEST_P(ProtocolEdgeTest, EraseThenPutInOneTxn) {
+  EdgeEngine e(GetParam(), {});
+  RegisterBasics(e.procs());
+  ASSERT_OK(e.backend()->Put(5, Value({1}).Encode(), nullptr));
+  BlockResult r = e.Execute({Req(5, {5, 42})});
+  EXPECT_EQ(r.committed, 1u);
+  // Pad blocks so every protocol's snapshot lag has passed.
+  e.Execute({Req(2, {5})});
+  e.Execute({Req(2, {5})});
+  e.Execute({Req(2, {5})});
+  EXPECT_EQ(e.Field0(5), 42);  // erase+put coalesced into the put
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, ProtocolEdgeTest,
+                         ::testing::Values(DccKind::kHarmony, DccKind::kAria,
+                                           DccKind::kRbc, DccKind::kFabric,
+                                           DccKind::kFastFabric),
+                         [](const ::testing::TestParamInfo<DccKind>& info) {
+                           std::string s(DccKindName(info.param));
+                           for (char& c : s) {
+                             if (c == '#') c = 'S';
+                           }
+                           return s;
+                         });
+
+TEST(HarmonyEdge, SoloReadModifyWriteCommits) {
+  // A lone txn reading and writing the same key has no *other* deps:
+  // self-dependencies are excluded by the two-smallest/largest trick.
+  EdgeEngine e(DccKind::kHarmony, {});
+  RegisterBasics(e.procs());
+  e.procs()->Register(10, "rmw", [](TxnContext& ctx, const ProcArgs& a) {
+    Value v;
+    HARMONY_RETURN_NOT_OK(ctx.GetExisting(static_cast<Key>(a.at(0)), &v));
+    ctx.SetField(static_cast<Key>(a.at(0)), 0, v.field(0) * 2);
+    return Status::OK();
+  });
+  ASSERT_OK(e.backend()->Put(1, Value({21}).Encode(), nullptr));
+  BlockResult r = e.Execute({Req(10, {1})});
+  EXPECT_EQ(r.committed, 1u);
+  EXPECT_EQ(e.Field0(1), 42);
+}
+
+TEST(HarmonyEdge, PhantomCaughtByScanToken) {
+  // A scanner reads a range token; an inserter into the range writes it.
+  // The rw-dependency makes the phantom visible: a scan+insert cycle aborts.
+  EdgeEngine e(DccKind::kHarmony, {});
+  constexpr Key kToken = MakeKey(9, 1);
+  e.procs()->Register(20, "scan_then_insert",
+                      [](TxnContext& ctx, const ProcArgs& a) {
+                        HARMONY_RETURN_NOT_OK(ctx.ScanToken(kToken));
+                        ctx.Put(static_cast<Key>(a.at(0)), Value({1}));
+                        ctx.SetField(kToken, 0, 1);  // announce the insert
+                        return Status::OK();
+                      });
+  BlockResult r = e.Execute({Req(20, {100}), Req(20, {101})});
+  // Both scan the token and both write it: rw cycle, one must abort.
+  EXPECT_EQ(r.committed, 1u);
+  EXPECT_EQ(r.cc_aborted, 1u);
+}
+
+TEST(HarmonyEdge, CheckpointBarrierForcesLagOneSnapshot) {
+  DccConfig cfg;
+  cfg.barrier_every = 2;  // checkpoints after blocks 2, 4, 6, ...
+  EdgeEngine e(DccKind::kHarmony, cfg);
+  RegisterBasics(e.procs());
+  e.procs()->Register(21, "expect", [](TxnContext& ctx, const ProcArgs& a) {
+    Value v;
+    HARMONY_RETURN_NOT_OK(ctx.GetExisting(static_cast<Key>(a.at(0)), &v));
+    return v.field(0) == a.at(1) ? Status::OK()
+                                 : Status::Aborted("unexpected value");
+  });
+  ASSERT_OK(e.backend()->Put(1, Value({0}).Encode(), nullptr));
+  e.Execute({Req(1, {1, 5})});   // block 1: 0 -> 5
+  e.Execute({Req(1, {1, 5})});   // block 2: 5 -> 10 (barrier after)
+  // Block 3 follows the barrier: its snapshot is block 2 (lag 1), so it
+  // must see 10 even though the normal lag-2 snapshot (block 1) holds 5.
+  BlockResult r = e.Execute({Req(21, {1, 10})});
+  EXPECT_EQ(r.committed, 1u);
+  EXPECT_EQ(r.logic_aborted, 0u);
+}
+
+TEST(HarmonyEdge, LargeBlockStress) {
+  EdgeEngine e(DccKind::kHarmony, {}, /*threads=*/8);
+  RegisterBasics(e.procs());
+  for (Key k = 0; k < 50; k++) {
+    ASSERT_OK(e.backend()->Put(k, Value({0}).Encode(), nullptr));
+  }
+  Rng rng(6);
+  std::vector<TxnRequest> txns;
+  for (int i = 0; i < 500; i++) {
+    txns.push_back(Req(1, {rng.UniformRange(0, 49), 1}));
+  }
+  BlockResult r = e.Execute(std::move(txns));
+  EXPECT_EQ(r.committed, 500u);  // pure commands: zero aborts at any size
+  int64_t total = 0;
+  for (Key k = 0; k < 50; k++) total += e.Field0(k);
+  EXPECT_EQ(total, 500);
+}
+
+TEST(FastFabricEdge, GraphCapDropsTransactions) {
+  DccConfig cfg;
+  cfg.sov_endorsement_lag = 0;
+  cfg.ff_graph_edge_cap = 3;  // absurdly small: force load shedding
+  EdgeEngine e(DccKind::kFastFabric, cfg);
+  e.procs()->Register(30, "rw_pair", [](TxnContext& ctx, const ProcArgs& a) {
+    Value v;
+    HARMONY_RETURN_NOT_OK(ctx.GetExisting(static_cast<Key>(a.at(0)), &v));
+    ctx.SetField(static_cast<Key>(a.at(1)), 0, v.field(0));
+    return Status::OK();
+  });
+  for (Key k = 0; k < 4; k++) {
+    ASSERT_OK(e.backend()->Put(k, Value({1}).Encode(), nullptr));
+  }
+  // Dense conflicts: everyone reads key0 and writes key0 -> many edges.
+  std::vector<TxnRequest> txns;
+  for (int i = 0; i < 6; i++) txns.push_back(Req(30, {0, 0}));
+  BlockResult r = e.Execute(std::move(txns));
+  EXPECT_GT(r.cc_aborted, 0u);  // the cap shed load
+  EXPECT_GE(r.committed, 1u);
+}
+
+TEST(FabricEdge, BlindWritesCommitWithoutVersionChecks) {
+  DccConfig cfg;
+  cfg.sov_endorsement_lag = 0;
+  EdgeEngine e(DccKind::kFabric, cfg);
+  RegisterBasics(e.procs());
+  ASSERT_OK(e.backend()->Put(1, Value({0}).Encode(), nullptr));
+  // Two blind puts (PutState without GetState): both commit, last wins.
+  BlockResult r = e.Execute({Req(4, {1, 5}), Req(4, {1, 9})});
+  EXPECT_EQ(r.committed, 2u);
+  e.Execute({Req(2, {1})});
+  EXPECT_EQ(e.Field0(1), 9);
+}
+
+TEST(AriaEdge, ConfigReorderingFlagChangesOutcome) {
+  for (bool reorder : {false, true}) {
+    DccConfig cfg;
+    cfg.aria_deterministic_reordering = reorder;
+    EdgeEngine e(DccKind::kAria, cfg);
+    RegisterBasics(e.procs());
+    e.procs()->Register(31, "read_a_write_b",
+                        [](TxnContext& ctx, const ProcArgs& a) {
+                          Value v;
+                          HARMONY_RETURN_NOT_OK(
+                              ctx.GetExisting(static_cast<Key>(a.at(0)), &v));
+                          ctx.SetField(static_cast<Key>(a.at(1)), 0,
+                                       v.field(0));
+                          return Status::OK();
+                        });
+    ASSERT_OK(e.backend()->Put(1, Value({3}).Encode(), nullptr));
+    ASSERT_OK(e.backend()->Put(2, Value({0}).Encode(), nullptr));
+    BlockResult r = e.Execute({
+        Req(4, {1, 50}),   // T1 blind-writes a
+        Req(31, {1, 2}),   // T2 reads a (raw), writes b (no war)
+    });
+    if (reorder) {
+      EXPECT_EQ(r.committed, 2u) << "reorder should save the raw-only txn";
+    } else {
+      EXPECT_EQ(r.committed, 1u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harmony

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "consensus/orderer.h"
+#include "replica/cluster.h"
+#include "replica/replica.h"
+#include "tests/test_util.h"
+#include "workload/smallbank.h"
+#include "workload/ycsb.h"
+
+namespace harmony {
+namespace {
+
+ReplicaOptions FastOptions(const std::string& dir, DccKind dcc) {
+  ReplicaOptions ro;
+  ro.dir = dir;
+  ro.dcc = dcc;
+  ro.disk = DiskModel::RamDisk();
+  ro.threads = 4;
+  ro.pool_pages = 512;
+  ro.checkpoint_every = 5;
+  return ro;
+}
+
+void RegisterCounterProc(Replica& r) {
+  r.RegisterProcedure(1, "incr", [](TxnContext& ctx, const ProcArgs& a) {
+    ctx.AddField(static_cast<Key>(a.at(0)), 0, a.at(1));
+    return Status::OK();
+  });
+}
+
+Block NextBlock(Orderer& ord, std::vector<TxnRequest> txns) {
+  return ord.SealBlock(std::move(txns), 0);
+}
+
+TxnRequest Incr(Key k, int64_t d) {
+  TxnRequest t;
+  t.proc_id = 1;
+  t.args.ints = {static_cast<int64_t>(k), d};
+  return t;
+}
+
+TEST(Replica, EndToEndCommitAndQuery) {
+  TempDir dir("rep1");
+  Replica r(FastOptions(dir.path(), DccKind::kHarmony));
+  ASSERT_OK(r.Open());
+  RegisterCounterProc(r);
+  ASSERT_OK(r.LoadRow(1, Value({100})));
+
+  KafkaOrderer ord("orderer-secret", NetworkModel{});
+  for (int b = 0; b < 12; b++) {
+    ASSERT_OK(r.SubmitBlock(NextBlock(ord, {Incr(1, 1), Incr(1, 2)})));
+  }
+  ASSERT_OK(r.Drain());
+  EXPECT_EQ(r.last_committed(), 12u);
+
+  std::optional<Value> v;
+  ASSERT_OK(r.Query(1, &v));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->field(0), 100 + 12 * 3);
+  ASSERT_OK(r.AuditChain());
+}
+
+TEST(Replica, RejectsTamperedBlock) {
+  TempDir dir("rep2");
+  Replica r(FastOptions(dir.path(), DccKind::kHarmony));
+  ASSERT_OK(r.Open());
+  RegisterCounterProc(r);
+  ASSERT_OK(r.LoadRow(1, Value({0})));
+  KafkaOrderer ord("orderer-secret", NetworkModel{});
+  Block b = NextBlock(ord, {Incr(1, 5)});
+  b.batch.txns[0].args.ints[1] = 5000000;  // tamper
+  EXPECT_TRUE(r.SubmitBlock(std::move(b)).IsCorruption());
+}
+
+TEST(Replica, RecoveryReplaysToIdenticalState) {
+  TempDir dir_a("recov-a");
+  TempDir dir_b("recov-b");
+  // Twin A runs straight through. Twin B "crashes" (destructed without a
+  // final checkpoint) and recovers by replaying its logical log.
+  Digest digest_a, digest_b;
+  KafkaOrderer ord_a("orderer-secret", NetworkModel{});
+  KafkaOrderer ord_b("orderer-secret", NetworkModel{});
+  std::vector<std::vector<TxnRequest>> blocks;
+  Rng rng(5);
+  for (int b = 0; b < 17; b++) {  // 17: not a checkpoint multiple
+    std::vector<TxnRequest> txns;
+    for (int i = 0; i < 6; i++) {
+      txns.push_back(Incr(rng.Uniform(10), rng.UniformRange(1, 9)));
+    }
+    blocks.push_back(std::move(txns));
+  }
+  {
+    Replica a(FastOptions(dir_a.path(), DccKind::kHarmony));
+    ASSERT_OK(a.Open());
+    RegisterCounterProc(a);
+    for (Key k = 0; k < 10; k++) ASSERT_OK(a.LoadRow(k, Value({0})));
+    for (auto& t : blocks) ASSERT_OK(a.SubmitBlock(NextBlock(ord_a, t)));
+    ASSERT_OK(a.Drain());
+    auto d = a.StateDigest();
+    ASSERT_TRUE(d.ok());
+    digest_a = *d;
+  }
+  {
+    Replica b(FastOptions(dir_b.path(), DccKind::kHarmony));
+    ASSERT_OK(b.Open());
+    RegisterCounterProc(b);
+    for (Key k = 0; k < 10; k++) ASSERT_OK(b.LoadRow(k, Value({0})));
+    for (auto& t : blocks) ASSERT_OK(b.SubmitBlock(NextBlock(ord_b, t)));
+    ASSERT_OK(b.Drain());
+    // Crash: destructor drops dirty pages; blocks after the checkpoint at
+    // block 15 are un-checkpointed.
+  }
+  {
+    Replica b(FastOptions(dir_b.path(), DccKind::kHarmony));
+    ASSERT_OK(b.Open());
+    RegisterCounterProc(b);
+    auto tip = b.Recover();
+    ASSERT_TRUE(tip.ok()) << tip.status().ToString();
+    EXPECT_EQ(*tip, 17u);
+    auto d = b.StateDigest();
+    ASSERT_TRUE(d.ok());
+    digest_b = *d;
+  }
+  EXPECT_EQ(DigestToHex(digest_a), DigestToHex(digest_b));
+}
+
+TEST(Replica, RecoveryIsIdempotent) {
+  TempDir dir("recov2");
+  KafkaOrderer ord("orderer-secret", NetworkModel{});
+  {
+    Replica r(FastOptions(dir.path(), DccKind::kHarmony));
+    ASSERT_OK(r.Open());
+    RegisterCounterProc(r);
+    ASSERT_OK(r.LoadRow(1, Value({0})));
+    for (int b = 0; b < 7; b++) {
+      ASSERT_OK(r.SubmitBlock(NextBlock(ord, {Incr(1, 1)})));
+    }
+    ASSERT_OK(r.Drain());
+  }
+  for (int round = 0; round < 2; round++) {
+    Replica r(FastOptions(dir.path(), DccKind::kHarmony));
+    ASSERT_OK(r.Open());
+    RegisterCounterProc(r);
+    auto tip = r.Recover();
+    ASSERT_TRUE(tip.ok());
+    std::optional<Value> v;
+    ASSERT_OK(r.Query(1, &v));
+    EXPECT_EQ(v->field(0), 7);
+    ASSERT_OK(r.Checkpoint());
+  }
+}
+
+class ClusterConsistencyTest : public ::testing::TestWithParam<DccKind> {};
+
+TEST_P(ClusterConsistencyTest, TwoReplicasStayConsistent) {
+  TempDir dir("cluster");
+  ClusterOptions co;
+  co.dir = dir.path();
+  co.replica = FastOptions(dir.path(), GetParam());
+  co.replica.threads = 4;
+  co.live_replicas = 2;
+  co.block_size = 10;
+  Cluster cluster(co);
+
+  SmallbankConfig sb;
+  sb.num_accounts = 200;
+  sb.skew = 0.9;  // contentious: aborts + retries exercised
+  auto workload = std::make_shared<SmallbankWorkload>(sb);
+  ASSERT_OK(cluster.Open([&](Replica& r) { return workload->Setup(r); }));
+
+  size_t remaining = 300;
+  auto report = cluster.Run(
+      [&](TxnRequest* out) {
+        if (remaining == 0) return false;
+        remaining--;
+        *out = workload->Next();
+        return true;
+      },
+      workload->avg_txn_bytes());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->committed, 250u);
+  ASSERT_OK(cluster.VerifyConsistency());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, ClusterConsistencyTest,
+                         ::testing::Values(DccKind::kHarmony, DccKind::kAria,
+                                           DccKind::kRbc, DccKind::kFabric,
+                                           DccKind::kFastFabric),
+                         [](const ::testing::TestParamInfo<DccKind>& info) {
+                           std::string s(DccKindName(info.param));
+                           for (char& c : s) {
+                             if (c == '#') c = 'S';
+                           }
+                           return s;
+                         });
+
+TEST(Cluster, YcsbRunReportsSaneNumbers) {
+  TempDir dir("cluster-y");
+  ClusterOptions co;
+  co.dir = dir.path();
+  co.replica = FastOptions(dir.path(), DccKind::kHarmony);
+  co.live_replicas = 1;
+  co.block_size = 25;
+  Cluster cluster(co);
+
+  YcsbConfig yc;
+  yc.num_keys = 500;
+  yc.skew = 0.6;
+  yc.payload_bytes = 16;
+  auto workload = std::make_shared<YcsbWorkload>(yc);
+  ASSERT_OK(cluster.Open([&](Replica& r) { return workload->Setup(r); }));
+
+  size_t remaining = 500;
+  auto report = cluster.Run(
+      [&](TxnRequest* out) {
+        if (remaining == 0) return false;
+        remaining--;
+        *out = workload->Next();
+        return true;
+      },
+      workload->avg_txn_bytes());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->committed + report->dropped, 500u);
+  EXPECT_GT(report->exec_tps, 0.0);
+  EXPECT_GT(report->consensus_cap_tps, 0.0);
+  EXPECT_GE(report->mean_latency_ms, 0.0);
+  EXPECT_LE(report->p50_latency_ms, report->p99_latency_ms);
+}
+
+}  // namespace
+}  // namespace harmony

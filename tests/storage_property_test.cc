@@ -1,0 +1,184 @@
+// Property tests for the storage substrates: randomized op sequences checked
+// against reference models (std::map for the KV table; a shadow byte map for
+// slotted pages).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "storage/kv_table.h"
+#include "storage/slotted_page.h"
+#include "storage/state_backend.h"
+#include "storage/versioned_store.h"
+#include "tests/test_util.h"
+
+namespace harmony {
+namespace {
+
+TEST(SlottedPageProperty, RandomOpsMatchReferenceModel) {
+  Rng rng(404);
+  for (int trial = 0; trial < 20; trial++) {
+    Page p;
+    p.Zero();
+    slotted::Init(p.data);
+    std::map<uint16_t, std::pair<Key, std::string>> model;  // slot -> (k, v)
+    for (int step = 0; step < 400; step++) {
+      const uint64_t dice = rng.Uniform(10);
+      if (dice < 5) {
+        // Insert a random record.
+        const Key k = rng.Next();
+        const std::string v(1 + rng.Uniform(120), static_cast<char>('a' + rng.Uniform(26)));
+        const int slot = slotted::Insert(p.data, k, v);
+        if (slot >= 0) {
+          ASSERT_EQ(model.count(static_cast<uint16_t>(slot)), 0u);
+          model[static_cast<uint16_t>(slot)] = {k, v};
+        }
+      } else if (dice < 7 && !model.empty()) {
+        // Delete a random live slot.
+        auto it = model.begin();
+        std::advance(it, rng.Uniform(model.size()));
+        slotted::Erase(p.data, it->first);
+        model.erase(it);
+      } else if (!model.empty()) {
+        // Update a random live slot (may or may not fit in place).
+        auto it = model.begin();
+        std::advance(it, rng.Uniform(model.size()));
+        const std::string v(1 + rng.Uniform(120), 'u');
+        if (slotted::UpdateInPlace(p.data, it->first, v)) {
+          it->second.second = v;
+        }
+      }
+      if (step % 97 == 0) slotted::Compact(p.data);
+    }
+    // Verify everything the model holds is readable and correct.
+    size_t live = 0;
+    slotted::ForEach(p.data, [&](uint16_t slot, Key k, std::string_view v) {
+      auto it = model.find(slot);
+      ASSERT_NE(it, model.end()) << "phantom slot " << slot;
+      EXPECT_EQ(it->second.first, k);
+      EXPECT_EQ(it->second.second, std::string(v));
+      live++;
+    });
+    EXPECT_EQ(live, model.size());
+  }
+}
+
+TEST(KvTableProperty, RandomOpsMatchStdMap) {
+  TempDir dir("kvprop");
+  DiskManager dm(dir.path() + "/t.db", DiskModel::RamDisk());
+  BufferPool pool(&dm, 32);  // small pool: forces eviction traffic
+  KvTable t(&dm, &pool);
+  std::map<Key, std::string> model;
+  Rng rng(777);
+  for (int step = 0; step < 4000; step++) {
+    const Key k = rng.Uniform(300);
+    const uint64_t dice = rng.Uniform(10);
+    if (dice < 5) {
+      const std::string v(1 + rng.Uniform(200), static_cast<char>('A' + k % 26));
+      std::optional<std::string> old;
+      ASSERT_OK(t.Put(k, v, &old));
+      auto it = model.find(k);
+      ASSERT_EQ(old.has_value(), it != model.end());
+      if (old.has_value()) EXPECT_EQ(*old, it->second);
+      model[k] = v;
+    } else if (dice < 7) {
+      std::optional<std::string> old;
+      ASSERT_OK(t.Erase(k, &old));
+      EXPECT_EQ(old.has_value(), model.count(k) != 0);
+      model.erase(k);
+    } else {
+      std::string v;
+      Status s = t.Get(k, &v);
+      auto it = model.find(k);
+      if (it == model.end()) {
+        EXPECT_TRUE(s.IsNotFound());
+      } else {
+        ASSERT_OK(s);
+        EXPECT_EQ(v, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(t.size(), model.size());
+  // Full scan agrees with the model.
+  std::map<Key, std::string> scanned;
+  ASSERT_OK(t.ScanAll([&](Key k, std::string_view v) {
+    scanned[k] = std::string(v);
+  }));
+  EXPECT_EQ(scanned, model);
+}
+
+TEST(KvTableProperty, SurvivesReopenAfterCheckpoint) {
+  TempDir dir("kvprop2");
+  std::map<Key, std::string> model;
+  Rng rng(888);
+  {
+    DiskBackend b(dir.path(), "s", DiskModel::RamDisk(), 64);
+    ASSERT_OK(b.Open());
+    for (int step = 0; step < 1000; step++) {
+      const Key k = rng.Uniform(150);
+      if (rng.Chance(0.8)) {
+        const std::string v(1 + rng.Uniform(80), 'x');
+        ASSERT_OK(b.Put(k, v, nullptr));
+        model[k] = v;
+      } else {
+        ASSERT_OK(b.Erase(k, nullptr));
+        model.erase(k);
+      }
+    }
+    ASSERT_OK(b.Checkpoint());
+  }
+  DiskBackend b(dir.path(), "s", DiskModel::RamDisk(), 64);
+  ASSERT_OK(b.Open());
+  EXPECT_EQ(b.size(), model.size());
+  for (const auto& [k, v] : model) {
+    std::string got;
+    ASSERT_OK(b.Get(k, &got));
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(VersionedStoreProperty, RandomHistoryMatchesReference) {
+  // Apply randomized block write sets; every snapshot read must return the
+  // newest write at or below the snapshot, under interleaved pruning.
+  MemoryBackend backend;
+  VersionedStore store(&backend);
+  Rng rng(999);
+  // reference[k] = vector of (block, value or erase)
+  std::map<Key, std::vector<std::pair<BlockId, std::optional<std::string>>>>
+      reference;
+  for (Key k = 0; k < 20; k++) {
+    const std::string v = "g" + std::to_string(k);
+    ASSERT_OK(backend.Put(k, v, nullptr));
+    reference[k].emplace_back(0, v);
+  }
+  BlockId pruned_to = 0;
+  for (BlockId b = 1; b <= 40; b++) {
+    for (Key k = 0; k < 20; k++) {
+      if (!rng.Chance(0.3)) continue;
+      std::optional<std::string> v;
+      if (rng.Chance(0.85)) v = "b" + std::to_string(b) + "k" + std::to_string(k);
+      ASSERT_OK(store.ApplyWrite(k, b, v));
+      reference[k].emplace_back(b, v);
+    }
+    if (b % 7 == 0 && b >= 3) {
+      pruned_to = b - 3;
+      store.Prune(pruned_to);
+    }
+    // Validate reads at every still-valid snapshot.
+    for (BlockId snap = pruned_to; snap <= b; snap++) {
+      for (Key k = 0; k < 20; k++) {
+        std::optional<std::string> got;
+        ASSERT_OK(store.ReadAtSnapshot(k, snap, &got));
+        std::optional<std::string> want;
+        for (const auto& [wb, wv] : reference[k]) {
+          if (wb <= snap) want = wv;
+        }
+        ASSERT_EQ(got, want) << "key " << k << " snap " << snap << " block " << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harmony

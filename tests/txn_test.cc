@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+#include "txn/txn_context.h"
+#include "txn/update_command.h"
+#include "txn/value.h"
+
+namespace harmony {
+namespace {
+
+TEST(Value, EncodeDecodeRoundTrip) {
+  Value v({1, -2, 300000000000LL}, "payload-bytes");
+  const Value d = Value::Decode(v.Encode());
+  EXPECT_EQ(d, v);
+  EXPECT_EQ(d.field(0), 1);
+  EXPECT_EQ(d.field(1), -2);
+  EXPECT_EQ(d.field(2), 300000000000LL);
+  EXPECT_EQ(d.payload, "payload-bytes");
+}
+
+TEST(Value, EmptyAndFieldGrowth) {
+  Value v;
+  EXPECT_EQ(v.field(5), 0);  // missing fields read as zero
+  v.set_field(3, 42);
+  EXPECT_EQ(v.fields.size(), 4u);
+  EXPECT_EQ(v.field(3), 42);
+  EXPECT_EQ(Value::Decode(v.Encode()), v);
+}
+
+TEST(FieldOp, ComposeMatchesSequentialApply) {
+  // Property: Compose(f, g).Apply(x) == g.Apply(f.Apply(x)) for all op kinds.
+  Rng rng(99);
+  for (int trial = 0; trial < 500; trial++) {
+    auto random_op = [&]() {
+      switch (rng.Uniform(3)) {
+        case 0: return FieldOp::Set(0, rng.UniformRange(-100, 100));
+        case 1: return FieldOp::Add(0, rng.UniformRange(-100, 100));
+        default: return FieldOp::Mul(0, rng.UniformRange(-3, 3));
+      }
+    };
+    const FieldOp f = random_op(), g = random_op();
+    const int64_t x = rng.UniformRange(-1000, 1000);
+    EXPECT_EQ(FieldOp::Compose(f, g).Apply(x), g.Apply(f.Apply(x)));
+  }
+}
+
+UpdateCommand RandomCommand(Rng& rng) {
+  switch (rng.Uniform(5)) {
+    case 0:
+      return UpdateCommand::Put(Value({rng.UniformRange(-50, 50),
+                                       rng.UniformRange(-50, 50)}));
+    case 1:
+      return UpdateCommand::Erase();
+    case 2: {
+      std::vector<FieldOp> ops;
+      const size_t n = 1 + rng.Uniform(3);
+      for (size_t i = 0; i < n; i++) {
+        const uint32_t field = static_cast<uint32_t>(rng.Uniform(2));
+        switch (rng.Uniform(3)) {
+          case 0: ops.push_back(FieldOp::Set(field, rng.UniformRange(-9, 9))); break;
+          case 1: ops.push_back(FieldOp::Add(field, rng.UniformRange(-9, 9))); break;
+          default: ops.push_back(FieldOp::Mul(field, rng.UniformRange(-2, 2))); break;
+        }
+      }
+      return UpdateCommand::Ops(std::move(ops));
+    }
+    case 3: {
+      const int64_t d = rng.UniformRange(-7, 7);
+      return UpdateCommand::Rmw([d](const Value& in) {
+        Value out = in;
+        out.set_field(0, in.field(0) * 2 + d);
+        return out;
+      });
+    }
+    default:
+      return UpdateCommand::Ops({FieldOp::Add(0, rng.UniformRange(-5, 5))});
+  }
+}
+
+TEST(UpdateCommand, CoalescenceEquivalentToSequentialApply) {
+  // The core coalescence property (Section 3.3.2): folding a command list
+  // into one command and applying it once must equal applying the commands
+  // one by one, for every mix of put/erase/field-op/rmw and for present and
+  // absent records.
+  Rng rng(1234);
+  for (int trial = 0; trial < 2000; trial++) {
+    const size_t chain_len = 1 + rng.Uniform(6);
+    std::vector<UpdateCommand> cmds;
+    for (size_t i = 0; i < chain_len; i++) cmds.push_back(RandomCommand(rng));
+
+    std::optional<Value> sequential;
+    if (rng.Chance(0.8)) sequential = Value({rng.UniformRange(-50, 50), 3});
+    std::optional<Value> coalesced = sequential;
+
+    for (const auto& c : cmds) c.Apply(&sequential);
+
+    UpdateCommand merged = cmds[0];
+    for (size_t i = 1; i < cmds.size(); i++) merged.Coalesce(cmds[i]);
+    merged.Apply(&coalesced);
+
+    ASSERT_EQ(coalesced.has_value(), sequential.has_value()) << "trial " << trial;
+    if (sequential.has_value()) {
+      ASSERT_EQ(*coalesced, *sequential) << "trial " << trial;
+    }
+  }
+}
+
+TEST(UpdateCommand, PutAbsorbsHistory) {
+  UpdateCommand c = UpdateCommand::Ops({FieldOp::Add(0, 5)});
+  c.Coalesce(UpdateCommand::Put(Value({100})));
+  EXPECT_EQ(c.kind(), UpdateCommand::Kind::kPut);
+  std::optional<Value> v;
+  c.Apply(&v);
+  EXPECT_EQ(v->field(0), 100);
+}
+
+TEST(UpdateCommand, PaperExampleAddThenMul) {
+  // Section 3.3.1: x = 10; T1 add(x, 10); T2 mul(x, 3); order T2 then T1
+  // (T1 rw<- T2) must give mul first: (10*3)+10 = 40.
+  std::optional<Value> x = Value({10});
+  UpdateCommand merged = UpdateCommand::Ops({FieldOp::Mul(0, 3)});
+  merged.Coalesce(UpdateCommand::Ops({FieldOp::Add(0, 10)}));
+  merged.Apply(&x);
+  EXPECT_EQ(x->field(0), 40);
+}
+
+TEST(UpdateCommand, OpsOnAbsentKeyAreNoOps) {
+  std::optional<Value> v;
+  UpdateCommand::Ops({FieldOp::Add(0, 5)}).Apply(&v);
+  EXPECT_FALSE(v.has_value());
+  UpdateCommand::Rmw([](const Value& in) { return in; }).Apply(&v);
+  EXPECT_FALSE(v.has_value());
+}
+
+TEST(UpdateCommand, ReadsPriorState) {
+  EXPECT_FALSE(UpdateCommand::Put(Value({1})).reads_prior_state());
+  EXPECT_FALSE(UpdateCommand::Erase().reads_prior_state());
+  EXPECT_FALSE(UpdateCommand::Ops({FieldOp::Set(0, 5)}).reads_prior_state());
+  EXPECT_TRUE(UpdateCommand::Ops({FieldOp::Add(0, 5)}).reads_prior_state());
+  EXPECT_TRUE(UpdateCommand::Rmw([](const Value& v) { return v; })
+                  .reads_prior_state());
+}
+
+class TxnContextTest : public ::testing::Test {
+ protected:
+  TxnContextTest()
+      : ctx_(7, 3, [this](Key k, std::optional<Value>* out) {
+          auto it = snapshot_.find(k);
+          if (it != snapshot_.end()) {
+            out->emplace(it->second);
+          } else {
+            out->reset();
+          }
+          return Status::OK();
+        }) {}
+
+  std::unordered_map<Key, Value> snapshot_;
+  TxnContext ctx_;
+};
+
+TEST_F(TxnContextTest, ReadsRecordedOnce) {
+  snapshot_[1] = Value({10});
+  std::optional<Value> v;
+  ASSERT_OK(ctx_.Get(1, &v));
+  ASSERT_OK(ctx_.Get(1, &v));
+  ASSERT_OK(ctx_.Get(2, &v));
+  EXPECT_EQ(ctx_.read_set().size(), 2u);
+}
+
+TEST_F(TxnContextTest, ReadOwnWrite) {
+  snapshot_[1] = Value({10});
+  ctx_.AddField(1, 0, 5);
+  Value v;
+  ASSERT_OK(ctx_.GetExisting(1, &v));
+  EXPECT_EQ(v.field(0), 15);  // pending command evaluated over the snapshot
+
+  ctx_.Put(2, Value({99}));
+  ASSERT_OK(ctx_.GetExisting(2, &v));
+  EXPECT_EQ(v.field(0), 99);  // sees own insert
+
+  ctx_.Erase(1);
+  std::optional<Value> gone;
+  ASSERT_OK(ctx_.Get(1, &gone));
+  EXPECT_FALSE(gone.has_value());  // sees own delete
+}
+
+TEST_F(TxnContextTest, MultipleUpdatesCoalesceToOneCommand) {
+  ctx_.AddField(1, 0, 5);
+  ctx_.AddField(1, 0, 7);
+  ctx_.MulField(1, 0, 2);
+  // Corner case (2) of Section 3.3.2: one command per key per transaction.
+  ASSERT_EQ(ctx_.write_set().size(), 1u);
+  snapshot_[1] = Value({1});
+  Value v;
+  ASSERT_OK(ctx_.GetExisting(1, &v));
+  EXPECT_EQ(v.field(0), (1 + 5 + 7) * 2);
+}
+
+TEST_F(TxnContextTest, GetExistingNotFound) {
+  Value v;
+  EXPECT_TRUE(ctx_.GetExisting(404, &v).IsNotFound());
+}
+
+}  // namespace
+}  // namespace harmony
