@@ -6,6 +6,7 @@ namespace harmony {
 
 void BlockCodec::EncodeTxn(const TxnRequest& t, std::string* out) {
   codec::AppendU32(out, t.proc_id);
+  codec::AppendU64(out, t.client_id);
   codec::AppendU64(out, t.client_seq);
   codec::AppendU64(out, t.submit_time_us);
   codec::AppendU32(out, t.retries);
@@ -16,7 +17,8 @@ void BlockCodec::EncodeTxn(const TxnRequest& t, std::string* out) {
 
 bool BlockCodec::DecodeTxn(codec::Reader* r, TxnRequest* out) {
   uint32_t n_ints = 0;
-  if (!r->ReadU32(&out->proc_id) || !r->ReadU64(&out->client_seq) ||
+  if (!r->ReadU32(&out->proc_id) || !r->ReadU64(&out->client_id) ||
+      !r->ReadU64(&out->client_seq) ||
       !r->ReadU64(&out->submit_time_us) || !r->ReadU32(&out->retries) ||
       !r->ReadU32(&n_ints)) {
     return false;

@@ -11,6 +11,16 @@
 
 namespace harmony {
 
+namespace {
+
+// "HBCL" + the record codec version. Version 2 added client_id to the
+// transaction wire format; version 1 logs (pre-header) fail the magic check.
+constexpr uint32_t kLogMagic = 0x4C434248u;
+constexpr uint32_t kLogVersion = 2;
+constexpr uint64_t kLogHeaderBytes = 8;
+
+}  // namespace
+
 BlockStore::BlockStore(std::string path, uint64_t sync_latency_us)
     : path_(std::move(path)), sync_latency_us_(sync_latency_us) {}
 
@@ -21,14 +31,42 @@ BlockStore::~BlockStore() {
 Status BlockStore::Open() {
   fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd_ < 0) return Status::IOError("open block log");
+
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < static_cast<off_t>(kLogHeaderBytes)) {
+    // Fresh log (or a crash tore the header before any record could ever
+    // have been written): stamp the current format.
+    if (::ftruncate(fd_, 0) != 0) return Status::IOError("truncate block log");
+    uint32_t header[2] = {kLogMagic, kLogVersion};
+    if (::pwrite(fd_, header, kLogHeaderBytes, 0) !=
+        static_cast<ssize_t>(kLogHeaderBytes)) {
+      return Status::IOError("write block log header");
+    }
+  } else {
+    uint32_t header[2] = {0, 0};
+    if (::pread(fd_, header, kLogHeaderBytes, 0) !=
+        static_cast<ssize_t>(kLogHeaderBytes)) {
+      return Status::IOError("read block log header");
+    }
+    if (header[0] != kLogMagic) {
+      return Status::NotSupported(
+          "block log has no format header (pre-versioning chain?): " + path_);
+    }
+    if (header[1] != kLogVersion) {
+      return Status::NotSupported("block log format v" +
+                                  std::to_string(header[1]) +
+                                  " (this build reads v" +
+                                  std::to_string(kLogVersion) + "): " + path_);
+    }
+  }
   return ScanAndRepair();
 }
 
 Status BlockStore::ScanAndRepair() {
-  append_offset_ = 0;
+  append_offset_ = kLogHeaderBytes;
   last_block_id_ = 0;
   num_blocks_ = 0;
-  off_t off = 0;
+  off_t off = kLogHeaderBytes;
   while (true) {
     uint32_t len = 0;
     if (::pread(fd_, &len, 4, off) != 4) break;
@@ -43,6 +81,7 @@ Status BlockStore::ScanAndRepair() {
     Block b;
     if (!BlockCodec::Decode(payload, &b).ok()) break;
     last_block_id_ = b.header.block_id;
+    last_record_offset_ = static_cast<uint64_t>(off);
     num_blocks_++;
     off += 8 + static_cast<off_t>(len);
   }
@@ -69,14 +108,25 @@ Status BlockStore::Append(const Block& b) {
                    [&] { return last_block_id_ + 1 == b.header.block_id; });
     off = append_offset_;
     append_offset_ += rec.size();
+    last_record_offset_ = off;
     last_block_id_ = b.header.block_id;
     num_blocks_++;
+    writes_in_flight_++;
   }
-  if (::pwrite(fd_, rec.data(), rec.size(), static_cast<off_t>(off)) !=
-      static_cast<ssize_t>(rec.size())) {
+  const bool wrote =
+      ::pwrite(fd_, rec.data(), rec.size(), static_cast<off_t>(off)) ==
+      static_cast<ssize_t>(rec.size());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    writes_in_flight_--;
+  }
+  if (!wrote) {
+    order_cv_.notify_all();
     return Status::IOError("append block");
   }
   SimulateDelayMicros(sync_latency_us_);  // modelled group-commit flush
+  // One wake-up for both waiter kinds (successor appends, ReadLast); kept
+  // after the delay so consecutive flushes stay serialized as modelled.
   order_cv_.notify_all();
   return Status::OK();
 }
@@ -84,7 +134,7 @@ Status BlockStore::Append(const Block& b) {
 Status BlockStore::ReadBlocksAfter(BlockId after_block,
                                    std::vector<Block>* out) {
   out->clear();
-  off_t off = 0;
+  off_t off = kLogHeaderBytes;
   while (static_cast<uint64_t>(off) < append_offset_) {
     uint32_t len = 0;
     if (::pread(fd_, &len, 4, off) != 4) {
@@ -107,6 +157,33 @@ Status BlockStore::ReadBlocksAfter(BlockId after_block,
     off += 8 + static_cast<off_t>(len);
   }
   return Status::OK();
+}
+
+Status BlockStore::ReadLast(Block* out) {
+  uint64_t off;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (num_blocks_ == 0) return Status::NotFound("empty block log");
+    // An Append publishes its offset before its pwrite lands; wait until no
+    // record write is in flight so the tip we read is fully on disk.
+    order_cv_.wait(lk, [&] { return writes_in_flight_ == 0; });
+    off = last_record_offset_;
+  }
+  uint32_t len = 0;
+  if (::pread(fd_, &len, 4, static_cast<off_t>(off)) != 4) {
+    return Status::Corruption("block log length field");
+  }
+  std::string payload(len, '\0');
+  if (::pread(fd_, payload.data(), len, static_cast<off_t>(off + 4)) !=
+      static_cast<ssize_t>(len)) {
+    return Status::Corruption("block log payload");
+  }
+  uint32_t crc = 0;
+  if (::pread(fd_, &crc, 4, static_cast<off_t>(off + 4 + len)) != 4 ||
+      Crc32(payload) != crc) {
+    return Status::Corruption("block log crc");
+  }
+  return BlockCodec::Decode(payload, out);
 }
 
 BlockId CheckpointManifest::Read() const {

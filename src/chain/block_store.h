@@ -12,9 +12,13 @@ namespace harmony {
 
 /// Append-only logical log of input blocks (Section 4, "Recovery"): because
 /// execution is deterministic, persisting the *inputs* is sufficient for
-/// recovery — no ARIES-style physical log. Record format:
-///   u32 payload_len | payload (encoded block) | u32 crc32(payload)
+/// recovery — no ARIES-style physical log. File format:
+///   u32 magic | u32 format_version | records...
+///   record: u32 payload_len | payload (encoded block) | u32 crc32(payload)
 /// Torn tails (crash mid-append) are detected by CRC/length and truncated.
+/// A magic/version mismatch is an explicit open error, never a silent
+/// truncation — the record codec changes between format versions, and
+/// treating an old log as one giant torn tail would wipe the chain.
 class BlockStore {
  public:
   /// `sync_latency_us` is the modelled group-commit flush cost charged per
@@ -39,6 +43,11 @@ class BlockStore {
   /// Reads the whole chain (audit).
   Status ReadAll(std::vector<Block>* out) { return ReadBlocksAfter(0, out); }
 
+  /// Reads only the chain tip (the highest-id block) in O(1) I/O — the open
+  /// scan remembers the last record's offset. NotFound on an empty log.
+  /// Safe against concurrent Append: waits for in-flight record writes.
+  Status ReadLast(Block* out);
+
   BlockId last_block_id() const { return last_block_id_; }
   size_t num_blocks() const { return num_blocks_; }
 
@@ -51,6 +60,8 @@ class BlockStore {
   std::mutex mu_;
   std::condition_variable order_cv_;
   uint64_t append_offset_ = 0;
+  uint64_t last_record_offset_ = 0;  ///< file offset of the tip's record
+  size_t writes_in_flight_ = 0;      ///< records reserved but not yet written
   BlockId last_block_id_ = 0;
   size_t num_blocks_ = 0;
 };

@@ -25,20 +25,57 @@ Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
   db->orderer_ =
       std::make_unique<KafkaOrderer>(options.orderer_secret, net);
 
-  // Collect CC aborts for automatic resubmission.
+  AdmissionOptions ao;
+  ao.rate_per_client_tps = options.admit_rate_per_client;
+  db->admission_ = std::make_unique<AdmissionController>(ao);
+
+  MempoolOptions mo;
+  mo.capacity = options.mempool_capacity;
+  mo.shards = options.mempool_shards;
+  db->mempool_ = std::make_unique<Mempool>(mo);
+
+  // CC aborts flow back through the mempool's retry lane; the sealer picks
+  // them up ahead of fresh transactions. (The commit callback runs on the
+  // replica's commit thread — AddRetry is thread-safe, unlike the ad-hoc
+  // retry vector this replaces.)
   HarmonyBC* raw = db.get();
   db->replica_->SetCommitCallback(
       [raw](const Block& blk, const BlockResult& res) {
+        IngestStats* stats = raw->admission_->stats();
+        bool enqueued = false;
         for (size_t i = 0; i < res.outcomes.size(); i++) {
-          if (res.outcomes[i] == TxnOutcome::kCcAborted &&
-              blk.batch.txns[i].retries < 50) {
+          if (res.outcomes[i] != TxnOutcome::kCcAborted) continue;
+          if (blk.batch.txns[i].retries < raw->opts_.max_txn_retries) {
             TxnRequest retry = blk.batch.txns[i];
             retry.retries++;
-            raw->retries_.push_back(std::move(retry));
+            raw->mempool_->AddRetry(std::move(retry));
+            stats->retries_enqueued.fetch_add(1, std::memory_order_relaxed);
+            enqueued = true;
+          } else {
+            raw->dropped_.fetch_add(1, std::memory_order_relaxed);
+            stats->retries_dropped.fetch_add(1, std::memory_order_relaxed);
           }
         }
+        // Without this wake a retry landing in an otherwise idle pool would
+        // sit until the next Submit or Sync instead of sealing on deadline.
+        if (enqueued && raw->sealer_ != nullptr) raw->sealer_->Notify();
       });
+
+  SealerOptions so;
+  so.block_size = options.block_size;
+  so.max_block_delay_us = options.max_block_delay_us;
+  db->sealer_ = std::make_unique<BlockSealer>(
+      so, db->mempool_.get(), db->orderer_.get(), db->admission_->stats(),
+      [raw](Block block) { return raw->replica_->SubmitBlock(std::move(block)); });
+  db->sealer_->Start();
   return db;
+}
+
+HarmonyBC::~HarmonyBC() {
+  if (sealer_ != nullptr) sealer_->Stop();
+  // The replica's commit thread invokes the retry callback, which touches
+  // the mempool — join it (via destruction) while the mempool still exists.
+  replica_.reset();
 }
 
 Result<BlockId> HarmonyBC::Recover() {
@@ -51,12 +88,12 @@ Result<BlockId> HarmonyBC::Recover() {
   }
   if (*tip != 0) {
     // Resume the embedded orderer from the recovered chain tip so future
-    // blocks extend the same hash chain.
-    std::vector<Block> blocks;
+    // blocks extend the same hash chain. Only the tip block matters — an
+    // O(1) tail read, not an O(chain) scan.
+    Block last;
     BlockStore store(opts_.dir + "/replica.chain");
     HARMONY_RETURN_NOT_OK(store.Open());
-    HARMONY_RETURN_NOT_OK(store.ReadAll(&blocks));
-    const Block& last = blocks.back();
+    HARMONY_RETURN_NOT_OK(store.ReadLast(&last));
     orderer_->ResumeFrom(last.header.block_id,
                          last.header.first_tid + last.header.txn_count,
                          last.header.block_hash);
@@ -64,34 +101,55 @@ Result<BlockId> HarmonyBC::Recover() {
   return *tip;
 }
 
-Status HarmonyBC::SealPending() {
-  if (pending_.empty()) return Status::OK();
-  Block block = orderer_->SealBlock(std::move(pending_), NowMicros());
-  pending_.clear();
-  return replica_->SubmitBlock(std::move(block));
-}
+Status HarmonyBC::SealPending() { return sealer_->Flush(); }
 
 Status HarmonyBC::Submit(TxnRequest req) {
-  if (req.client_seq == 0) req.client_seq = ++next_seq_;
-  if (req.submit_time_us == 0) req.submit_time_us = NowMicros();
-  pending_.push_back(std::move(req));
-  if (pending_.size() >= opts_.block_size) return SealPending();
-  return Status::OK();
+  IngestStats* stats = admission_->stats();
+  stats->submitted.fetch_add(1, std::memory_order_relaxed);
+  if (req.client_seq == 0) {
+    req.client_seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  const uint64_t now = NowMicros();
+  if (req.submit_time_us == 0) req.submit_time_us = now;
+
+  // Rate limiting must run on the server's clock — submit_time_us is
+  // caller-supplied, and a forged future timestamp would refill (or
+  // permanently poison) the client's token bucket.
+  HARMONY_RETURN_NOT_OK(admission_->Admit(req, now));
+
+  Status s = mempool_->Add(std::move(req));
+  if (s.ok()) {
+    stats->admitted.fetch_add(1, std::memory_order_relaxed);
+    sealer_->Notify();
+  } else if (s.IsBusy()) {
+    stats->backpressured.fetch_add(1, std::memory_order_relaxed);
+  } else if (s.IsInvalidArgument()) {
+    stats->duplicates.fetch_add(1, std::memory_order_relaxed);
+  }
+  return s;
 }
 
 Status HarmonyBC::Sync() {
-  // Seal pending, drain, then keep resubmitting CC-aborted transactions
-  // until none remain (bounded by the per-request retry cap).
-  for (int round = 0; round < 200; round++) {
+  // Seal everything pending, drain, then keep resealing CC-aborted
+  // transactions re-admitted via the retry lane until none remain.
+  for (uint32_t round = 0; round < opts_.max_sync_rounds; round++) {
     HARMONY_RETURN_NOT_OK(SealPending());
+    const uint64_t delivered = sealer_->delivered();
     HARMONY_RETURN_NOT_OK(replica_->Drain());
-    if (retries_.empty()) return Status::OK();
-    pending_.insert(pending_.end(),
-                    std::make_move_iterator(retries_.begin()),
-                    std::make_move_iterator(retries_.end()));
-    retries_.clear();
+    // Quiescence: the delivered count is read under the seal lock, so an
+    // unchanged count means no block slipped in behind Drain() (e.g. the
+    // background sealer cutting a retry block mid-drain) — and an empty
+    // mempool then means no retry is waiting either. Otherwise go around
+    // again; fresh Submits racing a Sync are outside its contract.
+    if (sealer_->delivered() == delivered && mempool_->empty()) {
+      return Status::OK();
+    }
   }
-  return Status::Busy("transactions kept aborting after 200 rounds");
+  return Status::Busy(
+      "transactions kept aborting after " +
+      std::to_string(opts_.max_sync_rounds) + " rounds (" +
+      std::to_string(dropped_.load(std::memory_order_relaxed)) +
+      " dropped, " + std::to_string(queue_depth()) + " still pending)");
 }
 
 }  // namespace harmony

@@ -1,17 +1,22 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "consensus/orderer.h"
+#include "ingest/admission.h"
+#include "ingest/mempool.h"
+#include "ingest/sealer.h"
 #include "replica/replica.h"
 
 namespace harmony {
 
 /// Embedded single-node HarmonyBC: the public entry point for applications.
 ///
-/// Wraps an ordering service and a replica into one handle:
+/// Wraps the ingress subsystem (admission -> mempool -> sealer), an ordering
+/// service, and a replica into one handle:
 ///
 ///   HarmonyBC::Options opt;
 ///   opt.dir = "/tmp/mychain";
@@ -23,6 +28,14 @@ namespace harmony {
 ///   db->Sync();                        // seal + execute pending blocks
 ///   db->Query(key, &v);
 ///   db->AuditChain();                  // tamper check, end to end
+///
+/// Submit is thread-safe and non-blocking: transactions pass admission
+/// control (procedure validation, optional per-client rate limiting), land
+/// in a shard-striped bounded mempool (duplicate (client_id, client_seq)
+/// pairs rejected, Status::Busy backpressure when full), and a background
+/// sealer cuts blocks on size *or* deadline and pipelines them into the
+/// replica. CC-aborted transactions re-enter through the mempool's retry
+/// lane automatically.
 ///
 /// For multi-replica deployments and benchmarks use Cluster (replica/),
 /// which feeds several Replica instances the same ordered chain.
@@ -39,14 +52,30 @@ class HarmonyBC {
     size_t block_size = 25;        ///< transactions per sealed block
     size_t checkpoint_every = 10;  ///< blocks between checkpoints
     std::string orderer_secret = "orderer-secret";
+
+    // --- ingress subsystem ---
+    /// Seal a partial block once the oldest pending txn has waited this
+    /// long. 0 = seal only when block_size txns are pending or on Sync().
+    /// (The background sealer thread always runs; this only sets whether
+    /// it enforces a deadline in addition to size-triggered seals.)
+    uint64_t max_block_delay_us = 0;
+    size_t mempool_capacity = 1 << 16;  ///< Busy backpressure beyond this
+    size_t mempool_shards = 16;
+    /// Per-client admission rate (txns/sec); 0 = unlimited.
+    double admit_rate_per_client = 0;
+    uint32_t max_txn_retries = 50;  ///< CC-abort resubmissions per txn
+    uint32_t max_sync_rounds = 200; ///< seal+drain rounds before Sync gives up
   };
 
   /// Opens (or creates) the chain directory. Call RegisterProcedure and
   /// (on first boot) Load before Recover/Submit.
   static Result<std::unique_ptr<HarmonyBC>> Open(const Options& options);
 
+  ~HarmonyBC();
+
   /// Registers a stored procedure (smart contract).
   void RegisterProcedure(uint32_t proc_id, std::string name, ProcedureFn fn) {
+    admission_->AllowProcedure(proc_id);
     replica_->RegisterProcedure(proc_id, std::move(name), std::move(fn));
   }
 
@@ -57,13 +86,16 @@ class HarmonyBC {
   /// chain tip height (0 for a fresh chain).
   Result<BlockId> Recover();
 
-  /// Buffers a transaction; seals a block automatically once block_size
-  /// transactions are pending.
+  /// Admits a transaction into the mempool (thread-safe). Assigns a
+  /// client_seq if the caller left it 0. Returns InvalidArgument for
+  /// duplicates/validation failures and Busy under backpressure or rate
+  /// limiting; admitted transactions seal into blocks once block_size are
+  /// pending or the block deadline expires.
   Status Submit(TxnRequest req);
 
-  /// Seals any pending transactions into a block and waits for all sealed
+  /// Seals any pending transactions into blocks and waits for all sealed
   /// blocks to commit. CC-aborted transactions are resubmitted
-  /// automatically (bounded retries).
+  /// automatically (bounded by Options::max_txn_retries).
   Status Sync();
 
   /// Latest committed value.
@@ -78,8 +110,19 @@ class HarmonyBC {
   Result<Digest> StateDigest() { return replica_->StateDigest(); }
 
   const ProtocolStats& stats() const { return replica_->protocol_stats(); }
+  /// Ingress counters (admitted / duplicates / backpressured / seals...).
+  const IngestStats& ingest_stats() const {
+    return static_cast<const AdmissionController&>(*admission_).stats();
+  }
+  /// Transactions dropped after exhausting max_txn_retries.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  /// Current mempool depth (fresh + retry lane).
+  size_t queue_depth() const {
+    return mempool_->size() + mempool_->retry_size();
+  }
   BlockId height() const { return replica_->last_committed(); }
   Replica* replica() { return replica_.get(); }
+  Mempool* mempool() { return mempool_.get(); }
 
  private:
   HarmonyBC() = default;
@@ -89,9 +132,11 @@ class HarmonyBC {
   Options opts_;
   std::unique_ptr<Replica> replica_;
   std::unique_ptr<KafkaOrderer> orderer_;
-  std::vector<TxnRequest> pending_;
-  std::vector<TxnRequest> retries_;
-  uint64_t next_seq_ = 0;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<Mempool> mempool_;
+  std::unique_ptr<BlockSealer> sealer_;
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> dropped_{0};
 };
 
 }  // namespace harmony

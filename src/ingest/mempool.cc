@@ -1,0 +1,122 @@
+#include "ingest/mempool.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace harmony {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+Mempool::Mempool(MempoolOptions opts) : opts_(opts) {
+  const size_t n = RoundUpPow2(std::max<size_t>(1, opts_.shards));
+  shards_ = std::vector<Shard>(n);
+  shard_mask_ = n - 1;
+  dedup_per_shard_ =
+      opts_.dedup_window == 0 ? 0 : std::max<size_t>(1, opts_.dedup_window / n);
+}
+
+Status Mempool::Add(TxnRequest req) {
+  // Reserve a capacity slot optimistically; duplicates give it back.
+  size_t cur = size_.load(std::memory_order_relaxed);
+  do {
+    if (cur >= opts_.capacity) {
+      return Status::Busy("mempool full (" + std::to_string(cur) + " / " +
+                          std::to_string(opts_.capacity) + ")");
+    }
+  } while (!size_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_relaxed));
+
+  const bool dedup = req.client_seq != 0;
+  const uint64_t key = DedupKey(req);
+  Shard& s = shard_for(key);
+  {
+    std::lock_guard<SpinLock> lk(s.mu);
+    if (dedup) {
+      if (!s.seen.insert(key).second) {
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return Status::InvalidArgument(
+            "duplicate transaction (client " + std::to_string(req.client_id) +
+            ", seq " + std::to_string(req.client_seq) + ")");
+      }
+      if (dedup_per_shard_ != 0) {
+        s.seen_fifo.push_back(key);
+        if (s.seen_fifo.size() > dedup_per_shard_) {
+          s.seen.erase(s.seen_fifo.front());
+          s.seen_fifo.pop_front();
+        }
+      }
+    }
+    s.q.push_back(std::move(req));
+  }
+  return Status::OK();
+}
+
+void Mempool::AddRetry(TxnRequest req) {
+  std::lock_guard<SpinLock> lk(retry_mu_);
+  if (retry_q_.empty()) {
+    retry_since_us_.store(NowMicros(), std::memory_order_relaxed);
+  }
+  retry_q_.push_back(std::move(req));
+  retry_size_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t Mempool::TakeBatch(size_t max, std::vector<TxnRequest>* out) {
+  const size_t before = out->size();
+
+  // Retry lane first: aborted transactions jump the queue, matching the old
+  // retries-then-fresh assembly order (determinism for replay/tests).
+  {
+    std::lock_guard<SpinLock> lk(retry_mu_);
+    while (out->size() - before < max && !retry_q_.empty()) {
+      out->push_back(std::move(retry_q_.front()));
+      retry_q_.pop_front();
+      retry_size_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (retry_q_.empty()) {
+      retry_since_us_.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Then fresh transactions, round-robin across shards so no client's shard
+  // starves. The cursor persists across calls to spread load.
+  const size_t n = shards_.size();
+  size_t start = take_cursor_.fetch_add(1, std::memory_order_relaxed);
+  size_t taken_fresh = 0;
+  for (size_t i = 0; i < n && out->size() - before < max; i++) {
+    Shard& s = shards_[(start + i) & shard_mask_];
+    std::lock_guard<SpinLock> lk(s.mu);
+    while (out->size() - before < max && !s.q.empty()) {
+      out->push_back(std::move(s.q.front()));
+      s.q.pop_front();
+      taken_fresh++;
+    }
+  }
+  if (taken_fresh > 0) {
+    size_.fetch_sub(taken_fresh, std::memory_order_relaxed);
+  }
+  return out->size() - before;
+}
+
+uint64_t Mempool::oldest_submit_us() const {
+  uint64_t oldest = retry_since_us_.load(std::memory_order_relaxed);
+  for (const Shard& s : shards_) {
+    std::lock_guard<SpinLock> lk(s.mu);
+    if (!s.q.empty()) {
+      const uint64_t t = s.q.front().submit_time_us;
+      if (oldest == 0 || (t != 0 && t < oldest)) oldest = t;
+    }
+  }
+  return oldest;
+}
+
+}  // namespace harmony

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "common/spin_lock.h"
+#include "common/status.h"
+#include "txn/procedure.h"
+
+namespace harmony {
+
+/// Mempool sizing / behaviour knobs.
+struct MempoolOptions {
+  size_t capacity = 1 << 16;  ///< max buffered fresh txns (across all shards)
+  size_t shards = 16;         ///< lock stripes; rounded up to a power of two
+  /// Per-shard bound on remembered (client_id, client_seq) dedup keys; the
+  /// oldest keys are forgotten FIFO once the window fills. 0 = remember all.
+  size_t dedup_window = 1 << 20;
+};
+
+/// Shard-striped, capacity-bounded transaction pool in front of the orderer.
+///
+/// Each shard owns a spin lock, a FIFO of admitted transactions, and a
+/// window of recently seen (client_id, client_seq) keys for duplicate
+/// rejection. A transaction hashes to one shard by its dedup key, so the
+/// duplicate check and the enqueue share a single short critical section.
+/// Requests with client_seq == 0 carry no client identity and bypass dedup
+/// (HarmonyBC assigns a sequence to such requests before they get here;
+/// workload generators number their own).
+///
+/// CC-aborted transactions re-enter through a separate unbounded retry lane:
+/// they already passed admission once, must not be double-rejected as
+/// duplicates of themselves, and dropping them to backpressure would
+/// deadlock a Sync() that is waiting for them to commit. TakeBatch drains
+/// the retry lane first (clients resubmit aborted work before new work).
+///
+/// Thread-safe throughout: producers Add from any number of client threads,
+/// the sealer TakeBatches concurrently, and the replica's commit thread
+/// feeds AddRetry.
+class Mempool {
+ public:
+  explicit Mempool(MempoolOptions opts);
+
+  Mempool(const Mempool&) = delete;
+  Mempool& operator=(const Mempool&) = delete;
+
+  /// Admits one fresh transaction. Returns:
+  ///  - OK               -> enqueued;
+  ///  - InvalidArgument  -> duplicate (client_id, client_seq) within the
+  ///                        dedup window;
+  ///  - Busy             -> pool at capacity (backpressure: retry later).
+  Status Add(TxnRequest req);
+
+  /// Re-admits a CC-aborted transaction via the retry lane (no dedup, no
+  /// capacity check — see class comment).
+  void AddRetry(TxnRequest req);
+
+  /// Pops up to `max` transactions: retry lane first, then round-robin over
+  /// the shards. Returns the number taken. Dedup keys stay remembered, so a
+  /// replayed duplicate is still rejected after its original sealed.
+  size_t TakeBatch(size_t max, std::vector<TxnRequest>* out);
+
+  /// Fresh transactions currently buffered (excludes the retry lane).
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Retry-lane depth.
+  size_t retry_size() const {
+    return retry_size_.load(std::memory_order_relaxed);
+  }
+
+  bool empty() const { return size() == 0 && retry_size() == 0; }
+
+  /// Earliest wait-start among buffered transactions (0 when empty); drives
+  /// the sealer's block deadline. Fresh txns count from submit_time_us;
+  /// the retry lane counts from when it last became non-empty (a retry's
+  /// original submit time is long past and would force immediate seals).
+  uint64_t oldest_submit_us() const;
+
+  size_t capacity() const { return opts_.capacity; }
+  size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable SpinLock mu;
+    std::deque<TxnRequest> q;
+    std::unordered_set<uint64_t> seen;
+    std::deque<uint64_t> seen_fifo;  ///< eviction order for the dedup window
+  };
+
+  static uint64_t DedupKey(const TxnRequest& req) {
+    // Mix both halves so clients with sequential ids/seqs spread uniformly.
+    return Mix64(req.client_id ^ Mix64(req.client_seq));
+  }
+
+  Shard& shard_for(uint64_t key) { return shards_[key & shard_mask_]; }
+
+  MempoolOptions opts_;
+  std::vector<Shard> shards_;
+  size_t shard_mask_;
+  size_t dedup_per_shard_;
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> retry_size_{0};
+  std::atomic<size_t> take_cursor_{0};  ///< round-robin start shard
+
+  SpinLock retry_mu_;
+  std::deque<TxnRequest> retry_q_;
+  std::atomic<uint64_t> retry_since_us_{0};  ///< lane became non-empty at
+};
+
+}  // namespace harmony

@@ -1,0 +1,162 @@
+#include "ingest/sealer.h"
+
+#include <chrono>
+#include <vector>
+
+#include "common/clock.h"
+#include "consensus/orderer.h"
+
+namespace harmony {
+
+BlockSealer::BlockSealer(SealerOptions opts, Mempool* pool, Orderer* orderer,
+                         IngestStats* stats, DeliverFn deliver)
+    : opts_(opts),
+      pool_(pool),
+      orderer_(orderer),
+      stats_(stats),
+      deliver_(std::move(deliver)) {}
+
+BlockSealer::~BlockSealer() { Stop(); }
+
+void BlockSealer::Start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!stop_) return;  // already running
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void BlockSealer::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void BlockSealer::Notify() {
+  // Dekker-style pairing with Loop: the producer enqueued (relaxed counter
+  // bump) before this fence; the sealer publishes parked_ and then re-reads
+  // the depth after its own fence. Whichever fence comes second sees the
+  // other side's write, so either we observe parked_ == true here or the
+  // sealer's re-check observes the new transaction — a wakeup is never
+  // lost, and the fast path costs no lock.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (!parked_.load(std::memory_order_relaxed)) return;
+  // The empty critical section ensures the sealer is fully inside cv wait
+  // (it sets parked_ under mu_), so the notify cannot land between its
+  // re-check and the wait.
+  { std::lock_guard<std::mutex> lk(mu_); }
+  cv_.notify_one();
+}
+
+Status BlockSealer::background_error() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return error_;
+}
+
+uint64_t BlockSealer::delivered() {
+  std::lock_guard<std::mutex> lk(seal_mu_);
+  return delivered_;
+}
+
+size_t BlockSealer::SealOnce(SealCause cause) {
+  std::lock_guard<std::mutex> lk(seal_mu_);
+  return SealLocked(cause);
+}
+
+size_t BlockSealer::SealLocked(SealCause cause) {
+  std::vector<TxnRequest> txns;
+  txns.reserve(opts_.block_size);
+  pool_->TakeBatch(opts_.block_size, &txns);
+  if (txns.empty()) return 0;
+  const size_t n = txns.size();
+
+  Block block = orderer_->SealBlock(std::move(txns), NowMicros());
+  if (stats_ != nullptr) {
+    stats_->sealed_blocks.fetch_add(1, std::memory_order_relaxed);
+    stats_->sealed_txns.fetch_add(n, std::memory_order_relaxed);
+    switch (cause) {
+      case SealCause::kSize:
+        stats_->size_seals.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case SealCause::kDeadline:
+        stats_->deadline_seals.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case SealCause::kFlush:
+        stats_->flush_seals.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+
+  // Delivery is the pipeline handoff: SubmitBlock schedules the block's
+  // simulation and returns, so the next block seals while this one runs.
+  Status s = deliver_(std::move(block));
+  delivered_++;
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> elk(mu_);
+    if (error_.ok()) error_ = s;
+  }
+  return n;
+}
+
+Status BlockSealer::Flush() {
+  // Hold seal_mu_ across the emptiness check: if the background thread is
+  // mid-seal (batch popped, not yet delivered), the pool can look empty
+  // while a block is still on its way to the replica — returning then would
+  // let Sync()'s Drain() miss it. Under the lock, empty really means every
+  // batch has been handed to the replica.
+  {
+    std::lock_guard<std::mutex> lk(seal_mu_);
+    while (!pool_->empty()) {
+      if (SealLocked(SealCause::kFlush) == 0) break;
+    }
+  }
+  return background_error();
+}
+
+void BlockSealer::Loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    const size_t depth = pool_->size() + pool_->retry_size();
+    if (depth >= opts_.block_size) {
+      lk.unlock();
+      SealOnce(SealCause::kSize);
+      lk.lock();
+      continue;
+    }
+
+    // Publish parked_ *before* re-reading the depth (pairs with Notify's
+    // fence — see there); a transaction admitted in the meantime is caught
+    // by the re-check instead of relying on its notify.
+    parked_.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (pool_->size() + pool_->retry_size() != depth) {
+      parked_.store(false, std::memory_order_relaxed);
+      continue;
+    }
+
+    if (opts_.max_block_delay_us > 0 && depth > 0) {
+      // The oldest waiter anchors the deadline (the mempool counts the
+      // retry lane from when it last became non-empty).
+      uint64_t oldest = pool_->oldest_submit_us();
+      const uint64_t now = NowMicros();
+      if (oldest == 0 || oldest > now) oldest = now;
+      const uint64_t deadline = oldest + opts_.max_block_delay_us;
+      if (now >= deadline) {
+        parked_.store(false, std::memory_order_relaxed);
+        lk.unlock();
+        SealOnce(SealCause::kDeadline);
+        lk.lock();
+        continue;
+      }
+      cv_.wait_for(lk, std::chrono::microseconds(deadline - now));
+    } else {
+      cv_.wait(lk);
+    }
+    parked_.store(false, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace harmony

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "ingest/mempool.h"
 
 namespace harmony {
 
@@ -94,10 +95,17 @@ Result<RunReport> Cluster::Run(
     });
   }
 
+  // Ingress staging: fresh transactions flow through a small mempool and
+  // CC-aborted ones re-enter via its retry lane (thread-safe — the commit
+  // callback runs on the replica's commit thread).
+  MempoolOptions mo;
+  mo.capacity = opts_.block_size * 8;
+  mo.shards = 4;
+  Mempool mempool(mo);
+
   // Outcome collection + deterministic retry of CC-aborted transactions.
   std::mutex out_mu;
   Histogram latencies;
-  std::deque<TxnRequest> retry_q;
   uint64_t committed = 0, dropped = 0;
   primary->SetCommitCallback([&](const Block& blk, const BlockResult& res) {
     std::lock_guard<std::mutex> lk(out_mu);
@@ -114,7 +122,7 @@ Result<RunReport> Cluster::Run(
           if (req.retries < opts_.max_retries) {
             TxnRequest retry = req;
             retry.retries++;
-            retry_q.push_back(std::move(retry));
+            mempool.AddRetry(std::move(retry));
           } else {
             dropped++;
           }
@@ -128,34 +136,36 @@ Result<RunReport> Cluster::Run(
   const double cpu_before = ProcessCpuSeconds();
   Timer wall;
 
+  // Any error must fall through the cleanup below — returning with feed
+  // threads joinable would std::terminate, and the commit callback captures
+  // stack locals by reference.
+  Status run_status;
   bool supply_exhausted = false;
-  while (true) {
-    // Assemble the next block: retries first (clients resubmit), then fresh
-    // transactions from the workload.
-    std::vector<TxnRequest> txns;
-    txns.reserve(opts_.block_size);
-    {
-      std::lock_guard<std::mutex> lk(out_mu);
-      while (txns.size() < opts_.block_size && !retry_q.empty()) {
-        txns.push_back(std::move(retry_q.front()));
-        retry_q.pop_front();
-      }
-    }
-    while (!supply_exhausted && txns.size() < opts_.block_size) {
+  while (run_status.ok()) {
+    // Refill the mempool from the workload, then cut the next block from it:
+    // retries drain first (clients resubmit aborted work), then fresh
+    // transactions.
+    while (!supply_exhausted && mempool.size() < opts_.block_size) {
       TxnRequest req;
       if (!supply(&req)) {
         supply_exhausted = true;
         break;
       }
       req.submit_time_us = NowMicros();
-      txns.push_back(std::move(req));
+      if (Status s = mempool.Add(std::move(req)); !s.ok()) {
+        run_status = s;
+        break;
+      }
     }
+    if (!run_status.ok()) break;
+    std::vector<TxnRequest> txns;
+    txns.reserve(opts_.block_size);
+    mempool.TakeBatch(opts_.block_size, &txns);
     if (txns.empty()) {
       if (!supply_exhausted) continue;
-      // Drain the pipeline; aborted txns may still flow into retry_q.
-      HARMONY_RETURN_NOT_OK(primary->Drain());
-      std::lock_guard<std::mutex> lk(out_mu);
-      if (retry_q.empty()) break;
+      // Drain the pipeline; aborted txns may still flow into the retry lane.
+      run_status = primary->Drain();
+      if (!run_status.ok() || mempool.empty()) break;
       continue;
     }
 
@@ -165,9 +175,9 @@ Result<RunReport> Cluster::Run(
       feeds[i]->q.push_back(block);  // copy: independent replicas
       feeds[i]->cv.notify_one();
     }
-    HARMONY_RETURN_NOT_OK(primary->SubmitBlock(std::move(block)));
+    run_status = primary->SubmitBlock(std::move(block));
   }
-  HARMONY_RETURN_NOT_OK(primary->Drain());
+  if (run_status.ok()) run_status = primary->Drain();
 
   const double wall_s = wall.ElapsedSeconds();
   const double cpu_s = ProcessCpuSeconds() - cpu_before;
@@ -180,6 +190,10 @@ Result<RunReport> Cluster::Run(
     feeds[i]->cv.notify_all();
   }
   for (auto& t : feed_threads) t.join();
+  // The callback references this frame's mempool/histogram; detach it before
+  // they go out of scope.
+  primary->SetCommitCallback(nullptr);
+  HARMONY_RETURN_NOT_OK(run_status);
   for (auto& f : feeds) {
     HARMONY_RETURN_NOT_OK(f->status);
   }

@@ -114,8 +114,13 @@ Status Replica::SubmitBlock(Block block) {
     BlockResult result;
     HARMONY_RETURN_NOT_OK(protocol_->Commit(block.batch, &result));
     HARMONY_RETURN_NOT_OK(AfterCommit(block, result));
-    std::lock_guard<std::mutex> lk(mu_);
-    last_committed_ = id;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      last_committed_ = id;
+    }
+    // A Drain() may be parked on another thread (the ingest sealer commits
+    // serial-protocol blocks on its own thread); wake it.
+    cv_.notify_all();
     return Status::OK();
   }
   return ExecuteBlockPipelined(std::move(block));

@@ -66,7 +66,8 @@ class ProcedureRegistry {
 struct TxnRequest {
   uint32_t proc_id = 0;
   ProcArgs args;
-  uint64_t client_seq = 0;     ///< client-assigned id, for dedup/audit
+  uint64_t client_id = 0;      ///< submitting client; dedup key half 1
+  uint64_t client_seq = 0;     ///< client-assigned id; dedup key half 2
   uint64_t submit_time_us = 0; ///< set when the client hands it to ordering
   uint32_t retries = 0;        ///< times this txn was CC-aborted and requeued
 };
