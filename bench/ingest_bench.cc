@@ -1,24 +1,33 @@
-// Ingress subsystem benchmark: open-loop multi-threaded Submit against the
-// sharded mempool + admission control + pipelined sealer.
+// Ingress subsystem benchmark — two parts (see bench/README.md):
 //
-// Producers submit blind increments as fast as the mempool admits them
-// (spinning briefly on Busy backpressure), while the background sealer cuts
-// blocks on size-or-deadline and pipelines them into the replica. Reported
-// per producer count: admit throughput, sealed blocks/sec, seal causes, and
-// how often backpressure fired.
+//  1. Contended queue comparison: the PR 1 mutex-striped shard mempool
+//     (spin lock + deque per shard, dedup in the same critical section —
+//     reconstructed here as the yardstick) vs the current lock-free MPSC
+//     shard-ring mempool, under 1/2/4/8 producers with one concurrent
+//     drainer. Pure ingest-path cost: no sealer, no replica.
+//
+//  2. Open-loop end-to-end ingress: multi-threaded Submit against admission
+//     control + mempool + pipelined sealer. Producers submit blind
+//     increments as fast as the mempool admits them (spinning briefly on
+//     Busy backpressure), while the background sealer cuts blocks on
+//     size-or-deadline and pipelines them into the replica.
 //
 //   ./build/ingest_bench
 #include <unistd.h>
 
 #include <atomic>
+#include <deque>
 #include <filesystem>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "bench/harness.h"
 #include "common/clock.h"
 #include "common/rng.h"
+#include "common/spin_lock.h"
 #include "core/harmonybc.h"
+#include "ingest/mempool.h"
 
 using namespace harmony;
 using namespace harmony::bench;
@@ -31,6 +40,146 @@ Status Increment(TxnContext& ctx, const ProcArgs& a) {
 }
 
 constexpr int kKeys = 1024;
+
+// ------------------------------------------------- part 1: queue compare --
+
+/// The PR 1 design, verbatim in spirit: shard-striped spin locks, a
+/// std::deque per shard, and the dedup probe inside the same critical
+/// section as the enqueue. This is what the lock-free rings replaced.
+class MutexMempool {
+ public:
+  MutexMempool(size_t capacity, size_t shards)
+      : capacity_(capacity),
+        shards_(shards),
+        mask_(shards - 1),
+        // PR 1's default dedup window, split per shard — keeps the seen
+        // sets bounded exactly like the ring mempool's, so the comparison
+        // measures queue design, not unbounded hash-set growth.
+        dedup_per_shard_((1u << 20) / shards) {}
+
+  Status Add(TxnRequest req) {
+    size_t cur = size_.load(std::memory_order_relaxed);
+    do {
+      if (cur >= capacity_) return Status::Busy("full");
+    } while (!size_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_relaxed));
+    const uint64_t key = Mix64(req.client_id ^ Mix64(req.client_seq));
+    Shard& s = shards_[key & mask_];
+    {
+      std::lock_guard<SpinLock> lk(s.mu);
+      if (!s.seen.insert(key).second) {
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return Status::InvalidArgument("dup");
+      }
+      s.seen_fifo.push_back(key);
+      if (s.seen_fifo.size() > dedup_per_shard_) {
+        s.seen.erase(s.seen_fifo.front());
+        s.seen_fifo.pop_front();
+      }
+      s.q.push_back(std::move(req));
+    }
+    return Status::OK();
+  }
+
+  size_t TakeBatch(size_t max, std::vector<TxnRequest>* out) {
+    const size_t before = out->size();
+    size_t cursor = cursor_.fetch_add(1, std::memory_order_relaxed);
+    size_t taken = 0;
+    for (size_t i = 0; i < shards_.size() && out->size() - before < max; i++) {
+      Shard& s = shards_[(cursor + i) & mask_];
+      std::lock_guard<SpinLock> lk(s.mu);
+      while (out->size() - before < max && !s.q.empty()) {
+        out->push_back(std::move(s.q.front()));
+        s.q.pop_front();
+        taken++;
+      }
+    }
+    if (taken > 0) size_.fetch_sub(taken, std::memory_order_relaxed);
+    return out->size() - before;
+  }
+
+ private:
+  struct Shard {
+    SpinLock mu;
+    std::deque<TxnRequest> q;
+    std::unordered_set<uint64_t> seen;
+    std::deque<uint64_t> seen_fifo;
+  };
+  size_t capacity_;
+  std::vector<Shard> shards_;
+  size_t mask_;
+  size_t dedup_per_shard_;
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> cursor_{0};
+};
+
+/// Runs `producers` submit threads against `pool` with one concurrent
+/// drainer; returns admitted transactions per second (measured over the
+/// producers' wall time, the contended phase).
+template <typename Pool>
+double QueueThroughput(Pool& pool, size_t producers, size_t per_producer) {
+  std::atomic<uint64_t> drained{0};
+  const uint64_t total = producers * per_producer;
+  std::thread consumer([&] {
+    std::vector<TxnRequest> out;
+    while (drained.load(std::memory_order_relaxed) < total) {
+      out.clear();
+      const size_t n = pool.TakeBatch(256, &out);
+      if (n == 0) {
+        std::this_thread::yield();
+      } else {
+        drained.fetch_add(n, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < producers; p++) {
+    threads.emplace_back([&, p] {
+      for (size_t i = 1; i <= per_producer;) {
+        TxnRequest t;
+        t.proc_id = 1;
+        t.client_id = p + 1;
+        t.client_seq = i;
+        t.args.ints = {static_cast<int64_t>(i & (kKeys - 1)), 1};
+        if (pool.Add(std::move(t)).ok()) {
+          i++;
+        } else {
+          std::this_thread::yield();  // backpressure
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double s = wall.ElapsedSeconds();
+  consumer.join();
+  return s > 0 ? static_cast<double>(total) / s : 0;
+}
+
+void RunQueueCompare(size_t per_producer) {
+  PrintHeader(
+      "Mempool queue: mutex-striped deques (PR 1) vs lock-free MPSC rings, "
+      "16 shards, one concurrent drainer",
+      {"producers", "mutex ktxn/s", "lock-free ktxn/s", "speedup"});
+  for (size_t producers : {1, 2, 4, 8}) {
+    MutexMempool mutex_pool(1 << 14, 16);
+    const double mutex_tps =
+        QueueThroughput(mutex_pool, producers, per_producer);
+
+    MempoolOptions mo;
+    mo.capacity = 1 << 14;
+    mo.shards = 16;
+    Mempool ring_pool(mo);
+    const double ring_tps = QueueThroughput(ring_pool, producers, per_producer);
+
+    PrintRow({std::to_string(producers), Fmt(mutex_tps / 1e3),
+              Fmt(ring_tps / 1e3),
+              Fmt(mutex_tps > 0 ? ring_tps / mutex_tps : 0, 2) + "x"});
+  }
+}
+
+// --------------------------------------------- part 2: end-to-end ingress --
 
 struct IngestPoint {
   double admit_ktps = 0;       ///< admitted txns / sec, producers running
@@ -56,6 +205,7 @@ IngestPoint RunPoint(size_t producers, size_t txns_per_producer) {
   o.block_size = 100;
   o.max_block_delay_us = 2'000;  // 2ms latency bound
   o.mempool_capacity = 1 << 14;
+  o.high_fee_threshold = 100;  // ~1/4 of traffic rides the high lane
   o.threads = 8;
   o.checkpoint_every = 50;
 
@@ -80,6 +230,7 @@ IngestPoint RunPoint(size_t producers, size_t txns_per_producer) {
         TxnRequest t;
         t.proc_id = 1;
         t.client_id = p + 1;
+        t.fee = (rng.UniformRange(0, 3) == 0) ? 200 : 0;  // some pay up
         t.args.ints = {rng.UniformRange(0, kKeys - 1), 1};
         Status s = (*db)->Submit(std::move(t));
         if (s.ok()) {
@@ -122,10 +273,14 @@ IngestPoint RunPoint(size_t producers, size_t txns_per_producer) {
 }  // namespace
 
 int main() {
+  RunQueueCompare(ScaledTxns(200000));
+
   const size_t per_producer = ScaledTxns(25000);
-  PrintHeader("Ingress: open-loop Submit, block_size=100, deadline=2ms",
-              {"producers", "admit ktxn/s", "blocks/s", "e2e ktxn/s",
-               "size seals", "deadline seals", "backpressured"});
+  PrintHeader(
+      "Ingress: open-loop Submit, block_size=100, deadline=2ms, "
+      "fee lanes on",
+      {"producers", "admit ktxn/s", "blocks/s", "e2e ktxn/s", "size seals",
+       "deadline seals", "backpressured"});
   for (size_t producers : {1, 2, 4, 8}) {
     IngestPoint pt = RunPoint(producers, per_producer);
     PrintRow({std::to_string(producers), Fmt(pt.admit_ktps),

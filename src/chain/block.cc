@@ -10,6 +10,7 @@ void BlockCodec::EncodeTxn(const TxnRequest& t, std::string* out) {
   codec::AppendU64(out, t.client_seq);
   codec::AppendU64(out, t.submit_time_us);
   codec::AppendU32(out, t.retries);
+  codec::AppendU64(out, t.fee);
   codec::AppendU32(out, static_cast<uint32_t>(t.args.ints.size()));
   for (int64_t v : t.args.ints) codec::AppendI64(out, v);
   codec::AppendBytes(out, t.args.blob);
@@ -20,7 +21,7 @@ bool BlockCodec::DecodeTxn(codec::Reader* r, TxnRequest* out) {
   if (!r->ReadU32(&out->proc_id) || !r->ReadU64(&out->client_id) ||
       !r->ReadU64(&out->client_seq) ||
       !r->ReadU64(&out->submit_time_us) || !r->ReadU32(&out->retries) ||
-      !r->ReadU32(&n_ints)) {
+      !r->ReadU64(&out->fee) || !r->ReadU32(&n_ints)) {
     return false;
   }
   out->args.ints.resize(n_ints);

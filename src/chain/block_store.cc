@@ -14,9 +14,10 @@ namespace harmony {
 namespace {
 
 // "HBCL" + the record codec version. Version 2 added client_id to the
-// transaction wire format; version 1 logs (pre-header) fail the magic check.
+// transaction wire format; version 3 added the priority fee. Version 1 logs
+// (pre-header) fail the magic check.
 constexpr uint32_t kLogMagic = 0x4C434248u;
-constexpr uint32_t kLogVersion = 2;
+constexpr uint32_t kLogVersion = 3;
 constexpr uint64_t kLogHeaderBytes = 8;
 
 }  // namespace

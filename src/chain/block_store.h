@@ -12,13 +12,36 @@ namespace harmony {
 
 /// Append-only logical log of input blocks (Section 4, "Recovery"): because
 /// execution is deterministic, persisting the *inputs* is sufficient for
-/// recovery — no ARIES-style physical log. File format:
-///   u32 magic | u32 format_version | records...
-///   record: u32 payload_len | payload (encoded block) | u32 crc32(payload)
-/// Torn tails (crash mid-append) are detected by CRC/length and truncated.
-/// A magic/version mismatch is an explicit open error, never a silent
-/// truncation — the record codec changes between format versions, and
-/// treating an old log as one giant torn tail would wipe the chain.
+/// recovery — no ARIES-style physical log.
+///
+/// ## File format
+///
+/// ```
+///   offset 0: u32 magic           = 0x4C434248 ("HBCL" read as bytes,
+///                                   little-endian on disk)
+///   offset 4: u32 format_version  = current kLogVersion (block_store.cc)
+///   offset 8: records...
+///
+///   record:   u32 payload_len
+///             payload             (BlockCodec::Encode bytes, payload_len)
+///             u32 crc32(payload)
+/// ```
+///
+/// All integers are little-endian (the codec's native byte order).
+///
+/// ### Version history
+///  - v1 — PR 0 seed; *no header at all* (the file begins with a record
+///         length). Such logs fail the magic check.
+///  - v2 — PR 1: 8-byte magic/version header introduced; `client_id`
+///         added to the transaction wire format.
+///  - v3 — priority `fee` added to the transaction wire format.
+///
+/// ### Failure semantics
+/// Torn tails (crash mid-append) are detected by CRC/length and truncated
+/// on Open(). A magic/version mismatch is an explicit NotSupported open
+/// error, never a silent truncation — the record codec changes between
+/// format versions, and treating an old log as one giant torn tail would
+/// wipe the chain.
 class BlockStore {
  public:
   /// `sync_latency_us` is the modelled group-commit flush cost charged per

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace harmony {
+
+/// Bounded lock-free multi-producer / single-consumer ring buffer
+/// (Vyukov-style: per-slot sequence numbers instead of a shared head/tail
+/// lock). Producers claim slots with one CAS on the tail; the consumer pops
+/// with plain loads/stores on the head. No operation ever blocks: a full
+/// ring fails the push (backpressure), an empty ring fails the pop.
+///
+/// Memory-ordering contract (see docs/INGEST.md for the full walkthrough):
+///  - each slot carries a `seq` ticket. `seq == pos` means "free for the
+///    producer claiming position pos"; `seq == pos + 1` means "filled, ready
+///    for the consumer at position pos"; after the consumer empties it the
+///    slot is re-ticketed `pos + capacity` for the next lap.
+///  - producers: `tail` is claimed with a relaxed CAS (the ticket, not the
+///    tail, orders the payload); the payload write is published by the
+///    *release* store of `seq = pos + 1`, which the consumer's *acquire*
+///    load of `seq` synchronizes with.
+///  - consumer: reads the payload only after the acquire load observes
+///    `seq == pos + 1`; the *release* store of `seq = pos + capacity` hands
+///    the slot back, and a producer's *acquire* load of that ticket orders
+///    its payload overwrite after the consumer's move-out.
+///
+/// TryPop (and Peek-style accessors, if added) must be called by one thread
+/// at a time — callers with several draining threads must serialize them
+/// externally (the sealer does so under its seal mutex). TryPush is safe
+/// from any number of threads concurrently with the consumer.
+///
+/// Capacity is rounded up to a power of two. Slots are cache-line aligned
+/// so two producers filling adjacent slots never false-share, and the
+/// producer-side tail and consumer-side head live on separate lines.
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; i++) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Multi-producer enqueue. Returns false when the ring is full (the value
+  /// is left untouched so the caller can surface backpressure or retry).
+  bool TryPush(T& v) {
+    uint64_t pos = tail_.load(std::memory_order_relaxed);
+    while (true) {
+      Cell& c = cells_[pos & mask_];
+      const uint64_t seq = c.seq.load(std::memory_order_acquire);
+      const int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+      if (dif == 0) {
+        // Slot is free this lap; claim it. The CAS can be relaxed: payload
+        // visibility rides on the seq ticket, not on the tail counter.
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          c.val = std::move(v);
+          c.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS refreshed pos with the current tail; retry there.
+      } else if (dif < 0) {
+        // The slot still holds last lap's ticket: the consumer hasn't freed
+        // it, so the ring is full *at this instant*. (A concurrent pop can
+        // make room immediately after — callers that want to wait out
+        // backpressure simply call again.)
+        return false;
+      } else {
+        // Another producer claimed pos; chase the tail.
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool TryPush(T&& v) {
+    T tmp = std::move(v);
+    if (TryPush(tmp)) return true;
+    v = std::move(tmp);  // full: hand the value back, honouring the
+    return false;        // leave-untouched retry contract above
+  }
+
+  /// Single-consumer dequeue. Returns false when empty. A slot whose
+  /// producer has claimed but not yet published (CAS done, release store
+  /// pending) reads as empty — the item becomes visible a few instructions
+  /// later, never out of order with earlier pushes by the same producer.
+  bool TryPop(T* out) {
+    const uint64_t pos = head_.load(std::memory_order_relaxed);
+    Cell& c = cells_[pos & mask_];
+    const uint64_t seq = c.seq.load(std::memory_order_acquire);
+    if (seq != pos + 1) return false;  // empty (or mid-publish)
+    *out = std::move(c.val);
+    c.val = T();  // drop payload-owned memory now, not a full lap later
+    c.seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Approximate occupancy (racy by nature; monitoring / heuristics only).
+  size_t size() const {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    const uint64_t t = tail_.load(std::memory_order_relaxed);
+    return t >= h ? static_cast<size_t>(t - h) : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> seq{0};
+    T val{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  alignas(64) std::atomic<uint64_t> tail_{0};  ///< producers CAS this
+  alignas(64) std::atomic<uint64_t> head_{0};  ///< consumer-only
+};
+
+}  // namespace harmony

@@ -66,26 +66,30 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   }
   const size_t chunks = std::min(n, workers_.size() * 4);
   const size_t per = (n + chunks - 1) / chunks;
-  std::atomic<size_t> done{0};
+  // done/mu/cv live on this frame, so a worker must never touch them after
+  // the waiter can observe completion: the increment happens *under* the
+  // mutex, which means the waiter's predicate only becomes true once the
+  // last worker is inside the lock — and the wait() can't return until that
+  // worker has released it and stopped referencing this stack.
+  size_t done = 0;
   std::mutex done_mu;
   std::condition_variable done_cv;
   for (size_t c = 0; c < chunks; c++) {
     const size_t lo = c * per;
     const size_t hi = std::min(n, lo + per);
     if (lo >= hi) {
-      done.fetch_add(1);
+      std::lock_guard<std::mutex> lk(done_mu);
+      done++;
       continue;
     }
     Submit([&, lo, hi] {
       for (size_t i = lo; i < hi; i++) fn(i);
-      if (done.fetch_add(1) + 1 == chunks) {
-        std::lock_guard<std::mutex> lk(done_mu);
-        done_cv.notify_all();
-      }
+      std::lock_guard<std::mutex> lk(done_mu);
+      if (++done == chunks) done_cv.notify_all();
     });
   }
   std::unique_lock<std::mutex> lk(done_mu);
-  done_cv.wait(lk, [&] { return done.load() == chunks; });
+  done_cv.wait(lk, [&] { return done == chunks; });
 }
 
 void ThreadPool::ParallelShards(size_t shards,
@@ -95,20 +99,20 @@ void ThreadPool::ParallelShards(size_t shards,
     for (size_t s = 0; s < shards; s++) fn(s);
     return;
   }
-  std::atomic<size_t> done{0};
+  // Same stack-lifetime discipline as ParallelFor: increment under the
+  // mutex so no worker touches this frame after the wait can return.
+  size_t done = 0;
   std::mutex done_mu;
   std::condition_variable done_cv;
   for (size_t s = 0; s < shards; s++) {
     Submit([&, s] {
       fn(s);
-      if (done.fetch_add(1) + 1 == shards) {
-        std::lock_guard<std::mutex> lk(done_mu);
-        done_cv.notify_all();
-      }
+      std::lock_guard<std::mutex> lk(done_mu);
+      if (++done == shards) done_cv.notify_all();
     });
   }
   std::unique_lock<std::mutex> lk(done_mu);
-  done_cv.wait(lk, [&] { return done.load() == shards; });
+  done_cv.wait(lk, [&] { return done == shards; });
 }
 
 }  // namespace harmony

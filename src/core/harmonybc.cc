@@ -27,11 +27,15 @@ Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
 
   AdmissionOptions ao;
   ao.rate_per_client_tps = options.admit_rate_per_client;
+  ao.demote_over_rate = options.demote_over_rate;
   db->admission_ = std::make_unique<AdmissionController>(ao);
 
   MempoolOptions mo;
   mo.capacity = options.mempool_capacity;
   mo.shards = options.mempool_shards;
+  mo.ring_capacity = options.mempool_ring_capacity;
+  mo.high_fee_threshold = options.high_fee_threshold;
+  mo.lane_weights = options.lane_weights;
   db->mempool_ = std::make_unique<Mempool>(mo);
 
   // CC aborts flow back through the mempool's retry lane; the sealer picks
@@ -115,9 +119,13 @@ Status HarmonyBC::Submit(TxnRequest req) {
   // Rate limiting must run on the server's clock — submit_time_us is
   // caller-supplied, and a forged future timestamp would refill (or
   // permanently poison) the client's token bucket.
-  HARMONY_RETURN_NOT_OK(admission_->Admit(req, now));
+  bool demote = false;
+  HARMONY_RETURN_NOT_OK(admission_->Admit(req, now, &demote));
 
-  Status s = mempool_->Add(std::move(req));
+  // Demotion overrides the fee: an over-budget client cannot buy its way
+  // back into the high lane mid-burst.
+  Status s = demote ? mempool_->Add(std::move(req), IngestLane::kLow)
+                    : mempool_->Add(std::move(req));
   if (s.ok()) {
     stats->admitted.fetch_add(1, std::memory_order_relaxed);
     sealer_->Notify();

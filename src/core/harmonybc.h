@@ -61,8 +61,18 @@ class HarmonyBC {
     uint64_t max_block_delay_us = 0;
     size_t mempool_capacity = 1 << 16;  ///< Busy backpressure beyond this
     size_t mempool_shards = 16;
+    /// Slots per shard-lane lock-free ring; 0 derives from capacity/shards.
+    size_t mempool_ring_capacity = 0;
+    /// Transactions with fee >= this ride the mempool's high-priority lane;
+    /// 0 disables fee-based prioritization.
+    uint64_t high_fee_threshold = 0;
+    /// Weighted-drain shares for the {high, normal, low} mempool lanes.
+    LaneWeights lane_weights = kDefaultLaneWeights;
     /// Per-client admission rate (txns/sec); 0 = unlimited.
     double admit_rate_per_client = 0;
+    /// Over-budget clients are demoted to the low lane instead of bounced
+    /// with Busy (soft rate limiting; needs admit_rate_per_client > 0).
+    bool demote_over_rate = false;
     uint32_t max_txn_retries = 50;  ///< CC-abort resubmissions per txn
     uint32_t max_sync_rounds = 200; ///< seal+drain rounds before Sync gives up
   };

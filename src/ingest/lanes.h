@@ -1,0 +1,48 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace harmony {
+
+/// Priority lanes for fresh transactions inside the mempool. The retry lane
+/// (CC-aborted transactions) is not listed here: it sits *above* every
+/// priority lane and always drains first — see Mempool.
+///
+/// Lane assignment:
+///  - kHigh:   fee >= MempoolOptions::high_fee_threshold (fee ordering);
+///  - kNormal: everything else;
+///  - kLow:    clients demoted by admission control (over their rate budget
+///             with AdmissionOptions::demote_over_rate set) — they still
+///             make progress, just behind paying traffic.
+enum class IngestLane : uint8_t {
+  kHigh = 0,
+  kNormal = 1,
+  kLow = 2,
+};
+
+inline constexpr size_t kNumLanes = 3;
+
+/// Weighted-drain shares for {kHigh, kNormal, kLow}, applied per sealed
+/// batch. A lane with weight w is guaranteed at least
+/// floor(batch * w / sum_weights) slots (at least 1 when non-empty and the
+/// batch has room), so a sustained high-lane flood cannot starve the low
+/// lane — it only slows it to its weighted share.
+using LaneWeights = std::array<uint32_t, kNumLanes>;
+
+inline constexpr LaneWeights kDefaultLaneWeights = {8, 3, 1};
+
+inline const char* LaneName(IngestLane lane) {
+  switch (lane) {
+    case IngestLane::kHigh:
+      return "high";
+    case IngestLane::kNormal:
+      return "normal";
+    case IngestLane::kLow:
+      return "low";
+  }
+  return "?";
+}
+
+}  // namespace harmony

@@ -117,6 +117,14 @@ Status BlockSealer::Flush() {
 }
 
 void BlockSealer::Loop() {
+  // Fallback deadline anchor for a rare mempool race: a lane drain that
+  // empties a lane can zero its anchor just as a producer refills it,
+  // leaving buffered work whose oldest_submit_us() reads 0. Treating 0 as
+  // "now" on *every* wakeup would slide the deadline forever for a lane
+  // that stays occupied below block_size; instead the first wakeup that
+  // observes the condition pins the anchor here, bounding the extra wait
+  // to one deadline period.
+  uint64_t zero_anchor_since = 0;
   std::unique_lock<std::mutex> lk(mu_);
   while (!stop_) {
     const size_t depth = pool_->size() + pool_->retry_size();
@@ -124,6 +132,7 @@ void BlockSealer::Loop() {
       lk.unlock();
       SealOnce(SealCause::kSize);
       lk.lock();
+      zero_anchor_since = 0;
       continue;
     }
 
@@ -138,21 +147,29 @@ void BlockSealer::Loop() {
     }
 
     if (opts_.max_block_delay_us > 0 && depth > 0) {
-      // The oldest waiter anchors the deadline (the mempool counts the
-      // retry lane from when it last became non-empty).
+      // The oldest waiter anchors the deadline (the mempool counts each
+      // lane from when it last became non-empty).
       uint64_t oldest = pool_->oldest_submit_us();
       const uint64_t now = NowMicros();
-      if (oldest == 0 || oldest > now) oldest = now;
+      if (oldest == 0) {
+        if (zero_anchor_since == 0) zero_anchor_since = now;
+        oldest = zero_anchor_since;  // sticky: see comment at the top
+      } else {
+        zero_anchor_since = 0;
+      }
+      if (oldest > now) oldest = now;
       const uint64_t deadline = oldest + opts_.max_block_delay_us;
       if (now >= deadline) {
         parked_.store(false, std::memory_order_relaxed);
         lk.unlock();
         SealOnce(SealCause::kDeadline);
         lk.lock();
+        zero_anchor_since = 0;
         continue;
       }
       cv_.wait_for(lk, std::chrono::microseconds(deadline - now));
     } else {
+      zero_anchor_since = 0;
       cv_.wait(lk);
     }
     parked_.store(false, std::memory_order_relaxed);

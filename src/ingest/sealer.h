@@ -34,8 +34,16 @@ struct SealerOptions {
 ///  - deadline: the oldest pending txn is max_block_delay_us old;
 ///  - flush:    Flush() seals everything buffered right now (Sync path).
 ///
+/// Each cut applies the mempool's weighted-drain policy: the retry lane
+/// first, then the priority lanes by their configured shares, so a block is
+/// mostly high-fee traffic but never starves the low lane (see
+/// Mempool::TakeBatch and docs/INGEST.md).
+///
 /// SealBlock + delivery happen under one mutex, so block ids stay dense and
 /// in order no matter which thread (sealer or a Flush caller) cuts a block.
+/// That mutex is also what makes the sealer the mempool's *single logical
+/// consumer*: the lock-free shard rings allow exactly one drainer at a
+/// time, and every TakeBatch here runs under seal_mu_.
 /// A delivery failure parks the error; subsequent Flush() calls report it.
 class BlockSealer {
  public:

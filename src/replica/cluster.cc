@@ -95,12 +95,15 @@ Result<RunReport> Cluster::Run(
     });
   }
 
-  // Ingress staging: fresh transactions flow through a small mempool and
-  // CC-aborted ones re-enter via its retry lane (thread-safe — the commit
-  // callback runs on the replica's commit thread).
+  // Ingress staging: fresh transactions flow through a small mempool
+  // (lock-free shard-lane rings) and CC-aborted ones re-enter via its retry
+  // lane (thread-safe — the commit callback runs on the replica's commit
+  // thread). Fee-stamped supplies get priority ordering for free.
   MempoolOptions mo;
   mo.capacity = opts_.block_size * 8;
   mo.shards = 4;
+  mo.high_fee_threshold = opts_.high_fee_threshold;
+  mo.lane_weights = opts_.lane_weights;
   Mempool mempool(mo);
 
   // Outcome collection + deterministic retry of CC-aborted transactions.

@@ -8,6 +8,7 @@
 
 #include "common/histogram.h"
 #include "consensus/orderer.h"
+#include "ingest/lanes.h"
 #include "replica/replica.h"
 
 namespace harmony {
@@ -25,6 +26,10 @@ struct ClusterOptions {
   NetworkModel net;
   uint32_t max_retries = 20;    ///< CC-aborted txns are requeued this often
   uint64_t sov_rwset_bytes = 0; ///< >0 marks an SOV system shipping rw-sets
+  /// Fee-based prioritization for the staging mempool: txns the supply
+  /// stamps with fee >= this ride the high lane. 0 = single normal lane.
+  uint64_t high_fee_threshold = 0;
+  LaneWeights lane_weights = kDefaultLaneWeights;
 };
 
 /// Outcome of one cluster run.

@@ -70,6 +70,11 @@ struct TxnRequest {
   uint64_t client_seq = 0;     ///< client-assigned id; dedup key half 2
   uint64_t submit_time_us = 0; ///< set when the client hands it to ordering
   uint32_t retries = 0;        ///< times this txn was CC-aborted and requeued
+  /// Client-offered priority fee. At or above the mempool's
+  /// high_fee_threshold the transaction rides the high-priority lane;
+  /// otherwise it is ordering metadata only (carried through the codec so
+  /// replicas could meter it). No monetary semantics are enforced here.
+  uint64_t fee = 0;
 };
 
 }  // namespace harmony

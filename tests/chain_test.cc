@@ -18,6 +18,7 @@ TxnBatch MakeBatch(BlockId id, TxnId first_tid, size_t n) {
     TxnRequest t;
     t.proc_id = 7;
     t.client_seq = first_tid + i;
+    t.fee = 10 * i;  // priority fee rides the wire format (log v3)
     t.args.ints = {static_cast<int64_t>(i), -5, 123456789};
     t.args.blob = "blob-" + std::to_string(i);
     b.txns.push_back(std::move(t));
@@ -38,6 +39,7 @@ TEST(BlockCodec, RoundTrip) {
   ASSERT_EQ(d.batch.txns.size(), 5u);
   EXPECT_EQ(d.batch.txns[3].args.blob, "blob-3");
   EXPECT_EQ(d.batch.txns[3].args.ints[2], 123456789);
+  EXPECT_EQ(d.batch.txns[3].fee, 30u);
 }
 
 TEST(BlockCodec, DecodeRejectsTruncation) {

@@ -6,6 +6,7 @@
 
 #include "chain/block_store.h"
 #include "common/clock.h"
+#include "common/mpsc_ring.h"
 #include "core/harmonybc.h"
 #include "ingest/admission.h"
 #include "ingest/mempool.h"
@@ -21,6 +22,102 @@ TxnRequest Req(uint64_t client_id, uint64_t seq, uint32_t proc_id = 1) {
   t.client_seq = seq;
   t.submit_time_us = 1;
   return t;
+}
+
+TxnRequest FeeReq(uint64_t client_id, uint64_t seq, uint64_t fee) {
+  TxnRequest t = Req(client_id, seq);
+  t.fee = fee;
+  return t;
+}
+
+// -------------------------------------------------------------- MPSC ring --
+
+TEST(MpscRing, FifoOrderAcrossWraparound) {
+  MpscRing<uint64_t> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  uint64_t expect = 0;
+  // 1000 items through a 4-slot ring: the sequence tickets must wrap the
+  // ring many times without reordering or losing an element.
+  for (uint64_t i = 0; i < 1000; i++) {
+    ASSERT_TRUE(ring.TryPush(uint64_t(i)));
+    if (i % 2 == 1) {  // drain in pairs to exercise partial occupancy
+      uint64_t a = 0, b = 0;
+      ASSERT_TRUE(ring.TryPop(&a));
+      ASSERT_TRUE(ring.TryPop(&b));
+      EXPECT_EQ(a, expect++);
+      EXPECT_EQ(b, expect++);
+    }
+  }
+  uint64_t leftover;
+  EXPECT_FALSE(ring.TryPop(&leftover));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(MpscRing, FullRingFailsPushUntilPopped) {
+  MpscRing<uint64_t> ring(4);
+  for (uint64_t i = 0; i < 4; i++) ASSERT_TRUE(ring.TryPush(uint64_t(i)));
+  uint64_t v = 99;
+  EXPECT_FALSE(ring.TryPush(v));
+  EXPECT_EQ(v, 99u);  // a failed push leaves the value intact
+  EXPECT_EQ(ring.size(), 4u);
+  uint64_t out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(ring.TryPush(v));  // the freed slot is immediately reusable
+}
+
+TEST(MpscRing, FailedRvaluePushHandsTheValueBack) {
+  MpscRing<std::string> ring(2);
+  ASSERT_TRUE(ring.TryPush(std::string("a")));
+  ASSERT_TRUE(ring.TryPush(std::string("b")));
+  // The retry idiom `while (!TryPush(std::move(v))) ...` must not lose the
+  // payload on the failing attempts.
+  std::string v = "payload";
+  EXPECT_FALSE(ring.TryPush(std::move(v)));
+  EXPECT_EQ(v, "payload");
+  std::string out;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_TRUE(ring.TryPush(std::move(v)));
+}
+
+TEST(MpscRing, EightProducersNoLossThroughTinyRing) {
+  // 8 producers hammer a 64-slot ring (constant wraparound + full-ring
+  // backoff) while one consumer drains. Every element must arrive exactly
+  // once and per-producer order must hold. TSAN-clean by design.
+  constexpr int kProducers = 8;
+  constexpr uint64_t kPerProducer = 20000;
+  MpscRing<uint64_t> ring(64);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; p++) {
+    producers.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer;) {
+        // Encode (producer, seq) so the consumer can check per-producer FIFO.
+        if (ring.TryPush((uint64_t(p) << 32) | i)) {
+          i++;
+        } else {
+          std::this_thread::yield();  // full: wait out backpressure
+        }
+      }
+    });
+  }
+
+  uint64_t next_seq[kProducers] = {};
+  uint64_t received = 0;
+  while (received < kProducers * kPerProducer) {
+    uint64_t v;
+    if (!ring.TryPop(&v)) continue;
+    const int p = static_cast<int>(v >> 32);
+    const uint64_t seq = v & 0xFFFFFFFFu;
+    ASSERT_LT(p, kProducers);
+    ASSERT_EQ(seq, next_seq[p]) << "producer " << p << " reordered";
+    next_seq[p]++;
+    received++;
+  }
+  for (auto& t : producers) t.join();
+  uint64_t leftover;
+  EXPECT_FALSE(ring.TryPop(&leftover));
+  for (int p = 0; p < kProducers; p++) EXPECT_EQ(next_seq[p], kPerProducer);
 }
 
 // ---------------------------------------------------------------- mempool --
@@ -93,6 +190,137 @@ TEST(Mempool, DedupWindowForgetsOldest) {
   ASSERT_OK(pool.Add(Req(1, 1)));  // forgotten, admitted again
 }
 
+TEST(Mempool, ShardRingFullIsBusyAndRollsBackDedup) {
+  MempoolOptions mo;
+  mo.shards = 1;
+  mo.ring_capacity = 4;  // tiny ring; global capacity stays huge
+  Mempool pool(mo);
+  EXPECT_EQ(pool.ring_capacity(), 4u);
+  for (uint64_t i = 1; i <= 4; i++) ASSERT_OK(pool.Add(Req(1, i)));
+  Status full = pool.Add(Req(1, 5));
+  EXPECT_TRUE(full.IsBusy()) << full.ToString();
+
+  // The failed admission must not leave (1,5) behind as a dedup key, or the
+  // client's retry after backpressure would bounce as a duplicate.
+  std::vector<TxnRequest> out;
+  EXPECT_EQ(pool.TakeBatch(4, &out), 4u);
+  ASSERT_OK(pool.Add(Req(1, 5)));
+}
+
+// ------------------------------------------------------ mempool lanes -----
+
+TEST(Mempool, FeeSelectsLaneAndHighDrainsMostly) {
+  MempoolOptions mo;
+  mo.high_fee_threshold = 100;  // lane_weights default {8, 3, 1}
+  Mempool pool(mo);
+  for (uint64_t i = 1; i <= 8; i++) ASSERT_OK(pool.Add(FeeReq(1, i, 0)));
+  for (uint64_t i = 1; i <= 8; i++) ASSERT_OK(pool.Add(FeeReq(2, i, 200)));
+  EXPECT_EQ(pool.lane_size(IngestLane::kHigh), 8u);
+  EXPECT_EQ(pool.lane_size(IngestLane::kNormal), 8u);
+
+  // One block of 8 from both lanes: the weighted drain gives high its 8/11
+  // share (plus the rounding leftover) but still guarantees normal >= 1.
+  std::vector<TxnRequest> out;
+  EXPECT_EQ(pool.TakeBatch(8, &out), 8u);
+  size_t high = 0, normal = 0;
+  for (const TxnRequest& t : out) (t.fee >= 100 ? high : normal)++;
+  EXPECT_EQ(high, 6u);
+  EXPECT_EQ(normal, 2u);
+  EXPECT_GE(high, normal);  // priority order even if weights are retuned
+}
+
+TEST(Mempool, LowLaneNeverStarvesUnderSustainedHighLoad) {
+  MempoolOptions mo;
+  mo.high_fee_threshold = 100;
+  Mempool pool(mo);
+  // 10 low-lane transactions (the admission demotion path uses the explicit
+  // lane overload), then a sustained high-fee flood: every round refills
+  // the high lane to a full block before the sealer drains one block.
+  constexpr uint64_t kLow = 10;
+  for (uint64_t i = 1; i <= kLow; i++) {
+    ASSERT_OK(pool.Add(FeeReq(9, i, 0), IngestLane::kLow));
+  }
+  EXPECT_EQ(pool.lane_size(IngestLane::kLow), kLow);
+
+  uint64_t next_high_seq = 1;
+  size_t low_taken = 0;
+  size_t rounds = 0;
+  while (low_taken < kLow) {
+    ASSERT_LT(rounds++, 2 * kLow) << "low lane starved";
+    while (pool.lane_size(IngestLane::kHigh) < 8) {
+      ASSERT_OK(pool.Add(FeeReq(1, next_high_seq++, 500)));
+    }
+    std::vector<TxnRequest> out;
+    ASSERT_EQ(pool.TakeBatch(8, &out), 8u);
+    size_t low_this_round = 0;
+    for (const TxnRequest& t : out) {
+      if (t.client_id == 9) low_this_round++;
+    }
+    // Weighted floor: the non-empty low lane owns >= 1 slot of every batch.
+    EXPECT_GE(low_this_round, 1u);
+    low_taken += low_this_round;
+  }
+  EXPECT_EQ(pool.lane_size(IngestLane::kLow), 0u);
+}
+
+TEST(Mempool, RetryLaneOutranksEveryPriorityLane) {
+  MempoolOptions mo;
+  mo.high_fee_threshold = 100;
+  Mempool pool(mo);
+  ASSERT_OK(pool.Add(FeeReq(1, 1, 500)));  // high lane
+  pool.AddRetry(FeeReq(2, 7, 0));          // CC-aborted, fee irrelevant
+  std::vector<TxnRequest> out;
+  EXPECT_EQ(pool.TakeBatch(2, &out), 2u);
+  EXPECT_EQ(out[0].client_id, 2u);  // the retry still jumps the high lane
+  EXPECT_EQ(out[1].client_id, 1u);
+}
+
+TEST(Mempool, EightProducersLanesConcurrentDrain) {
+  // 8 producers spray all three lanes while a consumer drains in parallel;
+  // nothing may be lost or duplicated. TSAN-clean by design.
+  constexpr int kProducers = 8;
+  constexpr uint64_t kPerProducer = 4000;
+  MempoolOptions mo;
+  mo.capacity = 1 << 12;  // small enough that backpressure actually fires
+  mo.shards = 8;
+  mo.high_fee_threshold = 100;
+  Mempool pool(mo);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; p++) {
+    producers.emplace_back([&, p] {
+      for (uint64_t i = 1; i <= kPerProducer;) {
+        TxnRequest t = FeeReq(p + 1, i, (i % 3 == 0) ? 200 : 0);
+        Status s = (i % 5 == 0)
+                       ? pool.Add(std::move(t), IngestLane::kLow)
+                       : pool.Add(std::move(t));
+        if (s.ok()) {
+          i++;
+        } else {
+          ASSERT_TRUE(s.IsBusy()) << s.ToString();
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  std::vector<uint64_t> per_client(kProducers + 1, 0);
+  uint64_t received = 0;
+  std::vector<TxnRequest> out;
+  while (received < kProducers * kPerProducer) {
+    out.clear();
+    if (pool.TakeBatch(64, &out) == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const TxnRequest& t : out) per_client[t.client_id]++;
+    received += out.size();
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_TRUE(pool.empty());
+  for (int p = 1; p <= kProducers; p++) EXPECT_EQ(per_client[p], kPerProducer);
+}
+
 // -------------------------------------------------------------- admission --
 
 TEST(Admission, ValidatesProceduresAndShapes) {
@@ -137,6 +365,31 @@ TEST(Admission, FractionalRateStillAdmitsBursts) {
   EXPECT_TRUE(ac.Admit(Req(1, 2, 1), 1'000'001).IsBusy());
   // Two seconds later the fractional rate has refilled a full token.
   ASSERT_OK(ac.Admit(Req(1, 2, 1), 3'000'000));
+}
+
+TEST(Admission, DemotesInsteadOfRejectingWhenConfigured) {
+  AdmissionOptions ao;
+  ao.rate_per_client_tps = 10;
+  ao.burst = 2;
+  ao.demote_over_rate = true;
+  AdmissionController ac(ao);
+  ac.AllowProcedure(1);
+
+  const uint64_t t0 = 1'000'000;
+  bool demote = true;
+  ASSERT_OK(ac.Admit(Req(1, 1, 1), t0, &demote));
+  EXPECT_FALSE(demote);
+  ASSERT_OK(ac.Admit(Req(1, 2, 1), t0, &demote));
+  EXPECT_FALSE(demote);
+  // Bucket empty: admitted anyway, but flagged for the low lane.
+  ASSERT_OK(ac.Admit(Req(1, 3, 1), t0, &demote));
+  EXPECT_TRUE(demote);
+  EXPECT_EQ(ac.stats()->demoted.load(), 1u);
+  EXPECT_EQ(ac.stats()->rate_limited.load(), 0u);
+  // Demotion consumed no token: the next refilled token goes to a normal
+  // admission, not to paying back the demoted burst.
+  ASSERT_OK(ac.Admit(Req(1, 4, 1), t0 + 100'000, &demote));
+  EXPECT_FALSE(demote);
 }
 
 // ------------------------------------------------------------- blockstore --
@@ -409,6 +662,102 @@ TEST(HarmonyBCIngest, CcAbortsRetryThroughMempool) {
     total += v->field(0);
   }
   EXPECT_EQ(total, 4000);  // transfers conserve money through retries
+}
+
+TEST(HarmonyBCIngest, LowLaneSealsUnderSustainedHighFeeFlood) {
+  // The end-to-end starvation check: one thread floods high-fee increments
+  // while a handful of normal-fee transactions is submitted behind them.
+  // The weighted drain must seal the normal-fee work while the flood is
+  // still running — not only after it stops.
+  TempDir dir("ing7");
+  HarmonyBC::Options o = FastOpts(dir.path());
+  o.block_size = 8;
+  o.high_fee_threshold = 100;
+  o.mempool_capacity = 1 << 10;  // keep the flood under real backpressure
+  auto db = HarmonyBC::Open(o);
+  ASSERT_TRUE(db.ok());
+  (*db)->RegisterProcedure(1, "inc", Increment);
+  for (Key k = 0; k < 2; k++) ASSERT_OK((*db)->Load(k, Value({0})));
+  ASSERT_OK((*db)->Recover().status());
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> flooding{true};
+  std::thread flood([&] {
+    while (!stop.load()) {
+      TxnRequest t;
+      t.proc_id = 1;
+      t.client_id = 1;
+      t.fee = 500;
+      t.args.ints = {0, 1};
+      if (!(*db)->Submit(std::move(t)).ok()) std::this_thread::yield();
+    }
+    flooding.store(false);
+  });
+
+  // Normal-fee (lower-lane) burst from a second client, submitted while the
+  // high lane is saturated. Spin out mempool backpressure like any client.
+  constexpr int kVictims = 8;
+  for (int i = 0; i < kVictims;) {
+    TxnRequest t;
+    t.proc_id = 1;
+    t.client_id = 2;
+    t.args.ints = {1, 1};
+    Status s = (*db)->Submit(std::move(t));
+    if (s.ok()) {
+      i++;
+    } else {
+      ASSERT_TRUE(s.IsBusy()) << s.ToString();
+      std::this_thread::yield();
+    }
+  }
+
+  // All victims must commit while the flood is still live.
+  const uint64_t deadline = NowMicros() + 20'000'000;
+  std::optional<Value> v;
+  int64_t seen = 0;
+  while (NowMicros() < deadline) {
+    ASSERT_OK((*db)->Query(1, &v));
+    seen = v->field(0);
+    if (seen == kVictims) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(flooding.load()) << "flood ended before the victims committed";
+  EXPECT_EQ(seen, kVictims);
+  stop.store(true);
+  flood.join();
+  ASSERT_OK((*db)->Sync());
+  ASSERT_OK((*db)->Query(1, &v));
+  EXPECT_EQ(v->field(0), kVictims);
+}
+
+TEST(HarmonyBCIngest, OverBudgetClientDemotedButStillCommits) {
+  TempDir dir("ing8");
+  HarmonyBC::Options o = FastOpts(dir.path());
+  o.admit_rate_per_client = 5;  // tiny budget...
+  o.demote_over_rate = true;    // ...but soft: demote, don't bounce
+  auto db = HarmonyBC::Open(o);
+  ASSERT_TRUE(db.ok());
+  (*db)->RegisterProcedure(1, "inc", Increment);
+  ASSERT_OK((*db)->Load(0, Value({0})));
+  ASSERT_OK((*db)->Recover().status());
+
+  constexpr int kTxns = 30;
+  for (int i = 0; i < kTxns; i++) {
+    TxnRequest t;
+    t.proc_id = 1;
+    t.client_id = 7;
+    t.args.ints = {0, 1};
+    ASSERT_OK((*db)->Submit(std::move(t)));  // never Busy with demotion on
+  }
+  const IngestStats& st = (*db)->ingest_stats();
+  EXPECT_GT(st.demoted.load(), 0u);
+  EXPECT_EQ(st.rate_limited.load(), 0u);
+  EXPECT_EQ(st.admitted.load(), static_cast<uint64_t>(kTxns));
+
+  ASSERT_OK((*db)->Sync());
+  std::optional<Value> v;
+  ASSERT_OK((*db)->Query(0, &v));
+  EXPECT_EQ(v->field(0), kTxns);  // demoted work landed, just later
 }
 
 TEST(HarmonyBCIngest, SyncBusyReportsDroppedCount) {

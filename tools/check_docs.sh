@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Docs drift check: fail when a markdown doc references a repo path that no
+# longer exists. Registered as the `docs_check` ctest, so renaming or
+# deleting a source file without updating docs/ or the READMEs breaks CI.
+#
+# Checked files:  docs/*.md, README.md, bench/README.md
+# Checked tokens: anything shaped like <topdir>/<path> where <topdir> is a
+#                 real source tree root (src, bench, tests, examples, docs,
+#                 tools). Brace shorthand like src/ingest/mempool.{h,cc}
+#                 expands to each alternative.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+
+check_path() {
+  # $1 = candidate repo-relative path, $2 = doc it came from
+  local p="$1"
+  # Tolerate sentence punctuation glued onto the token.
+  while [[ "$p" == *. || "$p" == *, || "$p" == *: || "$p" == *\) ]]; do
+    p="${p%?}"
+  done
+  [[ -z "$p" ]] && return
+  if [[ ! -e "$root/$p" ]]; then
+    echo "stale reference in ${2#"$root"/}: $p" >&2
+    status=1
+  fi
+}
+
+for doc in "$root"/docs/*.md "$root"/README.md "$root"/bench/README.md; do
+  [[ -f "$doc" ]] || continue
+  while IFS= read -r tok; do
+    if [[ "$tok" == *\{*\}* ]]; then
+      pre="${tok%%\{*}"
+      rest="${tok#*\{}"
+      alts="${rest%%\}*}"
+      post="${rest#*\}}"
+      IFS=',' read -ra parts <<<"$alts"
+      for a in "${parts[@]}"; do
+        check_path "$pre$a$post" "$doc"
+      done
+    else
+      check_path "$tok" "$doc"
+    fi
+  done < <(grep -oE '\b(src|bench|tests|examples|docs|tools)/[A-Za-z0-9_{},./-]+' "$doc" | sort -u)
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "docs_check: all path references resolve"
+fi
+exit $status
