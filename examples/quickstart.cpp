@@ -1,9 +1,11 @@
 // Quickstart: open a HarmonyBC chain, register a smart contract, submit
-// transactions, query state, and audit the ledger.
+// transactions through a client session, wait on per-transaction receipts,
+// query state, and audit the ledger.
 //
-//   ./build/examples/quickstart [dir]
+//   ./build/quickstart [dir]
 #include <cstdio>
 #include <filesystem>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/harmonybc.h"
@@ -40,6 +42,9 @@ int main(int argc, char** argv) {
   opt.dir = dir;
   opt.protocol = DccKind::kHarmony;
   opt.block_size = 10;
+  // Receipt-waiting clients want partial blocks (e.g. a retry tail) sealed
+  // on a deadline, not parked until the block fills.
+  opt.max_block_delay_us = 2'000;
 
   auto db = HarmonyBC::Open(opt);
   if (!db.ok()) {
@@ -59,8 +64,13 @@ int main(int argc, char** argv) {
   std::printf("chain recovered at height %llu\n",
               static_cast<unsigned long long>(*tip));
 
-  // Submit a round of payments between distinct accounts.
+  // A client session: auto-assigned client_seq, one authoritative receipt
+  // per submitted transaction.
+  auto session = (*db)->OpenSession();
+
+  // Submit a round of payments between distinct accounts; keep the tickets.
   Rng rng(2023);
+  std::vector<TxnTicket> tickets;
   for (int i = 0; i < 50; i++) {
     TxnRequest t;
     t.proc_id = 1;
@@ -68,12 +78,39 @@ int main(int argc, char** argv) {
     int64_t to = rng.UniformRange(0, kAccounts - 1);
     if (to == from) to = (to + 1) % kAccounts;
     t.args.ints = {from, to, rng.UniformRange(5, 60)};
-    if (Status s = (*db)->Submit(std::move(t)); !s.ok()) return 1;
+    tickets.push_back(session->Submit(std::move(t)));
   }
-  if (Status s = (*db)->Sync(); !s.ok()) {
-    std::fprintf(stderr, "sync failed: %s\n", s.ToString().c_str());
-    return 1;
+
+  // Wait for every receipt: each tells this client what happened to *its*
+  // transaction — committed (with block id and retry count), logic-aborted,
+  // dropped, or rejected.
+  size_t committed = 0, aborted = 0, other = 0;
+  uint64_t worst_latency_us = 0;
+  for (const TxnTicket& t : tickets) {
+    const TxnReceipt& r = t.Wait();
+    switch (r.outcome) {
+      case ReceiptOutcome::kCommitted:
+        committed++;
+        break;
+      case ReceiptOutcome::kLogicAborted:
+        aborted++;
+        break;
+      default:
+        std::fprintf(stderr, "txn seq %llu: %s (%s)\n",
+                     static_cast<unsigned long long>(r.client_seq),
+                     ReceiptOutcomeName(r.outcome),
+                     r.status.ToString().c_str());
+        other++;
+        break;
+    }
+    if (r.latency_us > worst_latency_us) worst_latency_us = r.latency_us;
   }
+  std::printf(
+      "receipts: %zu committed, %zu logic-aborted, %zu other "
+      "(worst submit->receipt %.2f ms)\n",
+      committed, aborted, other,
+      static_cast<double>(worst_latency_us) / 1e3);
+  if (other != 0) return 1;
 
   std::printf("height after payments: %llu\n",
               static_cast<unsigned long long>((*db)->height()));
@@ -89,6 +126,7 @@ int main(int argc, char** argv) {
   }
   std::printf("total: %lld (conserved: %s)\n", static_cast<long long>(total),
               total == 1000 * kAccounts ? "yes" : "NO");
+  if (total != 1000 * kAccounts) return 1;
 
   if (Status s = (*db)->AuditChain(); !s.ok()) {
     std::fprintf(stderr, "chain audit FAILED: %s\n", s.ToString().c_str());
@@ -96,11 +134,16 @@ int main(int argc, char** argv) {
   }
   std::printf("chain audit: ok (hashes + signatures verified)\n");
 
-  const auto& st = (*db)->stats();
-  std::printf("committed=%llu cc_aborted=%llu logic_aborted=%llu blocks=%llu\n",
-              static_cast<unsigned long long>(st.committed.load()),
-              static_cast<unsigned long long>(st.cc_aborted.load()),
-              static_cast<unsigned long long>(st.logic_aborted.load()),
-              static_cast<unsigned long long>(st.blocks.load()));
+  const SessionStats& ss = session->stats();
+  const uint64_t executed = ss.committed.load() + ss.logic_aborted.load();
+  std::printf(
+      "session: submitted=%llu committed=%llu logic_aborted=%llu "
+      "mean latency %.2f ms\n",
+      static_cast<unsigned long long>(ss.submitted.load()),
+      static_cast<unsigned long long>(ss.committed.load()),
+      static_cast<unsigned long long>(ss.logic_aborted.load()),
+      executed > 0 ? static_cast<double>(ss.latency_sum_us.load()) /
+                         static_cast<double>(executed) / 1e3
+                   : 0.0);
   return 0;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -43,6 +44,14 @@ inline constexpr uint64_t Mix64(uint64_t x) {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
+}
+
+/// Smallest power of two >= v (v = 0 or 1 yields 1). Shard and ring
+/// counts are rounded with this so cheap mask indexing works everywhere.
+inline constexpr size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
 }
 
 }  // namespace harmony

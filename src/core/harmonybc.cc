@@ -1,5 +1,7 @@
 #include "core/harmonybc.h"
 
+#include <thread>
+
 #include "common/clock.h"
 
 namespace harmony {
@@ -7,6 +9,7 @@ namespace harmony {
 Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
   auto db = std::unique_ptr<HarmonyBC>(new HarmonyBC());
   db->opts_ = options;
+  db->completion_ = std::make_unique<CompletionRouter>();
 
   ReplicaOptions ro;
   ro.dir = options.dir;
@@ -38,26 +41,55 @@ Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
   mo.lane_weights = options.lane_weights;
   db->mempool_ = std::make_unique<Mempool>(mo);
 
-  // CC aborts flow back through the mempool's retry lane; the sealer picks
-  // them up ahead of fresh transactions. (The commit callback runs on the
-  // replica's commit thread — AddRetry is thread-safe, unlike the ad-hoc
-  // retry vector this replaces.)
+  // The commit callback (replica commit thread, block order) settles every
+  // transaction's fate: committed / logic-aborted receipts resolve from
+  // BlockResult::outcomes; CC aborts flow back through the mempool's retry
+  // lane until max_txn_retries, then resolve as dropped. (AddRetry and the
+  // completion router are thread-safe.)
   HarmonyBC* raw = db.get();
   db->replica_->SetCommitCallback(
       [raw](const Block& blk, const BlockResult& res) {
+        // Replayed blocks (Recover) were settled in a previous run: their
+        // receipts belong to clients of that run, and requeueing their CC
+        // aborts would re-seal transactions whose retries are already in
+        // the chain — a double apply.
+        if (raw->recovering_.load(std::memory_order_acquire)) return;
         IngestStats* stats = raw->admission_->stats();
+        const uint64_t now = NowMicros();
         bool enqueued = false;
         for (size_t i = 0; i < res.outcomes.size(); i++) {
-          if (res.outcomes[i] != TxnOutcome::kCcAborted) continue;
-          if (blk.batch.txns[i].retries < raw->opts_.max_txn_retries) {
-            TxnRequest retry = blk.batch.txns[i];
-            retry.retries++;
-            raw->mempool_->AddRetry(std::move(retry));
-            stats->retries_enqueued.fetch_add(1, std::memory_order_relaxed);
-            enqueued = true;
-          } else {
-            raw->dropped_.fetch_add(1, std::memory_order_relaxed);
-            stats->retries_dropped.fetch_add(1, std::memory_order_relaxed);
+          const TxnRequest& t = blk.batch.txns[i];
+          switch (res.outcomes[i]) {
+            case TxnOutcome::kCommitted:
+              raw->completion_->Resolve(t, ReceiptOutcome::kCommitted,
+                                        Status::OK(), blk.header.block_id,
+                                        now);
+              break;
+            case TxnOutcome::kLogicAborted:
+              raw->completion_->Resolve(
+                  t, ReceiptOutcome::kLogicAborted,
+                  Status::Aborted("procedure aborted"), blk.header.block_id,
+                  now);
+              break;
+            case TxnOutcome::kCcAborted:
+              if (t.retries < raw->opts_.max_txn_retries) {
+                TxnRequest retry = t;
+                retry.retries++;
+                raw->mempool_->AddRetry(std::move(retry));
+                stats->retries_enqueued.fetch_add(1,
+                                                  std::memory_order_relaxed);
+                enqueued = true;
+              } else {
+                raw->dropped_.fetch_add(1, std::memory_order_relaxed);
+                stats->retries_dropped.fetch_add(1,
+                                                 std::memory_order_relaxed);
+                raw->completion_->Resolve(
+                    t, ReceiptOutcome::kDropped,
+                    Status::Busy("dropped after " +
+                                 std::to_string(t.retries) + " CC aborts"),
+                    blk.header.block_id, now);
+              }
+              break;
           }
         }
         // Without this wake a retry landing in an otherwise idle pool would
@@ -72,18 +104,48 @@ Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
       so, db->mempool_.get(), db->orderer_.get(), db->admission_->stats(),
       [raw](Block block) { return raw->replica_->SubmitBlock(std::move(block)); });
   db->sealer_->Start();
+  // The legacy Submit/Sync surface rides a pass-through session (client_id
+  // 0 keeps each request's own client identity).
+  db->default_session_ =
+      std::unique_ptr<Session>(new Session(raw, /*client_id=*/0));
   return db;
 }
 
 HarmonyBC::~HarmonyBC() {
   if (sealer_ != nullptr) sealer_->Stop();
-  // The replica's commit thread invokes the retry callback, which touches
-  // the mempool — join it (via destruction) while the mempool still exists.
+  // The replica's commit thread invokes the retry/receipt callback, which
+  // touches the mempool and completion router — join it (via destruction)
+  // while both still exist.
   replica_.reset();
+  // No commits can arrive anymore: whatever is still pending (unsealed
+  // mempool remains, in-flight retries) will never resolve — fail the
+  // tickets so no client Wait() outlives the database.
+  if (completion_ != nullptr) {
+    completion_->FailAll(Status::Aborted("HarmonyBC closed"), NowMicros());
+  }
+}
+
+std::unique_ptr<Session> HarmonyBC::OpenSession(uint64_t client_id) {
+  if (client_id == 0) {
+    client_id = next_client_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  return std::unique_ptr<Session>(new Session(this, client_id));
 }
 
 Result<BlockId> HarmonyBC::Recover() {
+  // Let any block already handed to the replica settle *before* the replay
+  // guard goes up: its outcomes belong to this run (receipts, retries,
+  // drop accounting), not to the replay. Recover must not race Submit —
+  // it is a boot-time / quiesced-ingress operation — but a deadline seal
+  // from just before the call is drained here rather than dropped.
+  HARMONY_RETURN_NOT_OK(replica_->Drain());
+  recovering_.store(true, std::memory_order_release);
   auto tip = replica_->Recover();
+  recovering_.store(false, std::memory_order_release);
+  // Tickets that were in flight when Recover() was called cannot be settled
+  // against the replayed state — fail them instead of letting Wait() hang.
+  completion_->FailAll(Status::Aborted("interrupted by Recover()"),
+                       NowMicros());
   HARMONY_RETURN_NOT_OK(tip.status());
   if (*tip == 0) {
     // First boot: make the genesis state durable before any block executes
@@ -107,51 +169,112 @@ Result<BlockId> HarmonyBC::Recover() {
 
 Status HarmonyBC::SealPending() { return sealer_->Flush(); }
 
-Status HarmonyBC::Submit(TxnRequest req) {
+std::shared_ptr<PendingTxn> HarmonyBC::SubmitWithReceipt(
+    TxnRequest req, ReceiptCallback cb,
+    std::shared_ptr<SessionStats> session) {
   IngestStats* stats = admission_->stats();
   stats->submitted.fetch_add(1, std::memory_order_relaxed);
-  if (req.client_seq == 0) {
-    req.client_seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
-  }
   const uint64_t now = NowMicros();
   if (req.submit_time_us == 0) req.submit_time_us = now;
+
+  // The request's identity, kept past the std::move into the mempool so
+  // rejection receipts never read a moved-from req.
+  TxnRequest identity;
+  identity.client_id = req.client_id;
+  identity.client_seq = req.client_seq;
+  identity.retries = req.retries;
+
+  // Resolves a not-(or no-longer-)registered entry as rejected.
+  auto reject = [&](std::shared_ptr<PendingTxn> entry, Status why) {
+    ResolvePending(entry.get(), identity, ReceiptOutcome::kRejected,
+                   std::move(why), /*block_id=*/0, NowMicros());
+    return entry;
+  };
+
+  // Register before the mempool sees the request: the commit path can only
+  // resolve receipts it can find, and a sealed block can commit within
+  // microseconds of Add().
+  bool duplicate = false;
+  std::shared_ptr<PendingTxn> entry = completion_->Register(
+      req, std::move(cb), std::move(session), &duplicate);
+  if (duplicate) {
+    // The same (client_id, client_seq) is still in flight; its receipt
+    // belongs to the original submission. `entry` is detached (never
+    // routed) but still carries this call's callback and session stats.
+    stats->duplicates.fetch_add(1, std::memory_order_relaxed);
+    return reject(std::move(entry),
+                  Status::InvalidArgument(
+                      "duplicate transaction in flight (client " +
+                      std::to_string(identity.client_id) + ", seq " +
+                      std::to_string(identity.client_seq) + ")"));
+  }
 
   // Rate limiting must run on the server's clock — submit_time_us is
   // caller-supplied, and a forged future timestamp would refill (or
   // permanently poison) the client's token bucket.
   bool demote = false;
-  HARMONY_RETURN_NOT_OK(admission_->Admit(req, now, &demote));
+  if (Status s = admission_->Admit(req, now, &demote); !s.ok()) {
+    completion_->Discard(identity.client_id, identity.client_seq);
+    return reject(std::move(entry), std::move(s));
+  }
 
   // Demotion overrides the fee: an over-budget client cannot buy its way
   // back into the high lane mid-burst.
   Status s = demote ? mempool_->Add(std::move(req), IngestLane::kLow)
                     : mempool_->Add(std::move(req));
-  if (s.ok()) {
-    stats->admitted.fetch_add(1, std::memory_order_relaxed);
-    sealer_->Notify();
-  } else if (s.IsBusy()) {
-    stats->backpressured.fetch_add(1, std::memory_order_relaxed);
-  } else if (s.IsInvalidArgument()) {
-    stats->duplicates.fetch_add(1, std::memory_order_relaxed);
+  if (!s.ok()) {
+    if (s.IsBusy()) {
+      stats->backpressured.fetch_add(1, std::memory_order_relaxed);
+    } else if (s.IsInvalidArgument()) {
+      // Duplicate within the mempool's dedup window (e.g. a replay of a
+      // client_seq whose receipt already resolved).
+      stats->duplicates.fetch_add(1, std::memory_order_relaxed);
+    }
+    completion_->Discard(identity.client_id, identity.client_seq);
+    return reject(std::move(entry), std::move(s));
   }
-  return s;
+  stats->admitted.fetch_add(1, std::memory_order_relaxed);
+  sealer_->Notify();
+  return entry;
+}
+
+Status HarmonyBC::Submit(TxnRequest req) {
+  TxnTicket ticket = default_session_->Submit(std::move(req));
+  // Rejections resolve synchronously: surface them as the admission Status
+  // (source compatibility with the fire-and-forget contract). Any other
+  // state — still in flight, or already terminal — means it was admitted.
+  if (std::optional<TxnReceipt> r = ticket.TryGet();
+      r.has_value() && r->outcome == ReceiptOutcome::kRejected) {
+    return r->status;
+  }
+  return Status::OK();
 }
 
 Status HarmonyBC::Sync() {
-  // Seal everything pending, drain, then keep resealing CC-aborted
-  // transactions re-admitted via the retry lane until none remain.
-  for (uint32_t round = 0; round < opts_.max_sync_rounds; round++) {
+  // Quiescence is completion-based, not queue-emptiness-based: every
+  // admitted transaction holds a completion-router entry until its receipt
+  // resolves, so "no entry older than the watermark" proves every Submit
+  // that returned before this call is terminal — even while concurrent
+  // Submits keep the mempool busy (the race the previous delivered-count
+  // handshake could not cover).
+  const uint64_t watermark = completion_->watermark();
+  uint32_t round = 0;
+  while (round < opts_.max_sync_rounds) {
     HARMONY_RETURN_NOT_OK(SealPending());
-    const uint64_t delivered = sealer_->delivered();
     HARMONY_RETURN_NOT_OK(replica_->Drain());
-    // Quiescence: the delivered count is read under the seal lock, so an
-    // unchanged count means no block slipped in behind Drain() (e.g. the
-    // background sealer cutting a retry block mid-drain) — and an empty
-    // mempool then means no retry is waiting either. Otherwise go around
-    // again; fresh Submits racing a Sync are outside its contract.
-    if (sealer_->delivered() == delivered && mempool_->empty()) {
+    if (!completion_->HasPendingBefore(watermark)) {
       return Status::OK();
     }
+    // Pre-watermark work still pending with an empty pool means a racing
+    // Submit holds a ticket but has not reached the mempool yet (anything
+    // sealed was just drained and resolved). That gap contains no blocking
+    // calls, so yield until it lands — without burning the round budget,
+    // which exists to bound abort-retry cycles, not scheduler preemption.
+    if (mempool_->empty()) {
+      std::this_thread::yield();
+      continue;
+    }
+    round++;
   }
   return Status::Busy(
       "transactions kept aborting after " +

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "consensus/orderer.h"
+#include "core/completion.h"
+#include "core/session.h"
 #include "ingest/admission.h"
 #include "ingest/mempool.h"
 #include "ingest/sealer.h"
@@ -16,7 +18,8 @@ namespace harmony {
 /// Embedded single-node HarmonyBC: the public entry point for applications.
 ///
 /// Wraps the ingress subsystem (admission -> mempool -> sealer), an ordering
-/// service, and a replica into one handle:
+/// service, a replica, and a per-transaction completion router into one
+/// handle:
 ///
 ///   HarmonyBC::Options opt;
 ///   opt.dir = "/tmp/mychain";
@@ -24,10 +27,20 @@ namespace harmony {
 ///   db->RegisterProcedure(1, "transfer", TransferFn);
 ///   db->Load(key, value);              // genesis state
 ///   db->Recover();                     // replay the chain if one exists
-///   db->Submit({.proc_id = 1, .args = {{from, to, amount}}});
-///   db->Sync();                        // seal + execute pending blocks
+///
+///   auto session = db->OpenSession();  // per-client handle
+///   TxnTicket t = session->Submit({.proc_id = 1, .args = {{a, b, amt}}});
+///   const TxnReceipt& r = t.Wait();    // committed | logic_abort |
+///                                      // dropped | rejected (+ block_id,
+///                                      // retries, latency_us)
 ///   db->Query(key, &v);
 ///   db->AuditChain();                  // tamper check, end to end
+///
+/// Sessions (core/session.h) are the production surface: every submitted
+/// transaction gets an authoritative per-txn receipt, resolved from the
+/// replica's commit results in block order. The legacy fire-and-forget
+/// Submit/Sync pair below is kept source-compatible as a thin wrapper over
+/// a default pass-through session.
 ///
 /// Submit is thread-safe and non-blocking: transactions pass admission
 /// control (procedure validation, optional per-client rate limiting), land
@@ -35,7 +48,8 @@ namespace harmony {
 /// pairs rejected, Status::Busy backpressure when full), and a background
 /// sealer cuts blocks on size *or* deadline and pipelines them into the
 /// replica. CC-aborted transactions re-enter through the mempool's retry
-/// lane automatically.
+/// lane automatically; exhausting Options::max_txn_retries resolves the
+/// receipt as dropped.
 ///
 /// For multi-replica deployments and benchmarks use Cluster (replica/),
 /// which feeds several Replica instances the same ordered chain.
@@ -58,6 +72,8 @@ class HarmonyBC {
     /// long. 0 = seal only when block_size txns are pending or on Sync().
     /// (The background sealer thread always runs; this only sets whether
     /// it enforces a deadline in addition to size-triggered seals.)
+    /// Receipt-waiting clients should set a deadline: without one, a
+    /// sub-block_size tail (e.g. the last few retries) seals only on Sync.
     uint64_t max_block_delay_us = 0;
     size_t mempool_capacity = 1 << 16;  ///< Busy backpressure beyond this
     size_t mempool_shards = 16;
@@ -93,19 +109,32 @@ class HarmonyBC {
   Status Load(Key key, const Value& v) { return replica_->LoadRow(key, v); }
 
   /// Replays the persisted chain after the last checkpoint. Returns the
-  /// chain tip height (0 for a fresh chain).
+  /// chain tip height (0 for a fresh chain). A boot-time (or otherwise
+  /// ingress-quiesced) operation: it must not race Submit. Blocks already
+  /// in the replica pipeline are drained first; tickets still pending
+  /// after that (unsealed mempool remains) are resolved as kDropped (their
+  /// fate is unknown to the recovered state) rather than left hanging.
   Result<BlockId> Recover();
 
-  /// Admits a transaction into the mempool (thread-safe). Assigns a
-  /// client_seq if the caller left it 0. Returns InvalidArgument for
-  /// duplicates/validation failures and Busy under backpressure or rate
-  /// limiting; admitted transactions seal into blocks once block_size are
-  /// pending or the block deadline expires.
+  /// Opens a per-client submission session (see core/session.h). client_id
+  /// 0 auto-assigns a fresh id; pass an explicit id to resume a client's
+  /// identity (its dedup and rate-limiting key). The session must not
+  /// outlive this HarmonyBC.
+  std::unique_ptr<Session> OpenSession(uint64_t client_id = 0);
+
+  /// Legacy fire-and-forget admission (thread-safe): the default session
+  /// submits the request and the ticket is discarded. Assigns a client_seq
+  /// if the caller left it 0; keeps the caller's client_id. Returns
+  /// InvalidArgument for duplicates/validation failures and Busy under
+  /// backpressure or rate limiting. Use OpenSession()->Submit for
+  /// per-transaction receipts.
   Status Submit(TxnRequest req);
 
-  /// Seals any pending transactions into blocks and waits for all sealed
-  /// blocks to commit. CC-aborted transactions are resubmitted
-  /// automatically (bounded by Options::max_txn_retries).
+  /// Waits until every transaction admitted before this call has reached a
+  /// terminal receipt (committed, logic-aborted, or dropped), sealing
+  /// partial blocks as needed. Safe under concurrent Submits: transactions
+  /// admitted *after* the call may or may not be covered, but cannot stall
+  /// it (completion-watermark quiescence, not queue-emptiness).
   Status Sync();
 
   /// Latest committed value.
@@ -121,11 +150,15 @@ class HarmonyBC {
 
   const ProtocolStats& stats() const { return replica_->protocol_stats(); }
   /// Ingress counters (admitted / duplicates / backpressured / seals...).
-  const IngestStats& ingest_stats() const {
-    return static_cast<const AdmissionController&>(*admission_).stats();
+  const IngestStats& ingest_stats() const { return *admission_->stats(); }
+  /// Aggregate receipt counters for the legacy Submit/Sync surface.
+  const SessionStats& default_session_stats() const {
+    return default_session_->stats();
   }
   /// Transactions dropped after exhausting max_txn_retries.
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  /// In-flight transactions holding an unresolved receipt.
+  size_t pending_receipts() const { return completion_->pending(); }
   /// Current mempool depth (fresh + retry lane).
   size_t queue_depth() const {
     return mempool_->size() + mempool_->retry_size();
@@ -135,18 +168,35 @@ class HarmonyBC {
   Mempool* mempool() { return mempool_.get(); }
 
  private:
+  friend class Session;
+
   HarmonyBC() = default;
 
   Status SealPending();
 
+  /// The single submission path (sessions and the legacy wrapper both land
+  /// here): register the receipt, run admission + mempool, resolve
+  /// rejections synchronously. Always returns a non-null PendingTxn.
+  std::shared_ptr<PendingTxn> SubmitWithReceipt(
+      TxnRequest req, ReceiptCallback cb,
+      std::shared_ptr<SessionStats> session);
+
   Options opts_;
+  /// Declared before the replica: the commit thread resolves receipts
+  /// through it until the replica is destroyed.
+  std::unique_ptr<CompletionRouter> completion_;
   std::unique_ptr<Replica> replica_;
   std::unique_ptr<KafkaOrderer> orderer_;
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<Mempool> mempool_;
   std::unique_ptr<BlockSealer> sealer_;
-  std::atomic<uint64_t> next_seq_{0};
+  std::unique_ptr<Session> default_session_;
+  std::atomic<uint64_t> next_client_id_{0};
   std::atomic<uint64_t> dropped_{0};
+  /// True while Recover() replays the chain: replayed blocks' outcomes were
+  /// settled in a previous run, so the commit callback must not requeue
+  /// their CC aborts (double-apply) or count their drops.
+  std::atomic<bool> recovering_{false};
 };
 
 }  // namespace harmony

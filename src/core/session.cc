@@ -1,0 +1,28 @@
+#include "core/session.h"
+
+#include "core/harmonybc.h"
+
+namespace harmony {
+
+TxnTicket Session::Submit(TxnRequest req, ReceiptCallback cb) {
+  if (client_id_ != 0) req.client_id = client_id_;
+  if (req.client_seq == 0) {
+    req.client_seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  } else {
+    // Caller-assigned seq: advance the auto counter past it so a later
+    // auto-assigned seq cannot collide and bounce as a duplicate.
+    uint64_t cur = next_seq_.load(std::memory_order_relaxed);
+    while (cur < req.client_seq &&
+           !next_seq_.compare_exchange_weak(cur, req.client_seq,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+  stats_->submitted.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t client_id = req.client_id;
+  const uint64_t client_seq = req.client_seq;
+  return TxnTicket(
+      db_->SubmitWithReceipt(std::move(req), std::move(cb), stats_),
+      client_id, client_seq);
+}
+
+}  // namespace harmony

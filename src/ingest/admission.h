@@ -7,6 +7,7 @@
 
 #include "common/spin_lock.h"
 #include "common/status.h"
+#include "ingest/lanes.h"
 #include "txn/procedure.h"
 
 namespace harmony {
@@ -47,6 +48,10 @@ struct IngestStats {
   std::atomic<uint64_t> size_seals{0};      ///< blocks cut because full
   std::atomic<uint64_t> deadline_seals{0};  ///< blocks cut by the deadline
   std::atomic<uint64_t> flush_seals{0};     ///< blocks cut by Sync()/Flush
+  /// Sealed txns by the lane they were drained from, indexed by IngestLane
+  /// ({high, normal, low}); the retry lane is counted separately.
+  std::atomic<uint64_t> sealed_lane_txns[kNumLanes] = {};
+  std::atomic<uint64_t> sealed_retry_txns{0};
 };
 
 /// Validates and rate-limits transactions before they reach the mempool.

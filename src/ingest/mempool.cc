@@ -8,16 +8,6 @@
 
 namespace harmony {
 
-namespace {
-
-size_t RoundUpPow2(size_t v) {
-  size_t p = 1;
-  while (p < v) p <<= 1;
-  return p;
-}
-
-}  // namespace
-
 Mempool::Mempool(MempoolOptions opts) : opts_(opts) {
   const size_t n = RoundUpPow2(std::max<size_t>(1, opts_.shards));
   shard_mask_ = n - 1;
@@ -157,7 +147,8 @@ size_t Mempool::DrainLane(size_t lane, size_t quota,
   return taken;
 }
 
-size_t Mempool::TakeBatch(size_t max, std::vector<TxnRequest>* out) {
+size_t Mempool::TakeBatch(size_t max, std::vector<TxnRequest>* out,
+                          LaneTakeCounts* counts) {
   const size_t before = out->size();
 
   // Retry lane first: aborted transactions jump every priority lane,
@@ -174,6 +165,7 @@ size_t Mempool::TakeBatch(size_t max, std::vector<TxnRequest>* out) {
       retry_since_us_.store(0, std::memory_order_relaxed);
     }
   }
+  if (counts != nullptr) counts->retry = out->size() - before;
 
   size_t budget = max - (out->size() - before);
   size_t taken_fresh = 0;
@@ -207,13 +199,17 @@ size_t Mempool::TakeBatch(size_t max, std::vector<TxnRequest>* out) {
         }
       }
       for (size_t l = 0; l < kNumLanes && taken_fresh < budget; l++) {
-        taken_fresh +=
+        const size_t got =
             DrainLane(l, std::min(quota[l], budget - taken_fresh), out);
+        taken_fresh += got;
+        if (counts != nullptr) counts->lane[l] += got;
       }
       // Pass 2 — spend leftover budget (floor rounding, or lanes that had
       // fewer transactions than their quota) strictly by priority.
       for (size_t l = 0; l < kNumLanes && taken_fresh < budget; l++) {
-        taken_fresh += DrainLane(l, budget - taken_fresh, out);
+        const size_t got = DrainLane(l, budget - taken_fresh, out);
+        taken_fresh += got;
+        if (counts != nullptr) counts->lane[l] += got;
       }
     }
   }

@@ -93,12 +93,21 @@ class Mempool {
   /// capacity check — see class comment).
   void AddRetry(TxnRequest req);
 
+  /// Per-lane breakdown of one TakeBatch (the sealer feeds these into
+  /// IngestStats' per-lane seal counters).
+  struct LaneTakeCounts {
+    size_t retry = 0;
+    size_t lane[kNumLanes] = {};
+  };
+
   /// Pops up to `max` transactions: the retry lane first, then the priority
   /// lanes by weighted share, round-robin over the shards inside each lane.
-  /// Returns the number taken. Dedup keys stay remembered, so a replayed
-  /// duplicate is still rejected after its original sealed. Single logical
-  /// consumer only (see class comment).
-  size_t TakeBatch(size_t max, std::vector<TxnRequest>* out);
+  /// Returns the number taken; `counts` (optional) receives the per-lane
+  /// split. Dedup keys stay remembered, so a replayed duplicate is still
+  /// rejected after its original sealed. Single logical consumer only (see
+  /// class comment).
+  size_t TakeBatch(size_t max, std::vector<TxnRequest>* out,
+                   LaneTakeCounts* counts = nullptr);
 
   /// Fresh transactions currently buffered (excludes the retry lane).
   size_t size() const { return size_.load(std::memory_order_relaxed); }

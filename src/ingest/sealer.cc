@@ -1,5 +1,6 @@
 #include "ingest/sealer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <vector>
 
@@ -69,7 +70,8 @@ size_t BlockSealer::SealOnce(SealCause cause) {
 size_t BlockSealer::SealLocked(SealCause cause) {
   std::vector<TxnRequest> txns;
   txns.reserve(opts_.block_size);
-  pool_->TakeBatch(opts_.block_size, &txns);
+  Mempool::LaneTakeCounts lanes;
+  pool_->TakeBatch(opts_.block_size, &txns, &lanes);
   if (txns.empty()) return 0;
   const size_t n = txns.size();
 
@@ -77,6 +79,12 @@ size_t BlockSealer::SealLocked(SealCause cause) {
   if (stats_ != nullptr) {
     stats_->sealed_blocks.fetch_add(1, std::memory_order_relaxed);
     stats_->sealed_txns.fetch_add(n, std::memory_order_relaxed);
+    stats_->sealed_retry_txns.fetch_add(lanes.retry,
+                                        std::memory_order_relaxed);
+    for (size_t l = 0; l < kNumLanes; l++) {
+      stats_->sealed_lane_txns[l].fetch_add(lanes.lane[l],
+                                            std::memory_order_relaxed);
+    }
     switch (cause) {
       case SealCause::kSize:
         stats_->size_seals.fetch_add(1, std::memory_order_relaxed);
@@ -102,15 +110,24 @@ size_t BlockSealer::SealLocked(SealCause cause) {
 }
 
 Status BlockSealer::Flush() {
-  // Hold seal_mu_ across the emptiness check: if the background thread is
+  // Hold seal_mu_ across the depth check: if the background thread is
   // mid-seal (batch popped, not yet delivered), the pool can look empty
   // while a block is still on its way to the replica — returning then would
-  // let Sync()'s Drain() miss it. Under the lock, empty really means every
-  // batch has been handed to the replica.
+  // let a subsequent Replica::Drain() miss it. Under the lock, every batch
+  // counted here has been handed to the replica by return.
+  //
+  // The work is bounded by the depth observed at entry: under a concurrent
+  // open-loop flood the pool may *never* drain to empty, and Sync() — whose
+  // quiescence is completion-based, not emptiness-based — only needs the
+  // transactions buffered before the call sealed. Callers that want more
+  // simply flush again.
   {
     std::lock_guard<std::mutex> lk(seal_mu_);
-    while (!pool_->empty()) {
-      if (SealLocked(SealCause::kFlush) == 0) break;
+    size_t remaining = pool_->size() + pool_->retry_size();
+    while (remaining > 0) {
+      const size_t n = SealLocked(SealCause::kFlush);
+      if (n == 0) break;
+      remaining -= std::min(n, remaining);
     }
   }
   return background_error();

@@ -760,6 +760,44 @@ TEST(HarmonyBCIngest, OverBudgetClientDemotedButStillCommits) {
   EXPECT_EQ(v->field(0), kTxns);  // demoted work landed, just later
 }
 
+TEST(HarmonyBCIngest, PerLaneSealCountsAccountForEverySealedTxn) {
+  TempDir dir("ing9");
+  HarmonyBC::Options o = FastOpts(dir.path());
+  o.high_fee_threshold = 100;
+  o.protocol = DccKind::kAria;  // conflicts: the retry lane sees traffic
+  auto db = HarmonyBC::Open(o);
+  ASSERT_TRUE(db.ok());
+  (*db)->RegisterProcedure(1, "transfer", Transfer);
+  for (Key k = 0; k < 4; k++) ASSERT_OK((*db)->Load(k, Value({1000})));
+  ASSERT_OK((*db)->Recover().status());
+
+  for (int i = 0; i < 24; i++) {
+    TxnRequest t;
+    t.proc_id = 1;
+    t.fee = (i % 2 == 0) ? 500 : 0;  // half rides the high lane
+    t.args.ints = {0, 1 + (i % 3), 1};
+    ASSERT_OK((*db)->Submit(std::move(t)));
+  }
+  ASSERT_OK((*db)->Sync());
+
+  const IngestStats& st = (*db)->ingest_stats();
+  const uint64_t high =
+      st.sealed_lane_txns[static_cast<size_t>(IngestLane::kHigh)].load();
+  const uint64_t normal =
+      st.sealed_lane_txns[static_cast<size_t>(IngestLane::kNormal)].load();
+  const uint64_t low =
+      st.sealed_lane_txns[static_cast<size_t>(IngestLane::kLow)].load();
+  const uint64_t retry = st.sealed_retry_txns.load();
+  EXPECT_EQ(high, 12u);
+  EXPECT_EQ(normal, 12u);
+  EXPECT_EQ(low, 0u);
+  // Every conflict-requeued transaction re-seals through the retry lane.
+  EXPECT_EQ(retry, st.retries_enqueued.load());
+  EXPECT_GT(retry, 0u);
+  // The per-lane split accounts for every sealed transaction exactly.
+  EXPECT_EQ(high + normal + low + retry, st.sealed_txns.load());
+}
+
 TEST(HarmonyBCIngest, SyncBusyReportsDroppedCount) {
   TempDir dir("ing6");
   HarmonyBC::Options o = FastOpts(dir.path());

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Docs drift check: fail when a markdown doc references a repo path that no
-# longer exists. Registered as the `docs_check` ctest, so renaming or
-# deleting a source file without updating docs/ or the READMEs breaks CI.
+# Docs drift check: fail when a markdown doc (or an example's comments)
+# references a repo path that no longer exists. Registered as the
+# `docs_check` ctest, so renaming or deleting a source file without
+# updating docs/, the READMEs, or examples/ breaks CI.
 #
-# Checked files:  docs/*.md, README.md, bench/README.md
+# Checked files:  docs/*.md, README.md, bench/README.md, examples/*.cpp
 # Checked tokens: anything shaped like <topdir>/<path> where <topdir> is a
 #                 real source tree root (src, bench, tests, examples, docs,
 #                 tools). Brace shorthand like src/ingest/mempool.{h,cc}
-#                 expands to each alternative.
+#                 expands to each alternative. Paths under build/ (binary
+#                 locations in usage comments) are skipped.
 set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -27,7 +29,8 @@ check_path() {
   fi
 }
 
-for doc in "$root"/docs/*.md "$root"/README.md "$root"/bench/README.md; do
+for doc in "$root"/docs/*.md "$root"/README.md "$root"/bench/README.md \
+           "$root"/examples/*.cpp; do
   [[ -f "$doc" ]] || continue
   while IFS= read -r tok; do
     if [[ "$tok" == *\{*\}* ]]; then
@@ -42,7 +45,8 @@ for doc in "$root"/docs/*.md "$root"/README.md "$root"/bench/README.md; do
     else
       check_path "$tok" "$doc"
     fi
-  done < <(grep -oE '\b(src|bench|tests|examples|docs|tools)/[A-Za-z0-9_{},./-]+' "$doc" | sort -u)
+  done < <(sed -E 's#\bbuild/[A-Za-z0-9_{},./-]*##g' "$doc" |
+           grep -oE '\b(src|bench|tests|examples|docs|tools)/[A-Za-z0-9_{},./-]+' | sort -u)
 done
 
 if [[ $status -eq 0 ]]; then

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# End-to-end smoke test: run the quickstart example (sessions, receipts,
+# conservation check, chain audit) against a throwaway chain directory.
+# Registered as the `quickstart_smoke` ctest.
+#
+#   tools/quickstart_smoke.sh <path-to-quickstart-binary>
+set -eu
+
+bin="${1:?usage: quickstart_smoke.sh <quickstart-binary>}"
+dir="$(mktemp -d "${TMPDIR:-/tmp}/harmony-quickstart-smoke.XXXXXX")"
+trap 'rm -rf "$dir"' EXIT
+
+"$bin" "$dir"
