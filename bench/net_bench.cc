@@ -1,0 +1,283 @@
+// Network frontend benchmark: wire-level submit→receipt latency and
+// throughput through the harmonyd frontend (net::NetServer + net::NetClient
+// over real loopback TCP sockets), side by side with the in-process session
+// numbers bench/ingest_bench.cc reports.
+//
+// Default run spins the server frontend in-process (the exact code path
+// tools/harmonyd.cc serves) on an ephemeral loopback port and drives
+// `--conns` concurrent client connections (>= 64 by default), each its own
+// TCP connection + server-side session, submitting blind increments
+// open-loop under a bounded per-connection inflight window. Every submitted
+// (connection, client_seq) must resolve exactly once — duplicates or losses
+// fail the run with exit 1.
+//
+//   ./build/net_bench [--conns 64] [--txns 2000] [--window 128]
+//                     [--port P]   # drive an external `harmonyd serve`
+//
+// With --port the bench skips the in-process server and in-process baseline
+// and targets a running daemon instead (it must have procedure 2 =
+// increment registered and the keys loaded, as `harmonyd serve` does).
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/spin_lock.h"
+#include "core/harmonybc.h"
+#include "net/client.h"
+#include "net/server.h"
+
+using namespace harmony;
+using namespace harmony::bench;
+
+namespace {
+
+constexpr int kKeys = 1024;
+
+Status Increment(TxnContext& ctx, const ProcArgs& a) {
+  ctx.AddField(static_cast<Key>(a.at(0)), 0, a.at(1));
+  return Status::OK();
+}
+
+std::unique_ptr<HarmonyBC> OpenDb(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("harmony-net-bench-" + tag + "-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  HarmonyBC::Options o;
+  o.dir = dir;
+  o.in_memory = true;
+  o.disk = DiskModel::RamDisk();
+  o.block_size = 100;
+  o.max_block_delay_us = 2'000;
+  o.mempool_capacity = 1 << 15;
+  o.threads = 8;
+  o.checkpoint_every = 50;
+  auto db = HarmonyBC::Open(o);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+    std::exit(1);
+  }
+  (*db)->RegisterProcedure(2, "increment", Increment);
+  for (Key k = 0; k < kKeys; k++) {
+    if (!(*db)->Load(k, Value({0})).ok()) std::exit(1);
+  }
+  if (!(*db)->Recover().ok()) std::exit(1);
+  return std::move(*db);
+}
+
+struct RunResult {
+  double wall_s = 0;
+  uint64_t committed = 0;
+  uint64_t rejected = 0;
+  uint64_t dropped = 0;
+  uint64_t lost = 0;        ///< submits that never resolved
+  uint64_t duplicated = 0;  ///< receipts delivered twice for one seq
+  Histogram latency_us;     ///< submit -> receipt, committed only
+};
+
+/// In-process baseline: same connection/txn/window shape, but through
+/// Session::Submit directly (no sockets). Mirrors ingest_bench part 2.
+RunResult RunInProcess(size_t conns, size_t txns_per_conn, size_t window) {
+  auto db = OpenDb("local");
+  RunResult res;
+  SpinLock mu;
+  std::atomic<uint64_t> committed{0}, rejected{0}, dropped{0};
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < conns; c++) {
+    threads.emplace_back([&, c] {
+      auto session = db->OpenSession();
+      Rng rng(11 * (c + 1));
+      for (size_t i = 0; i < txns_per_conn; i++) {
+        while (session->stats().inflight.load(std::memory_order_acquire) >=
+               window) {
+          std::this_thread::yield();
+        }
+        TxnRequest t;
+        t.proc_id = 2;
+        t.args.ints = {rng.UniformRange(0, kKeys - 1), 1};
+        session->Submit(std::move(t), [&](const TxnReceipt& r) {
+          switch (r.outcome) {
+            case ReceiptOutcome::kCommitted: {
+              committed.fetch_add(1, std::memory_order_relaxed);
+              std::lock_guard<SpinLock> lk(mu);
+              res.latency_us.Add(static_cast<double>(r.latency_us));
+              break;
+            }
+            case ReceiptOutcome::kRejected:
+              rejected.fetch_add(1, std::memory_order_relaxed);
+              break;
+            default:
+              dropped.fetch_add(1, std::memory_order_relaxed);
+              break;
+          }
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (!db->Sync().ok()) std::exit(1);
+  res.wall_s = wall.ElapsedSeconds();
+  res.committed = committed.load();
+  res.rejected = rejected.load();
+  res.dropped = dropped.load();
+  return res;
+}
+
+/// Wire run: `conns` NetClient connections against `port` on loopback.
+RunResult RunWire(uint16_t port, size_t conns, size_t txns_per_conn,
+                  size_t window) {
+  RunResult res;
+  SpinLock mu;
+  std::atomic<uint64_t> committed{0}, rejected{0}, dropped{0};
+  std::atomic<uint64_t> duplicated{0}, resolved{0};
+  Timer wall;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < conns; c++) {
+    threads.emplace_back([&, c] {
+      // Exactly-once ledger for this connection: client_seq is
+      // auto-assigned 1..txns, one slot each. Declared before the client so
+      // it outlives the destructor's fail-all callbacks.
+      std::vector<std::atomic<uint8_t>> seen(txns_per_conn + 1);
+      net::NetClientOptions co;
+      co.port = port;
+      auto client = net::NetClient::Connect(co);
+      if (!client.ok()) {
+        std::fprintf(stderr, "connect: %s\n",
+                     client.status().ToString().c_str());
+        std::exit(1);
+      }
+      Rng rng(13 * (c + 1));
+      for (size_t i = 0; i < txns_per_conn; i++) {
+        while ((*client)->stats().inflight.load(std::memory_order_acquire) >=
+               window) {
+          std::this_thread::yield();
+        }
+        TxnRequest t;
+        t.proc_id = 2;
+        t.args.ints = {rng.UniformRange(0, kKeys - 1), 1};
+        (*client)->Submit(std::move(t), [&](const TxnReceipt& r) {
+          if (r.client_seq == 0 || r.client_seq > txns_per_conn ||
+              seen[r.client_seq].fetch_add(1, std::memory_order_acq_rel) !=
+                  0) {
+            duplicated.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          resolved.fetch_add(1, std::memory_order_relaxed);
+          switch (r.outcome) {
+            case ReceiptOutcome::kCommitted: {
+              committed.fetch_add(1, std::memory_order_relaxed);
+              std::lock_guard<SpinLock> lk(mu);
+              res.latency_us.Add(static_cast<double>(r.latency_us));
+              break;
+            }
+            case ReceiptOutcome::kRejected:
+              rejected.fetch_add(1, std::memory_order_relaxed);
+              break;
+            default:
+              dropped.fetch_add(1, std::memory_order_relaxed);
+              break;
+          }
+        });
+      }
+      // Wait until this connection's receipts are all delivered.
+      if (!(*client)->Sync(/*timeout_us=*/60'000'000)) {
+        std::fprintf(stderr, "conn %zu: SYNC timed out or connection lost\n",
+                     c);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  res.wall_s = wall.ElapsedSeconds();
+  res.committed = committed.load();
+  res.rejected = rejected.load();
+  res.dropped = dropped.load();
+  res.duplicated = duplicated.load();
+  const uint64_t total = static_cast<uint64_t>(conns) * txns_per_conn;
+  res.lost = total - resolved.load();
+  return res;
+}
+
+void PrintResult(const char* label, size_t conns, const RunResult& r,
+                 uint64_t total) {
+  PrintRow({label, std::to_string(conns),
+            Fmt(r.wall_s > 0 ? static_cast<double>(total) / r.wall_s / 1e3
+                             : 0),
+            Fmt(r.latency_us.Percentile(50) / 1e3, 2),
+            Fmt(r.latency_us.Percentile(99) / 1e3, 2),
+            std::to_string(r.committed) + "/" + std::to_string(r.rejected) +
+                "/" + std::to_string(r.dropped),
+            std::to_string(r.lost) + "/" + std::to_string(r.duplicated)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t conns = 64;
+  size_t txns = ScaledTxns(2000);
+  size_t window = 128;
+  uint16_t external_port = 0;
+  for (int i = 1; i < argc; i++) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) std::exit(2);
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--conns")) conns = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--txns")) txns = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--window")) window = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--port")) external_port = static_cast<uint16_t>(std::atoi(next()));
+    else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
+  }
+  const uint64_t total = static_cast<uint64_t>(conns) * txns;
+
+  PrintHeader(
+      "Network frontend: wire submit->receipt through the harmonyd frontend "
+      "(loopback TCP, one session per connection, open loop, window=" +
+          std::to_string(window) + ") vs in-process sessions; " +
+          std::to_string(txns) + " txns/conn",
+      {"path", "conns", "ktxn/s", "p50 ms", "p99 ms", "cmt/rej/drop",
+       "lost/dup"});
+
+  RunResult wire;
+  if (external_port != 0) {
+    wire = RunWire(external_port, conns, txns, window);
+  } else {
+    auto db = OpenDb("wire");
+    net::NetServerOptions so;
+    so.port = 0;  // ephemeral
+    so.reactor_threads = 4;
+    net::NetServer server(db.get(), so);
+    if (Status s = server.Start(); !s.ok()) {
+      std::fprintf(stderr, "server: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    wire = RunWire(server.port(), conns, txns, window);
+    server.Stop();
+  }
+  PrintResult("wire", conns, wire, total);
+
+  if (external_port == 0) {
+    RunResult local = RunInProcess(conns, txns, window);
+    PrintResult("in-process", conns, local, total);
+  }
+
+  if (wire.lost != 0 || wire.duplicated != 0) {
+    std::fprintf(stderr,
+                 "FAIL: receipt accounting broken (lost=%llu dup=%llu)\n",
+                 static_cast<unsigned long long>(wire.lost),
+                 static_cast<unsigned long long>(wire.duplicated));
+    return 1;
+  }
+  return 0;
+}

@@ -60,6 +60,13 @@ struct SessionStats {
   std::atomic<uint64_t> rejected{0};
   std::atomic<uint64_t> latency_sum_us{0};
   std::atomic<uint64_t> latency_max_us{0};
+  /// Transactions submitted but not yet resolved; the session flow-control
+  /// cap (Options::max_inflight_per_session) gates on this. Incremented by
+  /// Session::Submit, decremented by PendingTxn::Resolve — every submit,
+  /// including the Busy-rejected ones, passes through both sides.
+  std::atomic<uint64_t> inflight{0};
+  /// Submits bounced by the flow-control cap (a subset of `rejected`).
+  std::atomic<uint64_t> flow_rejected{0};
 };
 
 /// Waitable completion state shared between a client's TxnTicket and the

@@ -91,6 +91,11 @@ class HarmonyBC {
     bool demote_over_rate = false;
     uint32_t max_txn_retries = 50;  ///< CC-abort resubmissions per txn
     uint32_t max_sync_rounds = 200; ///< seal+drain rounds before Sync gives up
+    /// Session-level flow control: a Session::Submit past this many
+    /// unresolved receipts on the same session resolves synchronously as a
+    /// Busy rejection (the network frontend maps it to ERROR{busy}).
+    /// 0 = unlimited. The slot frees when the receipt resolves.
+    uint64_t max_inflight_per_session = 0;
   };
 
   /// Opens (or creates) the chain directory. Call RegisterProcedure and

@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include "common/clock.h"
 #include "core/harmonybc.h"
 
 namespace harmony {
@@ -20,6 +21,30 @@ TxnTicket Session::Submit(TxnRequest req, ReceiptCallback cb) {
   stats_->submitted.fetch_add(1, std::memory_order_relaxed);
   const uint64_t client_id = req.client_id;
   const uint64_t client_seq = req.client_seq;
+
+  // Session-level flow control: every submit takes an inflight slot that
+  // PendingTxn::Resolve releases. Past the cap the submit never reaches
+  // admission — it resolves synchronously as a Busy rejection (the network
+  // frontend maps this to ERROR{busy} on the wire).
+  const uint64_t cap = db_->opts_.max_inflight_per_session;
+  const uint64_t inflight =
+      stats_->inflight.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (cap != 0 && inflight > cap) {
+    stats_->flow_rejected.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t now = NowMicros();
+    auto entry = std::make_shared<PendingTxn>(now, /*ticket=*/0,
+                                              std::move(cb), stats_);
+    TxnRequest identity;
+    identity.client_id = client_id;
+    identity.client_seq = client_seq;
+    identity.retries = req.retries;
+    ResolvePending(entry.get(), identity, ReceiptOutcome::kRejected,
+                   Status::Busy("session inflight cap (" +
+                                std::to_string(cap) + ") reached"),
+                   /*block_id=*/0, now);
+    return TxnTicket(std::move(entry), client_id, client_seq);
+  }
+
   return TxnTicket(
       db_->SubmitWithReceipt(std::move(req), std::move(cb), stats_),
       client_id, client_seq);

@@ -10,6 +10,9 @@ namespace harmony {
 
 class HarmonyBC;
 class Session;
+namespace net {
+class NetClient;
+}
 
 /// A client's handle on one in-flight transaction. Cheap to copy (shared
 /// state under the hood); default-constructed tickets are invalid.
@@ -41,6 +44,7 @@ class TxnTicket {
 
  private:
   friend class Session;
+  friend class net::NetClient;  ///< wire tickets share the same state type
   TxnTicket(std::shared_ptr<PendingTxn> state, uint64_t client_id,
             uint64_t client_seq)
       : state_(std::move(state)),

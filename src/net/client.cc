@@ -1,0 +1,321 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "chain/block.h"
+#include "common/clock.h"
+
+namespace harmony {
+namespace net {
+
+Result<std::unique_ptr<NetClient>> NetClient::Connect(
+    const NetClientOptions& opts) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IOError(std::string("socket: ") + strerror(errno));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts.port);
+  if (::inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1) {
+    // Not a literal address — resolve it.
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(opts.host.c_str(), nullptr, &hints, &res) != 0 ||
+        res == nullptr) {
+      ::close(fd);
+      return Status::IOError("cannot resolve " + opts.host);
+    }
+    addr.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IOError("connect " + opts.host + ":" +
+                               std::to_string(opts.port) + ": " +
+                               strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto client = std::unique_ptr<NetClient>(new NetClient());
+  client->fd_ = fd;
+  client->max_frame_payload_ = opts.max_frame_payload;
+  client->reader_ = std::thread([raw = client.get()] { raw->ReaderLoop(); });
+  return client;
+}
+
+NetClient::~NetClient() {
+  BreakConnection(Status::Aborted("client closed"));
+  if (reader_.joinable()) reader_.join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TxnTicket NetClient::Submit(TxnRequest req, ReceiptCallback cb) {
+  if (req.client_seq == 0) {
+    req.client_seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  } else {
+    uint64_t cur = next_seq_.load(std::memory_order_relaxed);
+    while (cur < req.client_seq &&
+           !next_seq_.compare_exchange_weak(cur, req.client_seq,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+  const uint64_t seq = req.client_seq;
+  const uint64_t now = NowMicros();
+  stats_->submitted.fetch_add(1, std::memory_order_relaxed);
+  stats_->inflight.fetch_add(1, std::memory_order_acq_rel);
+  auto entry = std::make_shared<PendingTxn>(now, seq, std::move(cb), stats_);
+
+  // Resolves `entry` locally without a round trip (duplicate seq, broken
+  // connection). PendingTxn::Resolve releases the inflight slot.
+  auto local_reject = [&](ReceiptOutcome outcome, Status why) {
+    TxnRequest identity;
+    identity.client_id = req.client_id;
+    identity.client_seq = seq;
+    ResolvePending(entry.get(), identity, outcome, std::move(why),
+                   /*block_id=*/0, NowMicros());
+    return TxnTicket(entry, req.client_id, seq);
+  };
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (broken_.load(std::memory_order_acquire)) {
+      return local_reject(ReceiptOutcome::kRejected,
+                          broken_why_.ok()
+                              ? Status::IOError("not connected")
+                              : broken_why_);
+    }
+    PendingEntry pe;
+    pe.entry = entry;
+    pe.send_time_us = now;
+    if (!pending_.emplace(seq, std::move(pe)).second) {
+      return local_reject(
+          ReceiptOutcome::kRejected,
+          Status::InvalidArgument("duplicate client_seq " +
+                                  std::to_string(seq) + " in flight"));
+    }
+  }
+
+  std::string payload;
+  BlockCodec::EncodeTxn(req, &payload);
+  if (Status s = WriteFrame(Opcode::kSubmit, payload); !s.ok()) {
+    // The write failed mid-connection: everything in flight (this submit
+    // included) is now fate-unknown.
+    BreakConnection(s);
+  }
+  return TxnTicket(std::move(entry), req.client_id, seq);
+}
+
+bool NetClient::Sync(uint64_t timeout_us) {
+  const uint64_t token =
+      next_sync_token_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::string payload;
+  EncodeSync(token, &payload);
+  if (Status s = WriteFrame(Opcode::kSync, payload); !s.ok()) {
+    // A partially written frame desynchronizes the stream — same terminal
+    // handling as Submit().
+    BreakConnection(s);
+    return false;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool acked = cv_.wait_for(
+      lk, std::chrono::microseconds(timeout_us), [&] {
+        return broken_.load(std::memory_order_acquire) ||
+               acked_syncs_.count(token) > 0;
+      });
+  if (!acked || acked_syncs_.erase(token) == 0) return false;
+  return true;
+}
+
+Result<WireStats> NetClient::Stats(uint64_t timeout_us) {
+  // One STATS exchange at a time: the reply carries no correlation id.
+  std::lock_guard<std::mutex> call_lk(stats_call_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_ready_ = false;
+  }
+  if (Status s = WriteFrame(Opcode::kStats, {}); !s.ok()) {
+    BreakConnection(s);  // a half-written frame desynchronizes the stream
+    return s;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool got = cv_.wait_for(
+      lk, std::chrono::microseconds(timeout_us), [&] {
+        return broken_.load(std::memory_order_acquire) || stats_ready_;
+      });
+  if (!got || !stats_ready_) {
+    // The reply may still arrive; make sure the reader throws it away
+    // rather than handing it to the next Stats() call as fresh.
+    stats_abandoned_++;
+    return broken_.load(std::memory_order_acquire) && !broken_why_.ok()
+               ? broken_why_
+               : Status::Busy("STATS timed out");
+  }
+  return stats_reply_;
+}
+
+Status NetClient::WriteFrame(Opcode op, std::string_view payload) {
+  const std::string frame = EncodeFrame(op, payload);
+  std::lock_guard<std::mutex> lk(write_mu_);
+  size_t off = 0;
+  while (off < frame.size()) {
+    // MSG_NOSIGNAL: a dead peer surfaces as EPIPE, not process-wide SIGPIPE.
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void NetClient::ResolveSeq(uint64_t client_seq, const TxnReceipt& receipt) {
+  PendingEntry pe;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = pending_.find(client_seq);
+    if (it == pending_.end()) return;  // late/unknown receipt
+    pe = std::move(it->second);
+    pending_.erase(it);
+  }
+  TxnReceipt r = receipt;
+  // Rewrite latency to the wire round trip this client experienced; the
+  // server-side commit latency is a subset of it and lives on the server.
+  const uint64_t now = NowMicros();
+  r.latency_us = now > pe.send_time_us ? now - pe.send_time_us : 0;
+  pe.entry->Resolve(std::move(r));
+}
+
+void NetClient::ReaderLoop() {
+  FrameReassembler reasm(max_frame_payload_);
+  char buf[64 << 10];
+  for (;;) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) {
+      BreakConnection(Status::Aborted("server closed the connection"));
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      BreakConnection(
+          Status::IOError(std::string("read: ") + strerror(errno)));
+      return;
+    }
+    reasm.Feed(buf, static_cast<size_t>(n));
+    for (;;) {
+      Frame frame;
+      const Status st = reasm.Next(&frame);
+      if (st.IsNotFound()) break;
+      if (!st.ok()) {
+        BreakConnection(st);
+        return;
+      }
+      switch (frame.opcode) {
+        case Opcode::kReceipt: {
+          TxnReceipt r;
+          if (!DecodeReceipt(frame.payload, &r)) {
+            BreakConnection(Status::Corruption("bad RECEIPT payload"));
+            return;
+          }
+          ResolveSeq(r.client_seq, r);
+          break;
+        }
+        case Opcode::kError: {
+          WireError e;
+          if (!DecodeError(frame.payload, &e)) {
+            BreakConnection(Status::Corruption("bad ERROR payload"));
+            return;
+          }
+          if (e.client_seq != 0) {
+            // Scoped to one submit (flow control / admission Busy): the
+            // connection lives on.
+            TxnReceipt r;
+            r.outcome = ReceiptOutcome::kRejected;
+            r.status = WireStatus(e.code, std::move(e.message));
+            r.client_seq = e.client_seq;
+            ResolveSeq(e.client_seq, r);
+            break;
+          }
+          // Connection-level: the server is about to close on us.
+          BreakConnection(WireStatus(e.code, std::move(e.message)));
+          return;
+        }
+        case Opcode::kSync: {
+          uint64_t token = 0;
+          if (!DecodeSync(frame.payload, &token)) {
+            BreakConnection(Status::Corruption("bad SYNC payload"));
+            return;
+          }
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            acked_syncs_.insert(token);
+          }
+          cv_.notify_all();
+          break;
+        }
+        case Opcode::kStats: {
+          WireStats s;
+          if (!DecodeStats(frame.payload, &s)) {
+            BreakConnection(Status::Corruption("bad STATS payload"));
+            return;
+          }
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (stats_abandoned_ > 0) {
+              stats_abandoned_--;  // the reply to a timed-out request
+              break;
+            }
+            stats_reply_ = s;
+            stats_ready_ = true;
+          }
+          cv_.notify_all();
+          break;
+        }
+        case Opcode::kSubmit:
+          BreakConnection(
+              Status::Corruption("server sent a client-only opcode"));
+          return;
+      }
+    }
+  }
+}
+
+void NetClient::BreakConnection(const Status& why) {
+  std::unordered_map<uint64_t, PendingEntry> doomed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (broken_.exchange(true, std::memory_order_acq_rel)) return;
+    broken_why_ = why.ok() ? Status::Aborted("connection closed") : why;
+    doomed.swap(pending_);
+  }
+  cv_.notify_all();
+  // Wake the reader if it is parked in read(); also flushes the peer.
+  ::shutdown(fd_, SHUT_RDWR);
+  const uint64_t now = NowMicros();
+  for (auto& [seq, pe] : doomed) {
+    // Same contract as Recover()/shutdown in-process: dropped means "fate
+    // unknown to this client", not "guaranteed not applied".
+    TxnReceipt r;
+    r.outcome = ReceiptOutcome::kDropped;
+    r.status = broken_why_;
+    r.client_seq = seq;
+    r.latency_us = now > pe.send_time_us ? now - pe.send_time_us : 0;
+    pe.entry->Resolve(std::move(r));
+  }
+}
+
+}  // namespace net
+}  // namespace harmony

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "core/session.h"
+#include "net/wire.h"
+
+namespace harmony {
+namespace net {
+
+struct NetClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t max_frame_payload = kMaxFramePayload;
+};
+
+/// Blocking + callback client for the HarmonyBC wire protocol — the remote
+/// mirror of Session::Submit/TxnTicket:
+///
+///   auto client = net::NetClient::Connect({.host = "...", .port = p});
+///   TxnTicket t = (*client)->Submit({.proc_id = 1, .args = {{a, b, amt}}});
+///   const TxnReceipt& r = t.Wait();       // same receipt type as in-process
+///
+/// One TCP connection, one server-side session. Submit stamps a
+/// monotonically increasing client_seq (callers may pre-set one; a seq
+/// already in flight on this connection is rejected locally), encodes the
+/// request with the block codec, and frames it onto the socket. A
+/// background reader thread resolves tickets from RECEIPT / ERROR frames.
+///
+/// Receipt fidelity: outcome/status/block_id/retries arrive exactly as the
+/// server resolved them. `latency_us` is rewritten to the *wire* round trip
+/// (local submit -> receipt decoded) so remote callers measure what they
+/// actually experienced, clock skew excluded. Callbacks run on the reader
+/// thread and must not block.
+///
+/// If the connection drops (server close, overload eviction, corrupt
+/// stream), every in-flight ticket resolves as kDropped with the close
+/// reason — receipts are never silently lost; "dropped" here means "fate
+/// unknown to this client", exactly like the in-process Recover()/shutdown
+/// contract.
+///
+/// Thread-safe: Submit/Sync/Stats may be called from any thread.
+class NetClient {
+ public:
+  static Result<std::unique_ptr<NetClient>> Connect(
+      const NetClientOptions& opts);
+
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  TxnTicket Submit(TxnRequest req) { return Submit(std::move(req), nullptr); }
+  TxnTicket Submit(TxnRequest req, ReceiptCallback cb);
+
+  /// Waits until every receipt for Submits that returned before this call
+  /// has been delivered to this client (server-side per-connection
+  /// watermark + wire round trip). False on timeout or connection loss.
+  bool Sync(uint64_t timeout_us);
+
+  /// Fetches the server's STATS snapshot for this connection's session.
+  Result<WireStats> Stats(uint64_t timeout_us);
+
+  /// Local aggregate receipt counters (inflight included), mirroring
+  /// Session::stats() for the remote session.
+  const SessionStats& stats() const { return *stats_; }
+
+  bool connected() const { return !broken_.load(std::memory_order_acquire); }
+
+ private:
+  NetClient() : stats_(std::make_shared<SessionStats>()) {}
+
+  void ReaderLoop();
+  /// Fails every pending ticket and sync/stats waiter with `why`.
+  void BreakConnection(const Status& why);
+  Status WriteFrame(Opcode op, std::string_view payload);
+  void ResolveSeq(uint64_t client_seq, const TxnReceipt& receipt);
+
+  int fd_ = -1;
+  size_t max_frame_payload_ = kMaxFramePayload;
+  std::shared_ptr<SessionStats> stats_;
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<uint64_t> next_sync_token_{0};
+  std::atomic<bool> broken_{false};
+  std::thread reader_;
+
+  std::mutex write_mu_;       ///< serializes whole-frame socket writes
+  std::mutex stats_call_mu_;  ///< one STATS exchange at a time (no corr. id)
+
+  std::mutex mu_;  ///< pending map + sync/stats rendezvous
+  std::condition_variable cv_;
+  struct PendingEntry {
+    std::shared_ptr<PendingTxn> entry;
+    uint64_t send_time_us = 0;
+  };
+  std::unordered_map<uint64_t, PendingEntry> pending_;  ///< by client_seq
+  std::unordered_set<uint64_t> acked_syncs_;
+  bool stats_ready_ = false;
+  /// STATS requests whose caller gave up (timeout): replies arrive in
+  /// request order on the one TCP stream, so the reader discards this many
+  /// before delivering one — a retry after a timeout cannot be satisfied
+  /// by the previous request's stale snapshot.
+  uint32_t stats_abandoned_ = 0;
+  WireStats stats_reply_;
+  Status broken_why_;
+};
+
+}  // namespace net
+}  // namespace harmony

@@ -1,0 +1,640 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "chain/block.h"
+#include "common/clock.h"
+
+namespace harmony {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+NetServer::Reactor::~Reactor() {
+  if (epoll_fd >= 0) ::close(epoll_fd);
+  if (wake_fd >= 0) ::close(wake_fd);
+}
+
+NetServer::NetServer(HarmonyBC* db, NetServerOptions opts)
+    : db_(db),
+      opts_(std::move(opts)),
+      stats_(std::make_shared<NetServerStats>()) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already started");
+  }
+  stopping_.store(false, std::memory_order_release);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_addr.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address " + opts_.bind_addr);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Errno("bind " + opts_.bind_addr);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 512) < 0) {
+    Status s = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t alen = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &alen);
+  port_ = ntohs(addr.sin_port);
+
+  const size_t n = std::max<size_t>(1, opts_.reactor_threads);
+  reactors_.clear();
+  for (size_t i = 0; i < n; i++) {
+    auto r = std::make_shared<Reactor>();
+    r->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    r->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (r->epoll_fd < 0 || r->wake_fd < 0) {
+      reactors_.clear();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Errno("epoll_create1/eventfd");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = r->wake_fd;
+    ::epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, r->wake_fd, &ev);
+    reactors_.push_back(std::move(r));
+  }
+  // The listener lives on reactor 0.
+  epoll_event lev{};
+  lev.events = EPOLLIN;
+  lev.data.fd = listen_fd_;
+  ::epoll_ctl(reactors_[0]->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &lev);
+
+  running_.store(true, std::memory_order_release);
+  for (size_t i = 0; i < reactors_.size(); i++) {
+    reactors_[i]->thread = std::thread([this, i] { ReactorLoop(i); });
+  }
+  return Status::OK();
+}
+
+void NetServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  // Phase 1: stop the intake. Reactors keep running (they must flush
+  // receipts) but ignore readable events and the listener goes away, so no
+  // new transaction can enter after the drain watermark is taken.
+  // listen_fd_ is owned by reactor 0's thread while it runs: it closes the
+  // listener itself when it observes stopping_ (racing the close from here
+  // would let accept() touch a reused fd number).
+  stopping_.store(true, std::memory_order_release);
+  for (auto& r : reactors_) Wake(*r);
+  // Phase 2: drain. Sync() waits on the completion watermark, so every
+  // transaction admitted before it returns has resolved its receipt — and
+  // each resolution queued a RECEIPT frame. Then wait for the write queues
+  // to reach the sockets. A reactor mid-dispatch can admit one more batch
+  // after stopping_ flips, hence the loop (the second Sync covers it).
+  const uint64_t deadline = NowMicros() + opts_.drain_timeout_us;
+  for (;;) {
+    (void)db_->Sync();  // Busy (abort livelock) is bounded by the deadline
+    bool drained = true;
+    for (auto& r : reactors_) {
+      std::vector<std::shared_ptr<Conn>> conns;
+      {
+        std::lock_guard<std::mutex> lk(r->mu);
+        conns.reserve(r->conns.size());
+        for (auto& [fd, c] : r->conns) conns.push_back(c);
+      }
+      for (auto& c : conns) {
+        std::lock_guard<std::mutex> lk(c->mu);
+        if (c->closed) continue;
+        if (c->resolved.load(std::memory_order_acquire) <
+                c->submitted.load(std::memory_order_acquire) ||
+            !c->outq.empty()) {
+          drained = false;
+        }
+      }
+      Wake(*r);  // flush whatever just got queued
+    }
+    if (drained || NowMicros() > deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Phase 3: tear down.
+  running_.store(false, std::memory_order_release);
+  for (auto& r : reactors_) Wake(*r);
+  for (auto& r : reactors_) {
+    if (r->thread.joinable()) r->thread.join();
+  }
+  if (listen_fd_ >= 0) {  // reactor 0 never saw stopping_ (already joined)
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& r : reactors_) {
+    std::lock_guard<std::mutex> lk(r->mu);
+    // incoming first: connections accepted but never adopted by the (now
+    // joined) reactor still own live fds.
+    for (auto& c : r->incoming) {
+      std::lock_guard<std::mutex> ck(c->mu);
+      if (!c->closed) {
+        c->closed = true;
+        ::close(c->fd);
+        stats_->closed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    for (auto& [fd, c] : r->conns) {
+      std::lock_guard<std::mutex> ck(c->mu);
+      if (!c->closed) {
+        c->closed = true;
+        ::close(c->fd);
+        stats_->closed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    r->conns.clear();
+    r->incoming.clear();
+    r->dirty.clear();
+  }
+  reactors_.clear();
+}
+
+size_t NetServer::open_connections() const {
+  size_t n = 0;
+  for (const auto& r : reactors_) {
+    std::lock_guard<std::mutex> lk(r->mu);
+    n += r->conns.size();
+  }
+  return n;
+}
+
+void NetServer::Wake(Reactor& r) {
+  uint64_t one = 1;
+  ssize_t ignored = ::write(r.wake_fd, &one, sizeof(one));
+  (void)ignored;  // EAGAIN just means a wake is already pending
+}
+
+void NetServer::ReactorLoop(size_t idx) {
+  Reactor& r = *reactors_[idx];
+  epoll_event events[64];
+  while (running_.load(std::memory_order_acquire)) {
+    // Reactor 0 owns the listener; it retires it on shutdown so no other
+    // thread ever races accept() against close().
+    if (idx == 0 && listen_fd_ >= 0 &&
+        stopping_.load(std::memory_order_acquire)) {
+      ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    const int n = ::epoll_wait(r.epoll_fd, events, 64, /*timeout_ms=*/100);
+    for (int i = 0; i < n; i++) {
+      const int fd = events[i].data.fd;
+      if (fd == r.wake_fd) {
+        uint64_t drain;
+        while (::read(r.wake_fd, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (idx == 0 && fd == listen_fd_ &&
+          !stopping_.load(std::memory_order_acquire)) {
+        AcceptReady();
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard<std::mutex> lk(r.mu);
+        auto it = r.conns.find(fd);
+        if (it != r.conns.end()) conn = it->second;
+      }
+      if (!conn) continue;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConn(r, conn);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) FlushConn(r, conn);
+      if (events[i].events & EPOLLIN) {
+        if (!stopping_.load(std::memory_order_acquire)) {
+          HandleReadable(r, conn);
+        } else {
+          // Drain phase: reads are parked, but leaving EPOLLIN armed on a
+          // level-triggered set would spin this loop at 100% CPU for the
+          // whole drain. Disarm it; writes still flow.
+          std::lock_guard<std::mutex> lk(conn->mu);
+          if (!conn->closed) {
+            epoll_event ev{};
+            ev.events = conn->want_write ? EPOLLOUT : 0u;
+            ev.data.fd = conn->fd;
+            ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+          }
+        }
+      }
+    }
+    // Deferred work queued by other threads: adopt new connections, flush
+    // queues the receipt callbacks touched. Runs every iteration so inline
+    // (reactor-thread) enqueues are flushed promptly too.
+    std::vector<std::shared_ptr<Conn>> incoming;
+    std::vector<std::weak_ptr<Conn>> dirty;
+    {
+      std::lock_guard<std::mutex> lk(r.mu);
+      incoming.swap(r.incoming);
+      dirty.swap(r.dirty);
+    }
+    for (auto& c : incoming) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = c->fd;
+      if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, c->fd, &ev) == 0) {
+        std::lock_guard<std::mutex> lk(r.mu);
+        r.conns.emplace(c->fd, c);
+      } else {
+        std::lock_guard<std::mutex> ck(c->mu);
+        c->closed = true;
+        ::close(c->fd);
+        stats_->closed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    for (auto& w : dirty) {
+      if (std::shared_ptr<Conn> c = w.lock()) FlushConn(r, c);
+    }
+  }
+}
+
+void NetServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Resource exhaustion leaves the backlogged connection pending, and
+      // the level-triggered listener would re-report it immediately: back
+      // off briefly instead of spinning reactor 0 at 100% CPU until an fd
+      // frees up.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      // EAGAIN = drained; anything else (aborted handshake, EBADF during
+      // shutdown) is not fatal to the listener either.
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    const size_t target =
+        next_reactor_.fetch_add(1, std::memory_order_relaxed) %
+        reactors_.size();
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->owner = reactors_[target];
+    conn->srv_stats = stats_;
+    conn->wq_cap = opts_.max_write_queue_bytes;
+    conn->reasm = FrameReassembler(opts_.max_frame_payload);
+    conn->session = db_->OpenSession();
+    stats_->accepted.fetch_add(1, std::memory_order_relaxed);
+
+    Reactor& r = *reactors_[target];
+    {
+      std::lock_guard<std::mutex> lk(r.mu);
+      r.incoming.push_back(std::move(conn));
+    }
+    Wake(r);
+  }
+}
+
+void NetServer::HandleReadable(Reactor& r, const std::shared_ptr<Conn>& conn) {
+  char buf[64 << 10];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->reasm.Feed(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      CloseConn(r, conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(r, conn);
+    return;
+  }
+  for (;;) {
+    Frame frame;
+    const Status st = conn->reasm.Next(&frame);
+    if (st.IsNotFound()) break;
+    if (!st.ok()) {
+      // Unrecoverable stream (bad magic/CRC/length): tell the client why,
+      // then close once the error flushes. No resync is attempted — a
+      // desynchronized length-prefixed stream has no reliable frame
+      // boundary to hunt for.
+      stats_->corrupt_closes.fetch_add(1, std::memory_order_relaxed);
+      WireError e;
+      e.code = Status::Code::kCorruption;
+      e.client_seq = 0;
+      e.message = st.ToString();
+      std::string payload;
+      EncodeError(e, &payload);
+      bool wake;
+      {
+        std::lock_guard<std::mutex> lk(conn->mu);
+        wake = EnqueueLocked(*conn, Opcode::kError, payload);
+        conn->close_after_flush = true;
+      }
+      (void)wake;
+      FlushConn(r, conn);
+      return;
+    }
+    stats_->frames_in.fetch_add(1, std::memory_order_relaxed);
+    if (!Dispatch(conn, std::move(frame))) {
+      stats_->corrupt_closes.fetch_add(1, std::memory_order_relaxed);
+      WireError e;
+      e.code = Status::Code::kInvalidArgument;
+      e.client_seq = 0;
+      e.message = "protocol violation";
+      std::string payload;
+      EncodeError(e, &payload);
+      {
+        std::lock_guard<std::mutex> lk(conn->mu);
+        EnqueueLocked(*conn, Opcode::kError, payload);
+        conn->close_after_flush = true;
+      }
+      FlushConn(r, conn);
+      return;
+    }
+  }
+  FlushConn(r, conn);  // whatever dispatch queued inline
+}
+
+bool NetServer::Dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
+  switch (frame.opcode) {
+    case Opcode::kSubmit: {
+      TxnRequest req;
+      codec::Reader rd(frame.payload);
+      if (!BlockCodec::DecodeTxn(&rd, &req) || rd.remaining() != 0) {
+        return false;
+      }
+      // The server's clock stamps admission and latency; a caller-supplied
+      // timestamp would skew rate limiting and receipt latency.
+      req.submit_time_us = 0;
+      stats_->submits.fetch_add(1, std::memory_order_relaxed);
+      conn->submitted.fetch_add(1, std::memory_order_acq_rel);
+      std::weak_ptr<Conn> weak = conn;
+      conn->session->Submit(
+          std::move(req),
+          [weak](const TxnReceipt& receipt) { PushReceipt(weak, receipt); });
+      return true;
+    }
+    case Opcode::kSync: {
+      uint64_t token = 0;
+      if (!DecodeSync(frame.payload, &token)) return false;
+      const uint64_t watermark =
+          conn->submitted.load(std::memory_order_acquire);
+      std::string payload;
+      EncodeSync(token, &payload);
+      std::lock_guard<std::mutex> lk(conn->mu);
+      if (conn->resolved.load(std::memory_order_acquire) >= watermark) {
+        EnqueueLocked(*conn, Opcode::kSync, payload);
+      } else {
+        conn->pending_syncs.emplace_back(watermark, token);
+      }
+      return true;
+    }
+    case Opcode::kStats: {
+      if (!frame.payload.empty()) return false;
+      WireStats s;
+      const SessionStats& ss = conn->session->stats();
+      s.sess_submitted = ss.submitted.load(std::memory_order_relaxed);
+      s.sess_committed = ss.committed.load(std::memory_order_relaxed);
+      s.sess_logic_aborted = ss.logic_aborted.load(std::memory_order_relaxed);
+      s.sess_dropped = ss.dropped.load(std::memory_order_relaxed);
+      s.sess_rejected = ss.rejected.load(std::memory_order_relaxed);
+      s.sess_latency_sum_us =
+          ss.latency_sum_us.load(std::memory_order_relaxed);
+      s.sess_latency_max_us =
+          ss.latency_max_us.load(std::memory_order_relaxed);
+      s.sess_inflight = ss.inflight.load(std::memory_order_relaxed);
+      const IngestStats& is = db_->ingest_stats();
+      s.ing_submitted = is.submitted.load(std::memory_order_relaxed);
+      s.ing_admitted = is.admitted.load(std::memory_order_relaxed);
+      s.ing_duplicates = is.duplicates.load(std::memory_order_relaxed);
+      s.ing_rejected = is.rejected.load(std::memory_order_relaxed);
+      s.ing_rate_limited = is.rate_limited.load(std::memory_order_relaxed);
+      s.ing_demoted = is.demoted.load(std::memory_order_relaxed);
+      s.ing_backpressured = is.backpressured.load(std::memory_order_relaxed);
+      s.ing_retries_enqueued =
+          is.retries_enqueued.load(std::memory_order_relaxed);
+      s.ing_retries_dropped =
+          is.retries_dropped.load(std::memory_order_relaxed);
+      s.ing_sealed_blocks = is.sealed_blocks.load(std::memory_order_relaxed);
+      s.ing_sealed_txns = is.sealed_txns.load(std::memory_order_relaxed);
+      s.ing_sealed_high =
+          is.sealed_lane_txns[static_cast<size_t>(IngestLane::kHigh)].load(
+              std::memory_order_relaxed);
+      s.ing_sealed_normal =
+          is.sealed_lane_txns[static_cast<size_t>(IngestLane::kNormal)].load(
+              std::memory_order_relaxed);
+      s.ing_sealed_low =
+          is.sealed_lane_txns[static_cast<size_t>(IngestLane::kLow)].load(
+              std::memory_order_relaxed);
+      s.ing_sealed_retry =
+          is.sealed_retry_txns.load(std::memory_order_relaxed);
+      s.height = db_->height();
+      s.pending_receipts = db_->pending_receipts();
+      s.queue_depth = db_->queue_depth();
+      std::string payload;
+      EncodeStats(s, &payload);
+      std::lock_guard<std::mutex> lk(conn->mu);
+      EnqueueLocked(*conn, Opcode::kStats, payload);
+      return true;
+    }
+    case Opcode::kReceipt:
+    case Opcode::kError:
+      return false;  // server-to-client opcodes; a client must not send them
+  }
+  return false;
+}
+
+bool NetServer::EnqueueLocked(Conn& conn, Opcode op,
+                              std::string_view payload) {
+  if (conn.closed || conn.overloaded) return false;
+  std::string frame = EncodeFrame(op, payload);
+  if (conn.out_bytes + frame.size() > conn.wq_cap) {
+    // Slow consumer: seal the queue with one terminal ERROR{overloaded}
+    // frame and close once it flushes. Receipts already queued still go
+    // out; this one (and later ones) are lost *with the connection* — the
+    // client observes the close and fails its pending tickets, so nothing
+    // is silently dropped on a connection that looks healthy.
+    conn.overloaded = true;
+    conn.close_after_flush = true;
+    conn.srv_stats->overloaded_closes.fetch_add(1, std::memory_order_relaxed);
+    WireError e;
+    e.code = Status::Code::kBusy;
+    e.client_seq = 0;
+    e.message = "overloaded: write queue over " +
+                std::to_string(conn.wq_cap) + " bytes";
+    std::string epayload;
+    EncodeError(e, &epayload);
+    std::string eframe = EncodeFrame(Opcode::kError, epayload);
+    conn.out_bytes += eframe.size();
+    conn.outq.push_back(std::move(eframe));
+    return !conn.want_write;
+  }
+  conn.out_bytes += frame.size();
+  conn.outq.push_back(std::move(frame));
+  conn.srv_stats->frames_out.fetch_add(1, std::memory_order_relaxed);
+  return !conn.want_write;
+}
+
+void NetServer::PushFrame(const std::shared_ptr<Conn>& conn, Opcode op,
+                          std::string_view payload) {
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    wake = EnqueueLocked(*conn, op, payload);
+  }
+  if (wake) {
+    Reactor& r = *conn->owner;
+    {
+      std::lock_guard<std::mutex> lk(r.mu);
+      r.dirty.push_back(conn);
+    }
+    Wake(r);
+  }
+}
+
+void NetServer::PushReceipt(const std::weak_ptr<Conn>& weak,
+                            const TxnReceipt& receipt) {
+  std::shared_ptr<Conn> conn = weak.lock();
+  if (!conn) return;  // connection already gone; the receipt dies with it
+  // Hold the owner alive for the wake below even if the server is tearing
+  // down concurrently.
+  std::shared_ptr<Reactor> owner = conn->owner;
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    std::string payload;
+    if (receipt.outcome == ReceiptOutcome::kRejected &&
+        receipt.status.IsBusy()) {
+      // Flow control (session inflight cap, rate limiting, mempool
+      // backpressure) surfaces as ERROR{busy} scoped to the submit.
+      WireError e;
+      e.code = Status::Code::kBusy;
+      e.client_seq = receipt.client_seq;
+      e.message = receipt.status.message();
+      EncodeError(e, &payload);
+      wake = EnqueueLocked(*conn, Opcode::kError, payload);
+      conn->srv_stats->busy_errors.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      EncodeReceipt(receipt, &payload);
+      wake = EnqueueLocked(*conn, Opcode::kReceipt, payload);
+      conn->srv_stats->receipts.fetch_add(1, std::memory_order_relaxed);
+    }
+    // resolved advances under mu so a concurrent SYNC registration either
+    // sees the new count or leaves an entry for this flush to ack.
+    const uint64_t resolved =
+        conn->resolved.fetch_add(1, std::memory_order_acq_rel) + 1;
+    for (size_t i = 0; i < conn->pending_syncs.size();) {
+      if (conn->pending_syncs[i].first <= resolved) {
+        std::string ack;
+        EncodeSync(conn->pending_syncs[i].second, &ack);
+        wake = EnqueueLocked(*conn, Opcode::kSync, ack) || wake;
+        conn->pending_syncs.erase(conn->pending_syncs.begin() +
+                                  static_cast<long>(i));
+      } else {
+        i++;
+      }
+    }
+  }
+  if (wake) {
+    {
+      std::lock_guard<std::mutex> lk(owner->mu);
+      owner->dirty.push_back(conn);
+    }
+    Wake(*owner);
+  }
+}
+
+void NetServer::FlushConn(Reactor& r, const std::shared_ptr<Conn>& conn) {
+  bool close = false;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->closed) return;
+    while (!conn->outq.empty()) {
+      const std::string& front = conn->outq.front();
+      // MSG_NOSIGNAL: a peer that vanished mid-flush must surface as EPIPE
+      // on this connection, not as a process-wide SIGPIPE.
+      const ssize_t n =
+          ::send(conn->fd, front.data() + conn->out_off,
+                 front.size() - conn->out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_off += static_cast<size_t>(n);
+        if (conn->out_off == front.size()) {
+          conn->out_bytes -= front.size();
+          conn->out_off = 0;
+          conn->outq.pop_front();
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close = true;  // broken pipe etc.
+      break;
+    }
+    if (!close && conn->outq.empty() && conn->close_after_flush) close = true;
+    if (!close) {
+      const bool want = !conn->outq.empty();
+      if (want != conn->want_write) {
+        epoll_event ev{};
+        // No EPOLLIN during the Stop() drain — reads are parked and a
+        // level-triggered readable event would spin the loop.
+        ev.events = (stopping_.load(std::memory_order_acquire) ? 0u
+                                                               : EPOLLIN) |
+                    (want ? EPOLLOUT : 0u);
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+        conn->want_write = want;
+      }
+    }
+  }
+  if (close) CloseConn(r, conn);
+}
+
+void NetServer::CloseConn(Reactor& r, const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+  }
+  stats_->closed.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.conns.erase(conn->fd);
+}
+
+}  // namespace net
+}  // namespace harmony

@@ -1,0 +1,176 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/harmonybc.h"
+#include "net/wire.h"
+
+namespace harmony {
+namespace net {
+
+struct NetServerOptions {
+  std::string bind_addr = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = kernel-assigned; read it back via port()
+  /// Acceptor/reactor threads. Each runs its own epoll loop; accepted
+  /// connections are dealt round-robin across them.
+  size_t reactor_threads = 2;
+  size_t max_frame_payload = kMaxFramePayload;
+  /// Per-connection bound on queued outbound bytes (receipts the client has
+  /// not read yet). A push past this marks the consumer too slow: the queue
+  /// is sealed with one ERROR{overloaded} frame and the connection closes
+  /// once it flushes — bounded memory, never a silent drop on a live
+  /// connection.
+  size_t max_write_queue_bytes = 4u << 20;
+  /// Stop() waits this long for in-flight receipts to resolve and flush
+  /// before tearing connections down.
+  uint64_t drain_timeout_us = 10'000'000;
+};
+
+/// Whole-server counters (relaxed; monotonic).
+struct NetServerStats {
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> closed{0};
+  std::atomic<uint64_t> frames_in{0};
+  std::atomic<uint64_t> frames_out{0};
+  std::atomic<uint64_t> submits{0};
+  std::atomic<uint64_t> receipts{0};
+  std::atomic<uint64_t> busy_errors{0};        ///< ERROR{busy} sent
+  std::atomic<uint64_t> overloaded_closes{0};  ///< write queue overflow
+  std::atomic<uint64_t> corrupt_closes{0};     ///< bad frames / protocol
+};
+
+/// Epoll-based TCP frontend over the session API.
+///
+/// Threading model (docs/NET.md has the full contract):
+///  - `reactor_threads` event loops; the listen socket lives on reactor 0
+///    and accepted connections are assigned round-robin. Each connection is
+///    owned by exactly one reactor: all reads, frame dispatch, epoll
+///    re-arming, and the final close happen on that thread.
+///  - Each connection gets its own HarmonyBC Session. SUBMIT frames are
+///    decoded and pushed through Session::Submit in completion-callback
+///    mode; the receipt callback — running on the replica's commit thread
+///    (or inline on the reactor for synchronous rejections) — encodes the
+///    RECEIPT/ERROR frame into the connection's bounded write queue and
+///    wakes the owning reactor via its eventfd. The queue mutex is the only
+///    cross-thread touch point per connection.
+///  - Busy rejections (session flow-control cap, admission rate limiting,
+///    mempool backpressure) are mapped to ERROR{busy} frames scoped to the
+///    submit's client_seq; every other outcome ships as a full RECEIPT.
+///
+/// Shutdown: Stop() parks all reads, closes the listener, then drains via
+/// the completion watermark (HarmonyBC::Sync) so every admitted transaction
+/// resolves, waits for per-connection write queues to flush (bounded by
+/// drain_timeout_us), and only then tears the reactors down — no receipt
+/// for an admitted transaction is silently dropped on a clean shutdown.
+///
+/// Receipt callbacks registered with the session API may outlive Stop()
+/// only until the HarmonyBC resolves them, so destroy the NetServer before
+/// the HarmonyBC it fronts; the callbacks themselves hold no raw NetServer
+/// pointer (only weak connection references and shared stats), which makes
+/// that ordering sufficient rather than load-bearing.
+class NetServer {
+ public:
+  NetServer(HarmonyBC* db, NetServerOptions opts);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// Bound port (after Start); useful with port = 0.
+  uint16_t port() const { return port_; }
+
+  const NetServerStats& stats() const { return *stats_; }
+  size_t open_connections() const;
+
+ private:
+  struct Reactor;
+
+  struct Conn {
+    int fd = -1;
+    /// Kept as shared_ptrs so a receipt callback that locked this Conn can
+    /// finish (queue mutex, eventfd wake, stats bumps) even while the
+    /// NetServer is tearing down.
+    std::shared_ptr<Reactor> owner;
+    std::shared_ptr<NetServerStats> srv_stats;
+    size_t wq_cap = 0;
+    std::unique_ptr<Session> session;
+    FrameReassembler reasm;
+    /// Frames submitted on this connection (owning reactor only).
+    std::atomic<uint64_t> submitted{0};
+    /// Receipts resolved; incremented under mu so SYNC-ack registration
+    /// cannot miss the catch-up.
+    std::atomic<uint64_t> resolved{0};
+
+    // Write side — shared between the owning reactor and receipt callbacks.
+    std::mutex mu;
+    std::deque<std::string> outq;
+    size_t out_bytes = 0;
+    size_t out_off = 0;  ///< partial-write offset into outq.front()
+    std::vector<std::pair<uint64_t, uint64_t>> pending_syncs;  ///< (wm, token)
+    bool want_write = false;  ///< EPOLLOUT armed
+    bool close_after_flush = false;
+    bool overloaded = false;
+    bool closed = false;  ///< fd closed; drop further pushes
+  };
+
+  struct Reactor {
+    ~Reactor();
+    int epoll_fd = -1;
+    int wake_fd = -1;  ///< eventfd: cross-thread "this reactor has work"
+    std::thread thread;
+    std::mutex mu;  ///< guards conns + incoming + dirty
+    std::unordered_map<int, std::shared_ptr<Conn>> conns;
+    std::vector<std::shared_ptr<Conn>> incoming;  ///< accepted, not yet added
+    /// Connections with queued writes. Weak on purpose: a receipt callback
+    /// racing Stop() may push here after the reactor was torn down, and a
+    /// strong ref would close the Conn::owner ↔ Reactor::dirty cycle into
+    /// a leak.
+    std::vector<std::weak_ptr<Conn>> dirty;
+  };
+
+  void ReactorLoop(size_t idx);
+  void AcceptReady();
+  void HandleReadable(Reactor& r, const std::shared_ptr<Conn>& conn);
+  /// Dispatches one decoded frame; false = protocol error, close.
+  bool Dispatch(const std::shared_ptr<Conn>& conn, Frame frame);
+  /// Appends a frame to the write queue (overflow -> overloaded seal) and
+  /// returns true when the owning reactor must be woken to flush it.
+  /// Requires conn.mu.
+  static bool EnqueueLocked(Conn& conn, Opcode op, std::string_view payload);
+  void PushFrame(const std::shared_ptr<Conn>& conn, Opcode op,
+                 std::string_view payload);
+  /// Receipt-callback path: RECEIPT or ERROR{busy}, plus due SYNC acks.
+  /// Static on purpose — must stay valid without the NetServer.
+  static void PushReceipt(const std::weak_ptr<Conn>& weak,
+                          const TxnReceipt& r);
+  /// Writes until EAGAIN/empty; arms/disarms EPOLLOUT; closes after flush
+  /// when requested. Runs on the owning reactor.
+  void FlushConn(Reactor& r, const std::shared_ptr<Conn>& conn);
+  void CloseConn(Reactor& r, const std::shared_ptr<Conn>& conn);
+  static void Wake(Reactor& r);
+
+  HarmonyBC* db_;
+  NetServerOptions opts_;
+  std::shared_ptr<NetServerStats> stats_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::vector<std::shared_ptr<Reactor>> reactors_;
+  std::atomic<size_t> next_reactor_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};  ///< reads parked; accept closed
+};
+
+}  // namespace net
+}  // namespace harmony

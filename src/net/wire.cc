@@ -1,0 +1,234 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace harmony {
+namespace net {
+
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kSubmit:
+      return "SUBMIT";
+    case Opcode::kReceipt:
+      return "RECEIPT";
+    case Opcode::kSync:
+      return "SYNC";
+    case Opcode::kStats:
+      return "STATS";
+    case Opcode::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::string EncodeFrame(Opcode op, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  codec::AppendU32(&out, kWireMagic);
+  out.push_back(static_cast<char>(kWireVersion));
+  out.push_back(static_cast<char>(op));
+  codec::AppendU16(&out, 0);  // flags
+  codec::AppendU32(&out, static_cast<uint32_t>(payload.size()));
+  codec::AppendU32(&out, payload.empty() ? 0 : Crc32(payload));
+  codec::AppendU32(&out, Crc32(out.data(), 16));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void EncodeReceipt(const TxnReceipt& r, std::string* out) {
+  out->push_back(static_cast<char>(r.outcome));
+  out->push_back(static_cast<char>(r.status.code()));
+  codec::AppendBytes(out, r.status.message());
+  codec::AppendU64(out, r.block_id);
+  codec::AppendU64(out, r.client_id);
+  codec::AppendU64(out, r.client_seq);
+  codec::AppendU32(out, r.retries);
+  codec::AppendU64(out, r.latency_us);
+}
+
+Status WireStatus(Status::Code code, std::string msg) {
+  switch (code) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case Status::Code::kIOError:
+      return Status::IOError(std::move(msg));
+    case Status::Code::kBusy:
+      return Status::Busy(std::move(msg));
+    case Status::Code::kAborted:
+      return Status::Aborted(std::move(msg));
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(std::move(msg));
+  }
+  return Status::Corruption("unknown status code " +
+                            std::to_string(static_cast<int>(code)));
+}
+
+bool DecodeReceipt(std::string_view payload, TxnReceipt* out) {
+  if (payload.size() < 2) return false;
+  const uint8_t outcome = static_cast<uint8_t>(payload[0]);
+  const uint8_t code = static_cast<uint8_t>(payload[1]);
+  if (outcome > static_cast<uint8_t>(ReceiptOutcome::kRejected)) return false;
+  if (code > static_cast<uint8_t>(Status::Code::kNotSupported)) return false;
+  codec::Reader r(payload.substr(2));
+  std::string msg;
+  if (!r.ReadBytes(&msg) || !r.ReadU64(&out->block_id) ||
+      !r.ReadU64(&out->client_id) || !r.ReadU64(&out->client_seq) ||
+      !r.ReadU32(&out->retries) || !r.ReadU64(&out->latency_us)) {
+    return false;
+  }
+  out->outcome = static_cast<ReceiptOutcome>(outcome);
+  out->status = WireStatus(static_cast<Status::Code>(code), std::move(msg));
+  return r.remaining() == 0;
+}
+
+void EncodeError(const WireError& e, std::string* out) {
+  out->push_back(static_cast<char>(e.code));
+  codec::AppendU64(out, e.client_seq);
+  codec::AppendBytes(out, e.message);
+}
+
+bool DecodeError(std::string_view payload, WireError* out) {
+  if (payload.empty()) return false;
+  const uint8_t code = static_cast<uint8_t>(payload[0]);
+  if (code > static_cast<uint8_t>(Status::Code::kNotSupported)) return false;
+  codec::Reader r(payload.substr(1));
+  if (!r.ReadU64(&out->client_seq) || !r.ReadBytes(&out->message)) {
+    return false;
+  }
+  out->code = static_cast<Status::Code>(code);
+  return r.remaining() == 0;
+}
+
+void EncodeSync(uint64_t token, std::string* out) {
+  codec::AppendU64(out, token);
+}
+
+bool DecodeSync(std::string_view payload, uint64_t* token) {
+  codec::Reader r(payload);
+  return r.ReadU64(token) && r.remaining() == 0;
+}
+
+namespace {
+
+/// The single canonical WireStats field order. Encode and decode both walk
+/// this list, so they cannot drift apart: append new fields at the END
+/// (older peers skip unknown trailing fields; inserting mid-list is a wire
+/// break).
+template <typename Stats, typename Fn>
+void ForEachStatsField(Stats& s, Fn&& fn) {
+  fn(s.sess_submitted);
+  fn(s.sess_committed);
+  fn(s.sess_logic_aborted);
+  fn(s.sess_dropped);
+  fn(s.sess_rejected);
+  fn(s.sess_latency_sum_us);
+  fn(s.sess_latency_max_us);
+  fn(s.sess_inflight);
+  fn(s.ing_submitted);
+  fn(s.ing_admitted);
+  fn(s.ing_duplicates);
+  fn(s.ing_rejected);
+  fn(s.ing_rate_limited);
+  fn(s.ing_demoted);
+  fn(s.ing_backpressured);
+  fn(s.ing_retries_enqueued);
+  fn(s.ing_retries_dropped);
+  fn(s.ing_sealed_blocks);
+  fn(s.ing_sealed_txns);
+  fn(s.ing_sealed_high);
+  fn(s.ing_sealed_normal);
+  fn(s.ing_sealed_low);
+  fn(s.ing_sealed_retry);
+  fn(s.height);
+  fn(s.pending_receipts);
+  fn(s.queue_depth);
+}
+
+uint32_t NumStatsFields() {
+  WireStats s;
+  uint32_t n = 0;
+  ForEachStatsField(s, [&](uint64_t&) { n++; });
+  return n;
+}
+
+}  // namespace
+
+void EncodeStats(const WireStats& s, std::string* out) {
+  codec::AppendU32(out, NumStatsFields());
+  ForEachStatsField(s,
+                    [&](const uint64_t& f) { codec::AppendU64(out, f); });
+}
+
+bool DecodeStats(std::string_view payload, WireStats* out) {
+  codec::Reader r(payload);
+  uint32_t n = 0;
+  if (!r.ReadU32(&n)) return false;
+  // A newer peer may append fields; decode the ones this build knows and
+  // skip the rest. Fewer than we expect is a truncation, not skew.
+  const uint32_t known = NumStatsFields();
+  if (n < known) return false;
+  bool ok = true;
+  ForEachStatsField(*out, [&](uint64_t& f) { ok = ok && r.ReadU64(&f); });
+  if (!ok) return false;
+  for (uint32_t i = known; i < n; i++) {
+    uint64_t skip;
+    if (!r.ReadU64(&skip)) return false;
+  }
+  return r.remaining() == 0;
+}
+
+Status FrameReassembler::Next(Frame* out) {
+  // Compact the consumed prefix once it dominates the buffer, so a
+  // long-lived connection does not accrete every frame it ever read.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > (64u << 10))) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  if (buf_.size() - pos_ < kHeaderSize) return Status::NotFound("need bytes");
+  const char* h = buf_.data() + pos_;
+  codec::Reader r(std::string_view(h, kHeaderSize));
+  uint32_t magic = 0, payload_len = 0, payload_crc = 0, header_crc = 0;
+  uint16_t flags = 0;
+  uint16_t ver_op = 0;
+  r.ReadU32(&magic);
+  r.ReadU16(&ver_op);  // version (low byte) + opcode (high byte)
+  r.ReadU16(&flags);
+  r.ReadU32(&payload_len);
+  r.ReadU32(&payload_crc);
+  r.ReadU32(&header_crc);
+  const uint8_t version = static_cast<uint8_t>(ver_op & 0xff);
+  const uint8_t opcode = static_cast<uint8_t>(ver_op >> 8);
+  if (magic != kWireMagic) return Status::Corruption("bad magic");
+  if (header_crc != Crc32(h, 16)) return Status::Corruption("header CRC");
+  if (version != kWireVersion) {
+    return Status::Corruption("wire version " + std::to_string(version));
+  }
+  if (flags != 0) return Status::Corruption("reserved flags set");
+  if (opcode < static_cast<uint8_t>(Opcode::kSubmit) ||
+      opcode > static_cast<uint8_t>(Opcode::kError)) {
+    return Status::Corruption("unknown opcode " + std::to_string(opcode));
+  }
+  if (payload_len > max_payload_) {
+    return Status::Corruption("oversized frame (" +
+                              std::to_string(payload_len) + " bytes)");
+  }
+  if (buf_.size() - pos_ < kHeaderSize + payload_len) {
+    return Status::NotFound("need payload");
+  }
+  std::string_view payload(buf_.data() + pos_ + kHeaderSize, payload_len);
+  const uint32_t crc = payload_len == 0 ? 0 : Crc32(payload);
+  if (crc != payload_crc) return Status::Corruption("payload CRC");
+  out->opcode = static_cast<Opcode>(opcode);
+  out->payload.assign(payload);
+  pos_ += kHeaderSize + payload_len;
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace harmony

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/codec.h"
+#include "common/status.h"
+#include "core/completion.h"
+#include "txn/procedure.h"
+
+namespace harmony {
+namespace net {
+
+/// HarmonyBC wire protocol v1 — a versioned, length-prefixed binary frame
+/// format spoken between NetClient and NetServer (see docs/NET.md).
+///
+/// Every frame is a fixed 20-byte header followed by `payload_len` bytes:
+///
+///   offset  size  field
+///   0       4     magic        "HBC1" (0x31434248 little-endian)
+///   4       1     version      kWireVersion
+///   5       1     opcode       Opcode
+///   6       2     flags        reserved, must be 0
+///   8       4     payload_len  bytes following the header
+///   12      4     payload_crc  CRC32 of the payload (0 when empty)
+///   16      4     header_crc   CRC32 of header bytes [0, 16)
+///
+/// The header CRC makes desynchronization detectable before `payload_len`
+/// is trusted: a corrupt or misaligned header fails the CRC instead of
+/// committing the reader to a garbage-length read. Payload encodings reuse
+/// the little-endian helpers in common/codec.h (the same codec the block
+/// log uses), and SUBMIT payloads are exactly BlockCodec::EncodeTxn.
+inline constexpr uint32_t kWireMagic = 0x31434248;  // "HBC1"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kHeaderSize = 20;
+/// Frames advertising a larger payload are rejected as corrupt before any
+/// allocation — the cap bounds per-connection memory against hostile or
+/// desynchronized peers. Must admit the largest admissible SUBMIT
+/// (AdmissionOptions::max_blob_bytes plus slack) and the STATS snapshot.
+inline constexpr uint32_t kMaxFramePayload = 2u << 20;
+
+enum class Opcode : uint8_t {
+  kSubmit = 1,   ///< client -> server: one TxnRequest (BlockCodec::EncodeTxn)
+  kReceipt = 2,  ///< server -> client: the TxnReceipt for one SUBMIT
+  kSync = 3,     ///< both ways: token echo once prior receipts are delivered
+  kStats = 4,    ///< client -> server: empty; server -> client: WireStats
+  kError = 5,    ///< server -> client: WireError (busy / overloaded / corrupt)
+};
+
+const char* OpcodeName(Opcode op);
+
+struct Frame {
+  Opcode opcode = Opcode::kError;
+  std::string payload;
+};
+
+/// ERROR payload. `client_seq` != 0 scopes the error to one in-flight
+/// SUBMIT (e.g. ERROR{busy} from session flow control — the submit was
+/// rejected, the connection lives on); 0 means the connection itself is
+/// being terminated after this frame flushes (overloaded, corrupt,
+/// protocol violation).
+struct WireError {
+  Status::Code code = Status::Code::kAborted;
+  uint64_t client_seq = 0;
+  std::string message;
+};
+
+/// STATS payload: the connection's server-side SessionStats snapshot plus
+/// the server-wide IngestStats and chain position, taken relaxed (counters
+/// may be mid-update; they are monotonic, not a consistent cut).
+struct WireStats {
+  // This connection's session.
+  uint64_t sess_submitted = 0;
+  uint64_t sess_committed = 0;
+  uint64_t sess_logic_aborted = 0;
+  uint64_t sess_dropped = 0;
+  uint64_t sess_rejected = 0;
+  uint64_t sess_latency_sum_us = 0;
+  uint64_t sess_latency_max_us = 0;
+  uint64_t sess_inflight = 0;
+  // Server-wide ingress.
+  uint64_t ing_submitted = 0;
+  uint64_t ing_admitted = 0;
+  uint64_t ing_duplicates = 0;
+  uint64_t ing_rejected = 0;
+  uint64_t ing_rate_limited = 0;
+  uint64_t ing_demoted = 0;
+  uint64_t ing_backpressured = 0;
+  uint64_t ing_retries_enqueued = 0;
+  uint64_t ing_retries_dropped = 0;
+  uint64_t ing_sealed_blocks = 0;
+  uint64_t ing_sealed_txns = 0;
+  uint64_t ing_sealed_high = 0;
+  uint64_t ing_sealed_normal = 0;
+  uint64_t ing_sealed_low = 0;
+  uint64_t ing_sealed_retry = 0;
+  // Chain position.
+  uint64_t height = 0;
+  uint64_t pending_receipts = 0;
+  uint64_t queue_depth = 0;
+};
+
+/// Frames one payload: header (magic/version/opcode/len/CRCs) + payload.
+std::string EncodeFrame(Opcode op, std::string_view payload);
+
+/// Rebuilds a Status from its wire (code, message) pair.
+Status WireStatus(Status::Code code, std::string msg);
+
+// --- payload codecs ---------------------------------------------------------
+// SUBMIT uses BlockCodec::EncodeTxn/DecodeTxn directly (chain/block.h): the
+// wire ships the exact bytes the block log persists.
+
+void EncodeReceipt(const TxnReceipt& r, std::string* out);
+bool DecodeReceipt(std::string_view payload, TxnReceipt* out);
+
+void EncodeError(const WireError& e, std::string* out);
+bool DecodeError(std::string_view payload, WireError* out);
+
+void EncodeSync(uint64_t token, std::string* out);
+bool DecodeSync(std::string_view payload, uint64_t* token);
+
+void EncodeStats(const WireStats& s, std::string* out);
+bool DecodeStats(std::string_view payload, WireStats* out);
+
+/// Incremental frame reassembly over a byte stream: Feed() whatever the
+/// socket produced, then drain complete frames with Next() until it
+/// returns NotFound ("need more bytes").
+///
+///   - OK          -> *out holds one complete, CRC-verified frame
+///   - NotFound    -> incomplete; Feed() more and retry
+///   - Corruption  -> bad magic/version/flags/CRC or payload_len over the
+///                    cap; the stream is unrecoverable (no resync point) —
+///                    close the connection.
+///
+/// Single-threaded: one reassembler per connection, driven only by that
+/// connection's reader.
+class FrameReassembler {
+ public:
+  explicit FrameReassembler(size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void Feed(const char* data, size_t n) { buf_.append(data, n); }
+
+  Status Next(Frame* out);
+
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+  size_t max_payload_;
+};
+
+}  // namespace net
+}  // namespace harmony

@@ -1,0 +1,546 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "chain/block.h"
+#include "common/clock.h"
+#include "core/harmonybc.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "tests/test_util.h"
+#include "txn/txn_context.h"
+
+namespace harmony {
+namespace {
+
+using net::Frame;
+using net::FrameReassembler;
+using net::Opcode;
+using net::WireError;
+using net::WireStats;
+
+constexpr uint64_t kWaitUs = 30'000'000;
+
+Status Transfer(TxnContext& ctx, const ProcArgs& a) {
+  Value src;
+  HARMONY_RETURN_NOT_OK(ctx.GetExisting(static_cast<Key>(a.at(0)), &src));
+  if (src.field(0) < a.at(2)) return Status::Aborted("insufficient");
+  ctx.AddField(static_cast<Key>(a.at(0)), 0, -a.at(2));
+  ctx.AddField(static_cast<Key>(a.at(1)), 0, a.at(2));
+  return Status::OK();
+}
+
+Status Increment(TxnContext& ctx, const ProcArgs& a) {
+  ctx.AddField(static_cast<Key>(a.at(0)), 0, a.at(1));
+  return Status::OK();
+}
+
+HarmonyBC::Options FastOpts(const std::string& dir) {
+  HarmonyBC::Options o;
+  o.dir = dir;
+  o.disk = DiskModel::RamDisk();
+  o.block_size = 8;
+  o.threads = 4;
+  o.checkpoint_every = 4;
+  o.max_block_delay_us = 5'000;
+  return o;
+}
+
+struct Harness {
+  explicit Harness(const std::string& dir, HarmonyBC::Options opts) {
+    auto db = HarmonyBC::Open(opts);
+    EXPECT_TRUE(db.ok()) << db.status().ToString();
+    this->db = std::move(*db);
+    this->db->RegisterProcedure(1, "transfer", Transfer);
+    this->db->RegisterProcedure(2, "increment", Increment);
+    for (Key k = 0; k < 64; k++) {
+      EXPECT_TRUE(this->db->Load(k, Value({1000})).ok());
+    }
+    EXPECT_TRUE(this->db->Recover().ok());
+    net::NetServerOptions so;
+    so.port = 0;
+    so.reactor_threads = 2;
+    server = std::make_unique<net::NetServer>(this->db.get(), so);
+    EXPECT_TRUE(server->Start().ok());
+  }
+  ~Harness() {
+    server->Stop();
+    server.reset();
+    db.reset();
+  }
+  std::unique_ptr<net::NetClient> Client() {
+    net::NetClientOptions co;
+    co.port = server->port();
+    auto c = net::NetClient::Connect(co);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(*c);
+  }
+  std::unique_ptr<HarmonyBC> db;
+  std::unique_ptr<net::NetServer> server;
+};
+
+TxnRequest TransferReq(int64_t from, int64_t to, int64_t amount) {
+  TxnRequest t;
+  t.proc_id = 1;
+  t.args.ints = {from, to, amount};
+  return t;
+}
+
+// ---------------------------------------------------------------- framing --
+
+TEST(Wire, FrameRoundTripEveryOpcode) {
+  // SUBMIT: a TxnRequest through the block codec.
+  TxnRequest req = TransferReq(3, 4, 77);
+  req.client_id = 9;
+  req.client_seq = 12;
+  req.fee = 500;
+  std::string submit_payload;
+  BlockCodec::EncodeTxn(req, &submit_payload);
+  // RECEIPT
+  TxnReceipt rc;
+  rc.outcome = ReceiptOutcome::kCommitted;
+  rc.status = Status::OK();
+  rc.block_id = 42;
+  rc.client_id = 9;
+  rc.client_seq = 12;
+  rc.retries = 3;
+  rc.latency_us = 12345;
+  std::string receipt_payload;
+  net::EncodeReceipt(rc, &receipt_payload);
+  // SYNC
+  std::string sync_payload;
+  net::EncodeSync(0xdeadbeefULL, &sync_payload);
+  // STATS
+  WireStats ws;
+  ws.sess_submitted = 5;
+  ws.ing_sealed_blocks = 7;
+  ws.height = 11;
+  std::string stats_payload;
+  net::EncodeStats(ws, &stats_payload);
+  // ERROR
+  WireError we;
+  we.code = Status::Code::kBusy;
+  we.client_seq = 12;
+  we.message = "busy";
+  std::string error_payload;
+  net::EncodeError(we, &error_payload);
+
+  const std::pair<Opcode, std::string> frames[] = {
+      {Opcode::kSubmit, submit_payload}, {Opcode::kReceipt, receipt_payload},
+      {Opcode::kSync, sync_payload},     {Opcode::kStats, stats_payload},
+      {Opcode::kError, error_payload},
+  };
+  FrameReassembler reasm;
+  std::string stream;
+  for (const auto& [op, payload] : frames) {
+    stream += net::EncodeFrame(op, payload);
+  }
+  // Feed byte by byte: reassembly must work across arbitrary fragmentation.
+  for (char c : stream) reasm.Feed(&c, 1);
+  for (const auto& [op, payload] : frames) {
+    Frame f;
+    ASSERT_OK(reasm.Next(&f));
+    EXPECT_EQ(f.opcode, op);
+    EXPECT_EQ(f.payload, payload);
+  }
+  Frame f;
+  EXPECT_TRUE(reasm.Next(&f).IsNotFound());
+
+  // Decoded payloads match what went in.
+  TxnRequest req2;
+  codec::Reader r(submit_payload);
+  ASSERT_TRUE(BlockCodec::DecodeTxn(&r, &req2));
+  EXPECT_EQ(req2.client_seq, 12u);
+  EXPECT_EQ(req2.fee, 500u);
+  TxnReceipt rc2;
+  ASSERT_TRUE(net::DecodeReceipt(receipt_payload, &rc2));
+  EXPECT_EQ(rc2.outcome, ReceiptOutcome::kCommitted);
+  EXPECT_EQ(rc2.block_id, 42u);
+  EXPECT_EQ(rc2.retries, 3u);
+  uint64_t token = 0;
+  ASSERT_TRUE(net::DecodeSync(sync_payload, &token));
+  EXPECT_EQ(token, 0xdeadbeefULL);
+  WireStats ws2;
+  ASSERT_TRUE(net::DecodeStats(stats_payload, &ws2));
+  EXPECT_EQ(ws2.sess_submitted, 5u);
+  EXPECT_EQ(ws2.ing_sealed_blocks, 7u);
+  EXPECT_EQ(ws2.height, 11u);
+  WireError we2;
+  ASSERT_TRUE(net::DecodeError(error_payload, &we2));
+  EXPECT_EQ(we2.code, Status::Code::kBusy);
+  EXPECT_EQ(we2.client_seq, 12u);
+  EXPECT_EQ(we2.message, "busy");
+}
+
+TEST(Wire, TruncatedFrameIsIncompleteNotCorrupt) {
+  std::string frame = net::EncodeFrame(Opcode::kSync, std::string(8, 'x'));
+  FrameReassembler reasm;
+  reasm.Feed(frame.data(), frame.size() - 1);
+  Frame f;
+  EXPECT_TRUE(reasm.Next(&f).IsNotFound());
+  reasm.Feed(frame.data() + frame.size() - 1, 1);
+  EXPECT_OK(reasm.Next(&f));
+}
+
+TEST(Wire, CorruptFramesRejected) {
+  // Bad magic.
+  {
+    std::string frame = net::EncodeFrame(Opcode::kSync, "12345678");
+    frame[0] ^= 0x5a;
+    FrameReassembler reasm;
+    reasm.Feed(frame.data(), frame.size());
+    Frame f;
+    EXPECT_TRUE(reasm.Next(&f).IsCorruption());
+  }
+  // Flipped header byte (length): header CRC catches it before the length
+  // is trusted.
+  {
+    std::string frame = net::EncodeFrame(Opcode::kSync, "12345678");
+    frame[9] ^= 0x01;
+    FrameReassembler reasm;
+    reasm.Feed(frame.data(), frame.size());
+    Frame f;
+    EXPECT_TRUE(reasm.Next(&f).IsCorruption());
+  }
+  // Flipped payload byte: payload CRC.
+  {
+    std::string frame = net::EncodeFrame(Opcode::kSync, "12345678");
+    frame[net::kHeaderSize + 3] ^= 0x40;
+    FrameReassembler reasm;
+    reasm.Feed(frame.data(), frame.size());
+    Frame f;
+    EXPECT_TRUE(reasm.Next(&f).IsCorruption());
+  }
+  // Unknown opcode.
+  {
+    std::string payload = "12345678";
+    std::string frame;
+    codec::AppendU32(&frame, net::kWireMagic);
+    frame.push_back(static_cast<char>(net::kWireVersion));
+    frame.push_back(static_cast<char>(0x7f));
+    codec::AppendU16(&frame, 0);
+    codec::AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+    codec::AppendU32(&frame, Crc32(payload));
+    codec::AppendU32(&frame, Crc32(frame.data(), 16));
+    frame += payload;
+    FrameReassembler reasm;
+    reasm.Feed(frame.data(), frame.size());
+    Frame f;
+    EXPECT_TRUE(reasm.Next(&f).IsCorruption());
+  }
+  // Oversized payload_len with a valid header CRC: rejected by the cap.
+  {
+    std::string frame;
+    codec::AppendU32(&frame, net::kWireMagic);
+    frame.push_back(static_cast<char>(net::kWireVersion));
+    frame.push_back(static_cast<char>(Opcode::kSubmit));
+    codec::AppendU16(&frame, 0);
+    codec::AppendU32(&frame, 64u << 20);
+    codec::AppendU32(&frame, 0);
+    codec::AppendU32(&frame, Crc32(frame.data(), 16));
+    FrameReassembler reasm;
+    reasm.Feed(frame.data(), frame.size());
+    Frame f;
+    EXPECT_TRUE(reasm.Next(&f).IsCorruption());
+  }
+}
+
+// ----------------------------------------------------------- end to end ----
+
+TEST(NetServer, LoopbackSubmitReceiptSyncStats) {
+  TempDir dir("net-e2e");
+  Harness h(dir.path(), FastOpts(dir.path()));
+  auto client = h.Client();
+
+  TxnTicket t = client->Submit(TransferReq(0, 1, 25));
+  ASSERT_TRUE(t.valid());
+  TxnReceipt r;
+  ASSERT_TRUE(t.WaitFor(kWaitUs, &r));
+  EXPECT_EQ(r.outcome, ReceiptOutcome::kCommitted);
+  ASSERT_OK(r.status);
+  EXPECT_GE(r.block_id, 1u);
+  EXPECT_GT(r.client_id, 0u);  // the server-side session's identity
+  EXPECT_EQ(r.client_seq, 1u);
+  EXPECT_GT(r.latency_us, 0u);  // wire round trip
+
+  // A logic abort travels with its reason.
+  TxnTicket t2 = client->Submit(TransferReq(0, 1, 1'000'000));
+  ASSERT_TRUE(t2.WaitFor(kWaitUs, &r));
+  EXPECT_EQ(r.outcome, ReceiptOutcome::kLogicAborted);
+  EXPECT_TRUE(r.status.IsAborted());
+
+  // The committed effect is queryable on the server side.
+  std::optional<Value> v;
+  ASSERT_OK(h.db->Query(1, &v));
+  EXPECT_EQ(v->field(0), 1025);
+
+  // SYNC: all receipts for prior submits are already delivered.
+  EXPECT_TRUE(client->Sync(kWaitUs));
+
+  // STATS reflects this connection's session and the server's ingress.
+  auto stats = client->Stats(kWaitUs);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->sess_submitted, 2u);
+  EXPECT_EQ(stats->sess_committed, 1u);
+  EXPECT_EQ(stats->sess_logic_aborted, 1u);
+  EXPECT_EQ(stats->sess_inflight, 0u);
+  EXPECT_GE(stats->ing_admitted, 2u);
+  EXPECT_GE(stats->height, 1u);
+
+  // Client-side mirror counters agree.
+  EXPECT_EQ(client->stats().submitted.load(), 2u);
+  EXPECT_EQ(client->stats().committed.load(), 1u);
+  EXPECT_EQ(client->stats().inflight.load(), 0u);
+}
+
+TEST(NetServer, CallbackModeDeliversOnReaderThread) {
+  TempDir dir("net-cb");
+  Harness h(dir.path(), FastOpts(dir.path()));
+  auto client = h.Client();
+  std::atomic<int> fired{0};
+  TxnReceipt got;
+  TxnTicket t = client->Submit(TransferReq(2, 3, 5), [&](const TxnReceipt& r) {
+    got = r;
+    fired.fetch_add(1, std::memory_order_release);
+  });
+  TxnReceipt r;
+  ASSERT_TRUE(t.WaitFor(kWaitUs, &r));
+  EXPECT_EQ(fired.load(std::memory_order_acquire), 1);
+  EXPECT_EQ(got.outcome, ReceiptOutcome::kCommitted);
+}
+
+TEST(NetServer, SessionFlowControlMapsToBusyError) {
+  TempDir dir("net-flow");
+  HarmonyBC::Options o = FastOpts(dir.path());
+  o.block_size = 100;            // nothing seals on size
+  o.max_block_delay_us = 50'000; // first txn resolves only after 50ms
+  o.max_inflight_per_session = 1;
+  Harness h(dir.path(), o);
+  auto client = h.Client();
+
+  TxnTicket first = client->Submit(TransferReq(0, 1, 1));
+  // The first submit holds the only inflight slot; this one must bounce
+  // with ERROR{busy} scoped to its seq — long before the first resolves.
+  TxnTicket second = client->Submit(TransferReq(2, 3, 1));
+  TxnReceipt r;
+  ASSERT_TRUE(second.WaitFor(kWaitUs, &r));
+  EXPECT_EQ(r.outcome, ReceiptOutcome::kRejected);
+  EXPECT_TRUE(r.status.IsBusy()) << r.status.ToString();
+  ASSERT_TRUE(first.WaitFor(kWaitUs, &r));
+  EXPECT_EQ(r.outcome, ReceiptOutcome::kCommitted);
+  EXPECT_GE(h.server->stats().busy_errors.load(), 1u);
+}
+
+TEST(NetServer, CorruptStreamGetsErrorThenClose) {
+  TempDir dir("net-corrupt");
+  Harness h(dir.path(), FastOpts(dir.path()));
+
+  // Raw socket: handshake-free protocol, so just connect and write noise.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(h.server->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char garbage[64] = "this is definitely not a wire frame.............";
+  ASSERT_EQ(::send(fd, garbage, sizeof(garbage), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(garbage)));
+
+  // Expect one well-formed ERROR frame, then EOF — the server must not
+  // crash, hang, or stream garbage back.
+  FrameReassembler reasm;
+  char buf[4096];
+  bool got_error = false, got_eof = false;
+  for (int spins = 0; spins < 1000 && !got_eof; spins++) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      got_eof = true;
+      break;
+    }
+    ASSERT_GT(n, 0);
+    reasm.Feed(buf, static_cast<size_t>(n));
+    Frame f;
+    if (reasm.Next(&f).ok()) {
+      EXPECT_EQ(f.opcode, Opcode::kError);
+      WireError e;
+      ASSERT_TRUE(net::DecodeError(f.payload, &e));
+      EXPECT_EQ(e.client_seq, 0u);
+      got_error = true;
+    }
+  }
+  EXPECT_TRUE(got_error);
+  EXPECT_TRUE(got_eof);
+  ::close(fd);
+
+  // The server is still serving healthy connections.
+  auto client = h.Client();
+  TxnTicket t = client->Submit(TransferReq(0, 1, 1));
+  TxnReceipt r;
+  ASSERT_TRUE(t.WaitFor(kWaitUs, &r));
+  EXPECT_EQ(r.outcome, ReceiptOutcome::kCommitted);
+  EXPECT_GE(h.server->stats().corrupt_closes.load(), 1u);
+}
+
+TEST(NetServer, ConnectionLossFailsPendingTickets) {
+  TempDir dir("net-drop");
+  HarmonyBC::Options o = FastOpts(dir.path());
+  o.block_size = 100;
+  o.max_block_delay_us = 200'000;  // receipts held back long enough
+  Harness h(dir.path(), o);
+  auto client = h.Client();
+  TxnTicket t = client->Submit(TransferReq(0, 1, 1));
+  // Kill the server out from under the client mid-flight.
+  h.server->Stop();
+  TxnReceipt r;
+  ASSERT_TRUE(t.WaitFor(kWaitUs, &r));
+  // Either the drain delivered the real receipt (committed) or the close
+  // failed it as dropped — never a hang, never silence.
+  EXPECT_TRUE(r.outcome == ReceiptOutcome::kCommitted ||
+              r.outcome == ReceiptOutcome::kDropped)
+      << ReceiptOutcomeName(r.outcome);
+}
+
+TEST(NetServer, CleanShutdownDrainsReceipts) {
+  TempDir dir("net-drain");
+  HarmonyBC::Options o = FastOpts(dir.path());
+  o.max_block_delay_us = 2'000;
+  Harness h(dir.path(), o);
+  auto client = h.Client();
+  std::vector<TxnTicket> tickets;
+  for (int i = 0; i < 50; i++) {
+    tickets.push_back(client->Submit(TransferReq(i % 8, (i + 1) % 8, 1)));
+  }
+  // Writing a frame is not admission: Stop() parks the reactors, and
+  // anything still in the socket buffer then legitimately fails as dropped
+  // on close. Wait until the server has *read* all 50 submits, so every
+  // ticket is covered by the drain contract.
+  const uint64_t deadline = NowMicros() + kWaitUs;
+  while (h.server->stats().submits.load(std::memory_order_acquire) < 50 &&
+         NowMicros() < deadline) {
+    std::this_thread::yield();
+  }
+  h.server->Stop();  // drains via the completion watermark before closing
+  size_t committed = 0;
+  for (auto& t : tickets) {
+    TxnReceipt r;
+    ASSERT_TRUE(t.WaitFor(kWaitUs, &r));
+    if (r.outcome == ReceiptOutcome::kCommitted) committed++;
+  }
+  // The drain contract: everything the server admitted before Stop()
+  // resolves, and its receipt reaches the client before the close.
+  EXPECT_EQ(committed, tickets.size());
+}
+
+TEST(NetServer, ManyConnectionsExactlyOnceReceipts) {
+  TempDir dir("net-many");
+  HarmonyBC::Options o = FastOpts(dir.path());
+  o.block_size = 64;
+  o.max_block_delay_us = 2'000;
+  o.mempool_capacity = 1 << 14;
+  Harness h(dir.path(), o);
+
+  constexpr size_t kConns = 16;
+  constexpr size_t kTxns = 150;
+  std::atomic<uint64_t> resolved{0}, committed{0}, duplicated{0};
+  std::atomic<int64_t> delta_sum{0};
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kConns; c++) {
+    threads.emplace_back([&] {
+      std::vector<std::atomic<uint8_t>> seen(kTxns + 1);
+      auto client = h.Client();
+      for (size_t i = 0; i < kTxns; i++) {
+        TxnRequest t;
+        t.proc_id = 2;
+        t.args.ints = {static_cast<int64_t>(i % 64), 1};
+        client->Submit(std::move(t), [&](const TxnReceipt& r) {
+          if (r.client_seq == 0 || r.client_seq > kTxns ||
+              seen[r.client_seq].fetch_add(1, std::memory_order_acq_rel) !=
+                  0) {
+            duplicated.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          resolved.fetch_add(1, std::memory_order_relaxed);
+          if (r.outcome == ReceiptOutcome::kCommitted) {
+            committed.fetch_add(1, std::memory_order_relaxed);
+            delta_sum.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      EXPECT_TRUE(client->Sync(kWaitUs));
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(duplicated.load(), 0u);
+  EXPECT_EQ(resolved.load(), kConns * kTxns);
+
+  // Conservation: the sum of committed increments equals the state delta.
+  ASSERT_OK(h.db->Sync());
+  int64_t total = 0;
+  for (Key k = 0; k < 64; k++) {
+    std::optional<Value> v;
+    ASSERT_OK(h.db->Query(k, &v));
+    total += v->field(0) - 1000;
+  }
+  EXPECT_EQ(total, delta_sum.load());
+  EXPECT_EQ(committed.load(), static_cast<uint64_t>(delta_sum.load()));
+}
+
+// --------------------------------------------------- in-process satellite --
+
+TEST(SessionFlowControl, InflightCapBouncesAndRecovers) {
+  TempDir dir("flow-local");
+  HarmonyBC::Options o = FastOpts(dir.path());
+  o.block_size = 100;
+  o.max_block_delay_us = 0;  // nothing seals until Sync
+  o.max_inflight_per_session = 2;
+  auto db = HarmonyBC::Open(o);
+  ASSERT_TRUE(db.ok());
+  (*db)->RegisterProcedure(1, "transfer", Transfer);
+  for (Key k = 0; k < 8; k++) ASSERT_OK((*db)->Load(k, Value({1000})));
+  ASSERT_OK((*db)->Recover().status());
+
+  auto session = (*db)->OpenSession();
+  TxnTicket a = session->Submit(TransferReq(0, 1, 1));
+  TxnTicket b = session->Submit(TransferReq(2, 3, 1));
+  EXPECT_EQ(session->stats().inflight.load(), 2u);
+
+  // Third submit is over the cap: synchronous Busy rejection.
+  TxnTicket c = session->Submit(TransferReq(4, 5, 1));
+  auto r = c.TryGet();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->outcome, ReceiptOutcome::kRejected);
+  EXPECT_TRUE(r->status.IsBusy());
+  EXPECT_EQ(session->stats().flow_rejected.load(), 1u);
+  // The bounced submit released its slot immediately.
+  EXPECT_EQ(session->stats().inflight.load(), 2u);
+
+  // Resolving the backlog frees the slots for new submits.
+  ASSERT_OK((*db)->Sync());
+  TxnReceipt rr;
+  ASSERT_TRUE(a.WaitFor(kWaitUs, &rr));
+  EXPECT_EQ(rr.outcome, ReceiptOutcome::kCommitted);
+  ASSERT_TRUE(b.WaitFor(kWaitUs, &rr));
+  EXPECT_EQ(rr.outcome, ReceiptOutcome::kCommitted);
+  EXPECT_EQ(session->stats().inflight.load(), 0u);
+
+  TxnTicket d = session->Submit(TransferReq(6, 7, 1));
+  EXPECT_FALSE(d.TryGet().has_value());  // admitted, not bounced
+  ASSERT_OK((*db)->Sync());
+  ASSERT_TRUE(d.WaitFor(kWaitUs, &rr));
+  EXPECT_EQ(rr.outcome, ReceiptOutcome::kCommitted);
+}
+
+}  // namespace
+}  // namespace harmony

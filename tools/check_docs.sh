@@ -4,7 +4,8 @@
 # `docs_check` ctest, so renaming or deleting a source file without
 # updating docs/, the READMEs, or examples/ breaks CI.
 #
-# Checked files:  docs/*.md, README.md, bench/README.md, examples/*.cpp
+# Checked files:  docs/*.md, README.md, bench/README.md, examples/*.cpp,
+#                 tools/*.sh (their comments name source paths too)
 # Checked tokens: anything shaped like <topdir>/<path> where <topdir> is a
 #                 real source tree root (src, bench, tests, examples, docs,
 #                 tools). Brace shorthand like src/ingest/mempool.{h,cc}
@@ -30,7 +31,7 @@ check_path() {
 }
 
 for doc in "$root"/docs/*.md "$root"/README.md "$root"/bench/README.md \
-           "$root"/examples/*.cpp; do
+           "$root"/examples/*.cpp "$root"/tools/*.sh; do
   [[ -f "$doc" ]] || continue
   while IFS= read -r tok; do
     if [[ "$tok" == *\{*\}* ]]; then

@@ -1,0 +1,253 @@
+// harmonyd — the HarmonyBC network daemon, plus a wire-level stats CLI.
+//
+// Serve a chain directory over the binary wire protocol (docs/NET.md):
+//
+//   ./build/harmonyd serve --dir /tmp/chain --port 7450
+//       [--bind 127.0.0.1] [--reactors 2] [--threads 8]
+//       [--block-size 100] [--delay-us 2000] [--in-memory]
+//       [--accounts 1024] [--balance 100000]          (genesis, first boot)
+//       [--max-inflight 256]  per-session flow-control cap (0 = off)
+//       [--rate 0]            per-client admission rate, txns/sec (0 = off)
+//
+//   Registered procedures: 1 = transfer(from, to, amount),
+//   2 = increment(key, delta), 3 = noop. SIGINT/SIGTERM drain receipts
+//   through the completion watermark before exiting (see NetServer::Stop).
+//
+// Query a running daemon over the wire (the STATS frame):
+//
+//   ./build/harmonyd stats --host 127.0.0.1 --port 7450
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/harmonybc.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "txn/txn_context.h"
+#include "txn/value.h"
+
+using namespace harmony;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+Status Transfer(TxnContext& ctx, const ProcArgs& a) {
+  Value src;
+  HARMONY_RETURN_NOT_OK(ctx.GetExisting(static_cast<Key>(a.at(0)), &src));
+  if (src.field(0) < a.at(2)) return Status::Aborted("insufficient balance");
+  ctx.AddField(static_cast<Key>(a.at(0)), 0, -a.at(2));
+  ctx.AddField(static_cast<Key>(a.at(1)), 0, a.at(2));
+  return Status::OK();
+}
+
+Status Increment(TxnContext& ctx, const ProcArgs& a) {
+  ctx.AddField(static_cast<Key>(a.at(0)), 0, a.at(1));
+  return Status::OK();
+}
+
+Status Noop(TxnContext&, const ProcArgs&) { return Status::OK(); }
+
+struct Args {
+  std::string mode;
+  std::string dir;
+  std::string host = "127.0.0.1";
+  std::string bind = "127.0.0.1";
+  uint16_t port = 7450;
+  size_t reactors = 2;
+  size_t threads = 8;
+  size_t block_size = 100;
+  uint64_t delay_us = 2000;
+  uint64_t accounts = 1024;
+  int64_t balance = 100000;
+  uint64_t max_inflight = 0;
+  double rate = 0;
+  bool in_memory = false;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: harmonyd serve --dir DIR [--port N] [--bind A] "
+               "[--reactors N] [--threads N] [--block-size N] [--delay-us N] "
+               "[--accounts N] [--balance N] [--max-inflight N] [--rate R] "
+               "[--in-memory]\n"
+               "       harmonyd stats [--host A] [--port N]\n");
+  return 2;
+}
+
+bool Parse(int argc, char** argv, Args* out) {
+  if (argc < 2) return false;
+  out->mode = argv[1];
+  for (int i = 2; i < argc; i++) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--dir") out->dir = next("--dir");
+    else if (a == "--host") out->host = next("--host");
+    else if (a == "--bind") out->bind = next("--bind");
+    else if (a == "--port") out->port = static_cast<uint16_t>(std::atoi(next("--port")));
+    else if (a == "--reactors") out->reactors = std::strtoul(next("--reactors"), nullptr, 10);
+    else if (a == "--threads") out->threads = std::strtoul(next("--threads"), nullptr, 10);
+    else if (a == "--block-size") out->block_size = std::strtoul(next("--block-size"), nullptr, 10);
+    else if (a == "--delay-us") out->delay_us = std::strtoull(next("--delay-us"), nullptr, 10);
+    else if (a == "--accounts") out->accounts = std::strtoull(next("--accounts"), nullptr, 10);
+    else if (a == "--balance") out->balance = std::atoll(next("--balance"));
+    else if (a == "--max-inflight") out->max_inflight = std::strtoull(next("--max-inflight"), nullptr, 10);
+    else if (a == "--rate") out->rate = std::atof(next("--rate"));
+    else if (a == "--in-memory") out->in_memory = true;
+    else {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int Serve(const Args& args) {
+  if (args.dir.empty()) return Usage();
+  std::error_code ec;
+  std::filesystem::create_directories(args.dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "mkdir %s: %s\n", args.dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  HarmonyBC::Options o;
+  o.dir = args.dir;
+  o.in_memory = args.in_memory;
+  o.disk = DiskModel::RamDisk();
+  o.threads = args.threads;
+  o.block_size = args.block_size;
+  o.max_block_delay_us = args.delay_us;
+  o.checkpoint_every = 50;
+  o.max_inflight_per_session = args.max_inflight;
+  o.admit_rate_per_client = args.rate;
+  o.high_fee_threshold = 100;
+
+  auto db = HarmonyBC::Open(o);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", args.dir.c_str(),
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  (*db)->RegisterProcedure(1, "transfer", Transfer);
+  (*db)->RegisterProcedure(2, "increment", Increment);
+  (*db)->RegisterProcedure(3, "noop", Noop);
+  for (uint64_t k = 0; k < args.accounts; k++) {
+    // Load is a no-op error after the first boot; ignore it then.
+    (void)(*db)->Load(k, Value({args.balance}));
+  }
+  auto tip = (*db)->Recover();
+  if (!tip.ok()) {
+    std::fprintf(stderr, "recover: %s\n", tip.status().ToString().c_str());
+    return 1;
+  }
+
+  net::NetServerOptions so;
+  so.bind_addr = args.bind;
+  so.port = args.port;
+  so.reactor_threads = args.reactors;
+  net::NetServer server(db->get(), so);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("harmonyd: serving %s on %s:%u (chain tip %llu, %zu reactors)\n",
+              args.dir.c_str(), args.bind.c_str(), server.port(),
+              static_cast<unsigned long long>(*tip), args.reactors);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::printf("harmonyd: draining...\n");
+  server.Stop();
+  const net::NetServerStats& ns = server.stats();
+  const IngestStats& is = (*db)->ingest_stats();
+  std::printf(
+      "harmonyd: done. conns accepted=%llu closed=%llu | frames in=%llu "
+      "out=%llu | submits=%llu receipts=%llu busy=%llu overloaded=%llu "
+      "corrupt=%llu | admitted=%llu sealed_blocks=%llu height=%llu\n",
+      static_cast<unsigned long long>(ns.accepted.load()),
+      static_cast<unsigned long long>(ns.closed.load()),
+      static_cast<unsigned long long>(ns.frames_in.load()),
+      static_cast<unsigned long long>(ns.frames_out.load()),
+      static_cast<unsigned long long>(ns.submits.load()),
+      static_cast<unsigned long long>(ns.receipts.load()),
+      static_cast<unsigned long long>(ns.busy_errors.load()),
+      static_cast<unsigned long long>(ns.overloaded_closes.load()),
+      static_cast<unsigned long long>(ns.corrupt_closes.load()),
+      static_cast<unsigned long long>(is.admitted.load()),
+      static_cast<unsigned long long>(is.sealed_blocks.load()),
+      static_cast<unsigned long long>((*db)->height()));
+  return 0;
+}
+
+int StatsCli(const Args& args) {
+  net::NetClientOptions co;
+  co.host = args.host;
+  co.port = args.port;
+  auto client = net::NetClient::Connect(co);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = (*client)->Stats(/*timeout_us=*/5'000'000);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  const net::WireStats& s = *stats;
+  auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::printf("session  submitted=%llu committed=%llu logic_aborted=%llu "
+              "dropped=%llu rejected=%llu inflight=%llu\n",
+              u(s.sess_submitted), u(s.sess_committed),
+              u(s.sess_logic_aborted), u(s.sess_dropped), u(s.sess_rejected),
+              u(s.sess_inflight));
+  const uint64_t done = s.sess_committed + s.sess_logic_aborted;
+  std::printf("session  latency mean=%.1fus max=%llu us (over %llu executed)\n",
+              done ? static_cast<double>(s.sess_latency_sum_us) /
+                         static_cast<double>(done)
+                   : 0.0,
+              u(s.sess_latency_max_us), u(done));
+  std::printf("ingress  submitted=%llu admitted=%llu duplicates=%llu "
+              "rejected=%llu rate_limited=%llu demoted=%llu "
+              "backpressured=%llu\n",
+              u(s.ing_submitted), u(s.ing_admitted), u(s.ing_duplicates),
+              u(s.ing_rejected), u(s.ing_rate_limited), u(s.ing_demoted),
+              u(s.ing_backpressured));
+  std::printf("ingress  retries enqueued=%llu dropped=%llu | sealed "
+              "blocks=%llu txns=%llu (hi/no/lo/rt %llu/%llu/%llu/%llu)\n",
+              u(s.ing_retries_enqueued), u(s.ing_retries_dropped),
+              u(s.ing_sealed_blocks), u(s.ing_sealed_txns),
+              u(s.ing_sealed_high), u(s.ing_sealed_normal),
+              u(s.ing_sealed_low), u(s.ing_sealed_retry));
+  std::printf("chain    height=%llu pending_receipts=%llu queue_depth=%llu\n",
+              u(s.height), u(s.pending_receipts), u(s.queue_depth));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!Parse(argc, argv, &args)) return Usage();
+  if (args.mode == "serve") return Serve(args);
+  if (args.mode == "stats") return StatsCli(args);
+  return Usage();
+}
