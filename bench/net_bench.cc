@@ -12,8 +12,12 @@
 // fail the run with exit 1.
 //
 //   ./build/net_bench [--conns 64] [--txns 2000] [--window 128]
+//                     [--batch 16] [--batch-delay-us 200]
 //                     [--port P]   # drive an external `harmonyd serve`
 //
+// The default run reports the wire path twice — one SUBMIT frame per txn
+// (wire v1 behaviour) and client-coalesced BATCH_SUBMIT frames (wire v2,
+// --batch txns per frame) — so the batching win is measured, not asserted.
 // With --port the bench skips the in-process server and in-process baseline
 // and targets a running daemon instead (it must have procedure 2 =
 // increment registered and the keys loaded, as `harmonyd serve` does).
@@ -136,8 +140,9 @@ RunResult RunInProcess(size_t conns, size_t txns_per_conn, size_t window) {
 }
 
 /// Wire run: `conns` NetClient connections against `port` on loopback.
+/// `batch` > 1 turns on client submit coalescing (BATCH_SUBMIT frames).
 RunResult RunWire(uint16_t port, size_t conns, size_t txns_per_conn,
-                  size_t window) {
+                  size_t window, size_t batch, uint64_t batch_delay_us) {
   RunResult res;
   SpinLock mu;
   std::atomic<uint64_t> committed{0}, rejected{0}, dropped{0};
@@ -152,6 +157,8 @@ RunResult RunWire(uint16_t port, size_t conns, size_t txns_per_conn,
       std::vector<std::atomic<uint8_t>> seen(txns_per_conn + 1);
       net::NetClientOptions co;
       co.port = port;
+      co.batch_max_txns = batch;
+      co.batch_max_delay_us = batch_delay_us;
       auto client = net::NetClient::Connect(co);
       if (!client.ok()) {
         std::fprintf(stderr, "connect: %s\n",
@@ -226,7 +233,12 @@ void PrintResult(const char* label, size_t conns, const RunResult& r,
 int main(int argc, char** argv) {
   size_t conns = 64;
   size_t txns = ScaledTxns(2000);
-  size_t window = 128;
+  // Deep enough that the wire, not the inflight window, is what limits
+  // throughput (Little's law): the batched-vs-unbatched comparison then
+  // measures frame/wake overhead rather than the commit pipeline's latency.
+  size_t window = 256;
+  size_t batch = 16;
+  uint64_t batch_delay_us = 200;
   uint16_t external_port = 0;
   for (int i = 1; i < argc; i++) {
     auto next = [&]() -> const char* {
@@ -236,6 +248,8 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--conns")) conns = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--txns")) txns = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--window")) window = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--batch")) batch = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--batch-delay-us")) batch_delay_us = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--port")) external_port = static_cast<uint16_t>(std::atoi(next()));
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
   }
@@ -244,39 +258,52 @@ int main(int argc, char** argv) {
   PrintHeader(
       "Network frontend: wire submit->receipt through the harmonyd frontend "
       "(loopback TCP, one session per connection, open loop, window=" +
-          std::to_string(window) + ") vs in-process sessions; " +
+          std::to_string(window) + "), unbatched vs --batch " +
+          std::to_string(batch) + " coalescing, vs in-process sessions; " +
           std::to_string(txns) + " txns/conn",
       {"path", "conns", "ktxn/s", "p50 ms", "p99 ms", "cmt/rej/drop",
        "lost/dup"});
 
-  RunResult wire;
+  RunResult wire, batched;
   if (external_port != 0) {
-    wire = RunWire(external_port, conns, txns, window);
-  } else {
-    auto db = OpenDb("wire");
-    net::NetServerOptions so;
-    so.port = 0;  // ephemeral
-    so.reactor_threads = 4;
-    net::NetServer server(db.get(), so);
-    if (Status s = server.Start(); !s.ok()) {
-      std::fprintf(stderr, "server: %s\n", s.ToString().c_str());
-      return 1;
+    wire = RunWire(external_port, conns, txns, window, 1, 0);
+    if (batch > 1) {
+      batched =
+          RunWire(external_port, conns, txns, window, batch, batch_delay_us);
     }
-    wire = RunWire(server.port(), conns, txns, window);
-    server.Stop();
+  } else {
+    // Fresh server (and chain) per path so the runs don't share warmup.
+    for (int mode = 0; mode < (batch > 1 ? 2 : 1); mode++) {
+      auto db = OpenDb(mode == 0 ? "wire" : "wire-batched");
+      net::NetServerOptions so;
+      so.port = 0;  // ephemeral
+      so.reactor_threads = 4;
+      net::NetServer server(db.get(), so);
+      if (Status s = server.Start(); !s.ok()) {
+        std::fprintf(stderr, "server: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      RunResult& out = mode == 0 ? wire : batched;
+      out = RunWire(server.port(), conns, txns, window,
+                    mode == 0 ? 1 : batch, batch_delay_us);
+      server.Stop();
+    }
   }
   PrintResult("wire", conns, wire, total);
+  if (batch > 1) PrintResult("wire-batched", conns, batched, total);
 
   if (external_port == 0) {
     RunResult local = RunInProcess(conns, txns, window);
     PrintResult("in-process", conns, local, total);
   }
 
-  if (wire.lost != 0 || wire.duplicated != 0) {
+  const uint64_t lost = wire.lost + batched.lost;
+  const uint64_t dup = wire.duplicated + batched.duplicated;
+  if (lost != 0 || dup != 0) {
     std::fprintf(stderr,
                  "FAIL: receipt accounting broken (lost=%llu dup=%llu)\n",
-                 static_cast<unsigned long long>(wire.lost),
-                 static_cast<unsigned long long>(wire.duplicated));
+                 static_cast<unsigned long long>(lost),
+                 static_cast<unsigned long long>(dup));
     return 1;
   }
   return 0;

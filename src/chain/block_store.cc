@@ -13,17 +13,38 @@ namespace harmony {
 
 namespace {
 
-// "HBCL" + the record codec version. Version 2 added client_id to the
-// transaction wire format; version 3 added the priority fee. Version 1 logs
-// (pre-header) fail the magic check.
+// "HBCL" + the record codec version (kLogV1..kLogV4, chain/block.h). v1
+// logs are headerless; Open() detects and migrates them too.
 constexpr uint32_t kLogMagic = 0x4C434248u;
-constexpr uint32_t kLogVersion = 3;
 constexpr uint64_t kLogHeaderBytes = 8;
+
+/// Reads one record (length, payload, CRC) at `off`. Returns false on a
+/// short read or CRC mismatch — a torn or corrupt tail from the scanner's
+/// point of view. `*rec_len` is the full on-disk record size.
+bool ReadRecordAt(int fd, off_t off, std::string* payload, size_t* rec_len) {
+  uint32_t len = 0;
+  if (::pread(fd, &len, 4, off) != 4) return false;
+  // An absurd length (flipped bits, or a non-log file probed as v1) must
+  // fail the read, not size a multi-gigabyte allocation.
+  if (len > (256u << 20)) return false;
+  payload->assign(len, '\0');
+  if (::pread(fd, payload->data(), len, off + 4) != static_cast<ssize_t>(len)) {
+    return false;
+  }
+  uint32_t crc = 0;
+  if (::pread(fd, &crc, 4, off + 4 + len) != 4) return false;
+  if (Crc32(*payload) != crc) return false;
+  *rec_len = 8 + static_cast<size_t>(len);
+  return true;
+}
 
 }  // namespace
 
-BlockStore::BlockStore(std::string path, uint64_t sync_latency_us)
-    : path_(std::move(path)), sync_latency_us_(sync_latency_us) {}
+BlockStore::BlockStore(std::string path, uint64_t sync_latency_us,
+                       Compression compression)
+    : path_(std::move(path)),
+      sync_latency_us_(sync_latency_us),
+      compression_(compression) {}
 
 BlockStore::~BlockStore() {
   if (fd_ >= 0) ::close(fd_);
@@ -50,17 +71,75 @@ Status BlockStore::Open() {
       return Status::IOError("read block log header");
     }
     if (header[0] != kLogMagic) {
-      return Status::NotSupported(
-          "block log has no format header (pre-versioning chain?): " + path_);
+      // No header at all: possibly a v1 seed log, whose file begins with a
+      // record length. Migrate() validates that reading at least one v1
+      // record works before committing to the interpretation.
+      return Migrate(kLogV1);
     }
-    if (header[1] != kLogVersion) {
+    if (header[1] >= kLogV2 && header[1] < kLogV4) {
+      return Migrate(header[1]);
+    }
+    if (header[1] != kLogV4) {
       return Status::NotSupported("block log format v" +
                                   std::to_string(header[1]) +
-                                  " (this build reads v" +
+                                  " (this build writes v" +
                                   std::to_string(kLogVersion) + "): " + path_);
     }
   }
   return ScanAndRepair();
+}
+
+Status BlockStore::Migrate(uint32_t from_version) {
+  // Stream the old log record-at-a-time into a v4 temp file, so migrating
+  // a multi-GB chain costs O(largest block) memory, not O(chain). A torn
+  // tail stops the copy exactly where ScanAndRepair would have truncated.
+  // Write-temp + rename: a crash mid-migration leaves the original log
+  // untouched and the next Open() simply migrates again.
+  const std::string tmp = path_ + ".migrate";
+  int tfd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (tfd < 0) return Status::IOError("open migration temp");
+  uint32_t header[2] = {kLogMagic, kLogVersion};
+  bool ok = ::pwrite(tfd, header, kLogHeaderBytes, 0) ==
+            static_cast<ssize_t>(kLogHeaderBytes);
+  uint64_t woff = kLogHeaderBytes;
+  size_t migrated = 0;
+  off_t off = from_version == kLogV1 ? 0 : static_cast<off_t>(kLogHeaderBytes);
+  std::string payload;
+  size_t rec_len = 0;
+  while (ok && ReadRecordAt(fd_, off, &payload, &rec_len)) {
+    Block b;
+    if (!BlockCodec::Decode(payload, &b, from_version).ok()) break;
+    off += static_cast<off_t>(rec_len);
+    const std::string p = BlockCodec::EncodeRecordV4(b, compression_);
+    std::string rec;
+    rec.reserve(p.size() + 8);
+    codec::AppendU32(&rec, static_cast<uint32_t>(p.size()));
+    rec.append(p);
+    codec::AppendU32(&rec, Crc32(p));
+    ok = ::pwrite(tfd, rec.data(), rec.size(), static_cast<off_t>(woff)) ==
+         static_cast<ssize_t>(rec.size());
+    woff += rec.size();
+    migrated++;
+  }
+  if (from_version == kLogV1 && migrated == 0) {
+    // The magic check failed AND the headerless interpretation yields
+    // nothing — this is not a block log of any version we know.
+    ::close(tfd);
+    ::unlink(tmp.c_str());
+    return Status::NotSupported(
+        "block log has no recognizable format (magic/header mismatch): " +
+        path_);
+  }
+  if (ok) ok = ::fsync(tfd) == 0;
+  ::close(tfd);
+  if (!ok) return Status::IOError("write migrated block log");
+  ::close(fd_);
+  fd_ = -1;
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("rename migrated block log");
+  }
+  // Reopen: the file is v4 now, so this recursion terminates immediately.
+  return Open();
 }
 
 Status BlockStore::ScanAndRepair() {
@@ -68,23 +147,15 @@ Status BlockStore::ScanAndRepair() {
   last_block_id_ = 0;
   num_blocks_ = 0;
   off_t off = kLogHeaderBytes;
-  while (true) {
-    uint32_t len = 0;
-    if (::pread(fd_, &len, 4, off) != 4) break;
-    std::string payload(len, '\0');
-    if (::pread(fd_, payload.data(), len, off + 4) !=
-        static_cast<ssize_t>(len)) {
-      break;  // torn tail
-    }
-    uint32_t crc = 0;
-    if (::pread(fd_, &crc, 4, off + 4 + len) != 4) break;
-    if (Crc32(payload) != crc) break;  // torn or corrupted tail
+  std::string payload;
+  size_t rec_len = 0;
+  while (ReadRecordAt(fd_, off, &payload, &rec_len)) {
     Block b;
-    if (!BlockCodec::Decode(payload, &b).ok()) break;
+    if (!BlockCodec::Decode(payload, &b, kLogV4).ok()) break;
     last_block_id_ = b.header.block_id;
     last_record_offset_ = static_cast<uint64_t>(off);
     num_blocks_++;
-    off += 8 + static_cast<off_t>(len);
+    off += static_cast<off_t>(rec_len);
   }
   append_offset_ = static_cast<uint64_t>(off);
   // Drop any torn tail so future appends start from a clean record boundary.
@@ -93,12 +164,20 @@ Status BlockStore::ScanAndRepair() {
 }
 
 Status BlockStore::Append(const Block& b) {
-  const std::string payload = BlockCodec::Encode(b);
+  size_t raw_section = 0;
+  Compression used = Compression::kNone;
+  const std::string payload =
+      BlockCodec::EncodeRecordV4(b, compression_, &raw_section, &used);
   std::string rec;
   rec.reserve(payload.size() + 8);
   codec::AppendU32(&rec, static_cast<uint32_t>(payload.size()));
   rec.append(payload);
   codec::AppendU32(&rec, Crc32(payload));
+  raw_bytes_.fetch_add(raw_section, std::memory_order_relaxed);
+  disk_bytes_.fetch_add(rec.size(), std::memory_order_relaxed);
+  if (used != Compression::kNone) {
+    compressed_blocks_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   uint64_t off;
   {
@@ -136,26 +215,19 @@ Status BlockStore::ReadBlocksAfter(BlockId after_block,
                                    std::vector<Block>* out) {
   out->clear();
   off_t off = kLogHeaderBytes;
+  std::string payload;
+  size_t rec_len = 0;
   while (static_cast<uint64_t>(off) < append_offset_) {
-    uint32_t len = 0;
-    if (::pread(fd_, &len, 4, off) != 4) {
-      return Status::Corruption("block log length field");
-    }
-    std::string payload(len, '\0');
-    if (::pread(fd_, payload.data(), len, off + 4) !=
-        static_cast<ssize_t>(len)) {
-      return Status::Corruption("block log payload");
-    }
-    uint32_t crc = 0;
-    if (::pread(fd_, &crc, 4, off + 4 + len) != 4 || Crc32(payload) != crc) {
-      return Status::Corruption("block log crc");
+    if (!ReadRecordAt(fd_, off, &payload, &rec_len)) {
+      return Status::Corruption("block log record at offset " +
+                                std::to_string(off));
     }
     Block b;
-    HARMONY_RETURN_NOT_OK(BlockCodec::Decode(payload, &b));
+    HARMONY_RETURN_NOT_OK(BlockCodec::Decode(payload, &b, kLogV4));
     if (b.header.block_id > after_block) {
       out->push_back(std::move(b));
     }
-    off += 8 + static_cast<off_t>(len);
+    off += static_cast<off_t>(rec_len);
   }
   return Status::OK();
 }
@@ -170,21 +242,12 @@ Status BlockStore::ReadLast(Block* out) {
     order_cv_.wait(lk, [&] { return writes_in_flight_ == 0; });
     off = last_record_offset_;
   }
-  uint32_t len = 0;
-  if (::pread(fd_, &len, 4, static_cast<off_t>(off)) != 4) {
-    return Status::Corruption("block log length field");
+  std::string payload;
+  size_t rec_len = 0;
+  if (!ReadRecordAt(fd_, static_cast<off_t>(off), &payload, &rec_len)) {
+    return Status::Corruption("block log tip record");
   }
-  std::string payload(len, '\0');
-  if (::pread(fd_, payload.data(), len, static_cast<off_t>(off + 4)) !=
-      static_cast<ssize_t>(len)) {
-    return Status::Corruption("block log payload");
-  }
-  uint32_t crc = 0;
-  if (::pread(fd_, &crc, 4, static_cast<off_t>(off + 4 + len)) != 4 ||
-      Crc32(payload) != crc) {
-    return Status::Corruption("block log crc");
-  }
-  return BlockCodec::Decode(payload, out);
+  return BlockCodec::Decode(payload, out, kLogV4);
 }
 
 BlockId CheckpointManifest::Read() const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <string>
@@ -14,45 +15,63 @@ namespace harmony {
 /// execution is deterministic, persisting the *inputs* is sufficient for
 /// recovery — no ARIES-style physical log.
 ///
-/// ## File format
+/// ## File format (current: block log v4 — docs/FORMATS.md is the
+/// authoritative byte-level reference)
 ///
 /// ```
 ///   offset 0: u32 magic           = 0x4C434248 ("HBCL" read as bytes,
 ///                                   little-endian on disk)
-///   offset 4: u32 format_version  = current kLogVersion (block_store.cc)
+///   offset 4: u32 format_version  = current kLogVersion (chain/block.h)
 ///   offset 8: records...
 ///
 ///   record:   u32 payload_len
-///             payload             (BlockCodec::Encode bytes, payload_len)
-///             u32 crc32(payload)
+///             payload             (BlockCodec::EncodeRecordV4 bytes:
+///                                  header fields + compression envelope)
+///             u32 crc32(payload)  — CRC of the payload *as stored*, i.e.
+///                                   over the compressed bytes
 /// ```
 ///
 /// All integers are little-endian (the codec's native byte order).
 ///
-/// ### Version history
+/// ### Version history (kLogV1..kLogV4, chain/block.h)
 ///  - v1 — PR 0 seed; *no header at all* (the file begins with a record
-///         length). Such logs fail the magic check.
+///         length); txns carry no client_id/fee.
 ///  - v2 — PR 1: 8-byte magic/version header introduced; `client_id`
 ///         added to the transaction wire format.
 ///  - v3 — priority `fee` added to the transaction wire format.
+///  - v4 — the record payload's txn section rides a per-block compression
+///         envelope (u8 codec + u32 raw_len + stored bytes); blocks whose
+///         section does not shrink fall back to Compression::kNone.
+///
+/// ### Older logs: migrated on open
+/// Open() reads v1–v3 logs (the per-version txn codecs are kept in
+/// BlockCodec::DecodeTxn) and transparently rewrites them as v4 — records
+/// re-encoded with the store's compression codec — via write-temp + rename,
+/// so a crash mid-migration leaves the original intact and the next open
+/// redoes it. After Open() the writable file is always v4.
 ///
 /// ### Failure semantics
 /// Torn tails (crash mid-append) are detected by CRC/length and truncated
-/// on Open(). A magic/version mismatch is an explicit NotSupported open
-/// error, never a silent truncation — the record codec changes between
-/// format versions, and treating an old log as one giant torn tail would
-/// wipe the chain.
+/// on Open(). An unrecognized magic or a format version newer than this
+/// build is an explicit NotSupported open error, never a silent truncation
+/// — treating an unknown log as one giant torn tail would wipe the chain.
+/// A record whose CRC passes but whose compressed payload fails to
+/// decompress or parse is Corruption on read (and a torn tail on open).
 class BlockStore {
  public:
   /// `sync_latency_us` is the modelled group-commit flush cost charged per
   /// append (the simulated device's fsync latency). The host-filesystem
   /// fsync is intentionally not issued on the hot path — the simulation
   /// never hard-kills the process, and a real fsync would inject the host
-  /// disk's uncontrolled latency into every block.
-  explicit BlockStore(std::string path, uint64_t sync_latency_us = 150);
+  /// disk's uncontrolled latency into every block. `compression` is the
+  /// codec new blocks are stored with (per-block raw fallback; kNone writes
+  /// v4 envelopes with every section raw).
+  explicit BlockStore(std::string path, uint64_t sync_latency_us = 150,
+                      Compression compression = Compression::kHlz);
   ~BlockStore();
 
-  /// Opens the log and scans it, truncating a torn tail if present.
+  /// Opens the log and scans it, truncating a torn tail if present;
+  /// migrates pre-v4 logs to v4 first (see class comment).
   Status Open();
 
   /// Appends one block with the modelled group-commit flush. Thread-safe and
@@ -74,11 +93,32 @@ class BlockStore {
   BlockId last_block_id() const { return last_block_id_; }
   size_t num_blocks() const { return num_blocks_; }
 
+  // --- compression accounting (relaxed, monotonic; bench/ingest_bench.cc
+  // reports compressed-vs-raw bytes per block from these) ---------------
+  /// Uncompressed txn-section bytes across every Append on this handle.
+  uint64_t appended_raw_bytes() const {
+    return raw_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Record bytes actually written (framing + envelope + stored section).
+  uint64_t appended_disk_bytes() const {
+    return disk_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Appends whose section the codec actually shrank (vs raw fallback).
+  uint64_t compressed_blocks() const {
+    return compressed_blocks_.load(std::memory_order_relaxed);
+  }
+
  private:
   Status ScanAndRepair();
+  /// Rewrites a v1–v3 log as v4 (write-temp + rename) and reopens it.
+  Status Migrate(uint32_t from_version);
 
   std::string path_;
   uint64_t sync_latency_us_;
+  Compression compression_;
+  std::atomic<uint64_t> raw_bytes_{0};
+  std::atomic<uint64_t> disk_bytes_{0};
+  std::atomic<uint64_t> compressed_blocks_{0};
   int fd_ = -1;
   std::mutex mu_;
   std::condition_variable order_cv_;

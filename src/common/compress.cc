@@ -1,0 +1,210 @@
+#include "common/compress.h"
+
+#include <cstring>
+
+namespace harmony {
+
+const char* CompressionName(Compression c) {
+  switch (c) {
+    case Compression::kNone:
+      return "none";
+    case Compression::kHlz:
+      return "hlz";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr size_t kHashBits = 13;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+inline uint32_t Load32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline size_t Hash4(uint32_t v) {
+  // Fibonacci hashing on the 4-byte prefix; top bits select the bucket.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Emits a length that overflowed its 4-bit nibble: 0xFF runs plus one
+/// terminating byte < 0xFF (LZ4's extension scheme).
+void EmitExtLength(size_t rest, std::string* out) {
+  while (rest >= 0xFF) {
+    out->push_back(static_cast<char>(0xFF));
+    rest -= 0xFF;
+  }
+  out->push_back(static_cast<char>(rest));
+}
+
+/// Reads an extension run; false on truncation. Adds to *len.
+bool ReadExtLength(const char* src, size_t n, size_t* pos, size_t* len) {
+  for (;;) {
+    if (*pos >= n) return false;
+    const uint8_t b = static_cast<uint8_t>(src[*pos]);
+    (*pos)++;
+    *len += b;
+    if (b < 0xFF) return true;
+  }
+}
+
+void EmitSequence(const char* lit, size_t lit_len, size_t match_len,
+                  size_t offset, std::string* out) {
+  const size_t lit_nib = lit_len < 15 ? lit_len : 15;
+  const size_t mat = match_len == 0 ? 0 : match_len - kHlzMinMatch;
+  const size_t mat_nib = mat < 15 ? mat : 15;
+  out->push_back(static_cast<char>((lit_nib << 4) | mat_nib));
+  if (lit_nib == 15) EmitExtLength(lit_len - 15, out);
+  out->append(lit, lit_len);
+  if (match_len == 0) return;  // terminal literal-only sequence
+  out->push_back(static_cast<char>(offset & 0xFF));
+  out->push_back(static_cast<char>((offset >> 8) & 0xFF));
+  if (mat_nib == 15) EmitExtLength(mat - 15, out);
+}
+
+}  // namespace
+
+void HlzCompress(std::string_view src, std::string* out) {
+  const char* base = src.data();
+  const size_t n = src.size();
+  out->reserve(out->size() + n / 2 + 16);
+  if (n < kHlzMinMatch + 1) {
+    EmitSequence(base, n, 0, 0, out);
+    return;
+  }
+
+  // Candidate positions for each 4-byte-prefix hash (0 = empty; positions
+  // are stored +1 so position 0 is representable).
+  uint32_t table[kHashSize] = {};
+
+  size_t pos = 0;
+  size_t lit_start = 0;
+  // Stop matching kHlzMinMatch short of the end so Load32 stays in bounds.
+  const size_t match_limit = n - kHlzMinMatch;
+  while (pos <= match_limit) {
+    const uint32_t prefix = Load32(base + pos);
+    const size_t h = Hash4(prefix);
+    const size_t cand = table[h];
+    table[h] = static_cast<uint32_t>(pos + 1);
+    if (cand != 0) {
+      const size_t cpos = cand - 1;
+      const size_t offset = pos - cpos;
+      if (offset <= kHlzMaxOffset && Load32(base + cpos) == prefix) {
+        size_t len = kHlzMinMatch;
+        while (pos + len < n && base[cpos + len] == base[pos + len]) len++;
+        EmitSequence(base + lit_start, pos - lit_start, len, offset, out);
+        // Seed the table inside the match so the next match can start
+        // there (cheap middle-of-match anchor, one probe per 8 bytes).
+        for (size_t i = pos + 1; i + kHlzMinMatch <= pos + len && i <= match_limit;
+             i += 8) {
+          table[Hash4(Load32(base + i))] = static_cast<uint32_t>(i + 1);
+        }
+        pos += len;
+        lit_start = pos;
+        continue;
+      }
+    }
+    pos++;
+  }
+  EmitSequence(base + lit_start, n - lit_start, 0, 0, out);
+}
+
+Status HlzDecompress(std::string_view src, size_t raw_len, std::string* out) {
+  out->clear();
+  // A match-extension byte expands to at most 255 output bytes, so no valid
+  // stream decodes to more than ~256x its size; a larger declared raw_len is
+  // corrupt. Checked before reserve() so a hostile length cannot force the
+  // allocation it names.
+  if (raw_len > src.size() * 256 + 64) {
+    return Status::Corruption("hlz: declared raw size implausible");
+  }
+  out->reserve(raw_len);
+  const char* s = src.data();
+  const size_t n = src.size();
+  size_t pos = 0;
+  while (pos < n) {
+    const uint8_t token = static_cast<uint8_t>(s[pos]);
+    pos++;
+    size_t lit_len = token >> 4;
+    if (lit_len == 15 && !ReadExtLength(s, n, &pos, &lit_len)) {
+      return Status::Corruption("hlz: truncated literal length");
+    }
+    if (lit_len > n - pos) {
+      return Status::Corruption("hlz: literal run past end of stream");
+    }
+    if (lit_len > raw_len - out->size()) {
+      return Status::Corruption("hlz: output overrun (literals)");
+    }
+    out->append(s + pos, lit_len);
+    pos += lit_len;
+    if (pos == n) {
+      // Terminal sequence: literals only. A nonzero match nibble here would
+      // promise a match the stream doesn't carry.
+      if ((token & 0x0F) != 0) {
+        return Status::Corruption("hlz: dangling match token");
+      }
+      break;
+    }
+    if (n - pos < 2) return Status::Corruption("hlz: truncated offset");
+    const size_t offset = static_cast<uint8_t>(s[pos]) |
+                          (static_cast<size_t>(static_cast<uint8_t>(s[pos + 1]))
+                           << 8);
+    pos += 2;
+    size_t match_len = (token & 0x0F);
+    if (match_len == 15 && !ReadExtLength(s, n, &pos, &match_len)) {
+      return Status::Corruption("hlz: truncated match length");
+    }
+    match_len += kHlzMinMatch;
+    if (offset == 0 || offset > out->size()) {
+      return Status::Corruption("hlz: match offset outside window");
+    }
+    if (match_len > raw_len - out->size()) {
+      return Status::Corruption("hlz: output overrun (match)");
+    }
+    // Byte-at-a-time on purpose: offsets < match_len replicate the just-
+    // written bytes (RLE-style), which a memcpy would corrupt.
+    size_t from = out->size() - offset;
+    for (size_t i = 0; i < match_len; i++) {
+      out->push_back((*out)[from + i]);
+    }
+  }
+  if (out->size() != raw_len) {
+    return Status::Corruption("hlz: decompressed " +
+                              std::to_string(out->size()) + " bytes, expected " +
+                              std::to_string(raw_len));
+  }
+  return Status::OK();
+}
+
+void CompressPayload(Compression codec, std::string_view src,
+                     std::string* out) {
+  switch (codec) {
+    case Compression::kNone:
+      out->append(src.data(), src.size());
+      return;
+    case Compression::kHlz:
+      HlzCompress(src, out);
+      return;
+  }
+}
+
+Status DecompressPayload(Compression codec, std::string_view src,
+                         size_t raw_len, std::string* out) {
+  switch (codec) {
+    case Compression::kNone:
+      if (src.size() != raw_len) {
+        return Status::Corruption("stored payload length mismatch");
+      }
+      out->assign(src.data(), src.size());
+      return Status::OK();
+    case Compression::kHlz:
+      return HlzDecompress(src, raw_len, out);
+  }
+  return Status::Corruption("unknown compression codec " +
+                            std::to_string(static_cast<int>(codec)));
+}
+
+}  // namespace harmony

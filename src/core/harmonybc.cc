@@ -21,6 +21,7 @@ Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
   ro.threads = options.threads;
   ro.checkpoint_every = options.checkpoint_every;
   ro.orderer_secret = options.orderer_secret;
+  ro.block_compression = options.block_compression;
   db->replica_ = std::make_unique<Replica>(ro);
   HARMONY_RETURN_NOT_OK(db->replica_->Open());
 
@@ -157,7 +158,8 @@ Result<BlockId> HarmonyBC::Recover() {
     // blocks extend the same hash chain. Only the tip block matters — an
     // O(1) tail read, not an O(chain) scan.
     Block last;
-    BlockStore store(opts_.dir + "/replica.chain");
+    BlockStore store(opts_.dir + "/replica.chain", /*sync_latency_us=*/150,
+                     opts_.block_compression);
     HARMONY_RETURN_NOT_OK(store.Open());
     HARMONY_RETURN_NOT_OK(store.ReadLast(&last));
     orderer_->ResumeFrom(last.header.block_id,
@@ -236,6 +238,84 @@ std::shared_ptr<PendingTxn> HarmonyBC::SubmitWithReceipt(
   stats->admitted.fetch_add(1, std::memory_order_relaxed);
   sealer_->Notify();
   return entry;
+}
+
+std::vector<std::shared_ptr<PendingTxn>> HarmonyBC::SubmitBatchWithReceipt(
+    std::vector<TxnRequest> reqs, const ReceiptCallback& cb,
+    const std::shared_ptr<SessionStats>& session) {
+  IngestStats* stats = admission_->stats();
+  const size_t n = reqs.size();
+  stats->submitted.fetch_add(n, std::memory_order_relaxed);
+  const uint64_t now = NowMicros();
+
+  std::vector<std::shared_ptr<PendingTxn>> entries(n);
+  // Request identities, kept past the moves below so rejection receipts
+  // never read a moved-from req (same discipline as SubmitWithReceipt).
+  std::vector<TxnRequest> ids(n);
+  auto reject = [&](size_t i, Status why) {
+    ResolvePending(entries[i].get(), ids[i], ReceiptOutcome::kRejected,
+                   std::move(why), /*block_id=*/0, NowMicros());
+  };
+
+  // Phase 1 — register + admit each request, collecting survivors (and the
+  // lane admission chose for them) for the one-pass mempool enqueue.
+  std::vector<size_t> live;
+  std::vector<TxnRequest> to_enqueue;
+  std::vector<IngestLane> lanes;
+  live.reserve(n);
+  to_enqueue.reserve(n);
+  lanes.reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    TxnRequest& req = reqs[i];
+    if (req.submit_time_us == 0) req.submit_time_us = now;
+    ids[i].client_id = req.client_id;
+    ids[i].client_seq = req.client_seq;
+    ids[i].retries = req.retries;
+
+    bool duplicate = false;
+    entries[i] = completion_->Register(req, cb, session, &duplicate);
+    if (duplicate) {
+      stats->duplicates.fetch_add(1, std::memory_order_relaxed);
+      reject(i, Status::InvalidArgument(
+                    "duplicate transaction in flight (client " +
+                    std::to_string(ids[i].client_id) + ", seq " +
+                    std::to_string(ids[i].client_seq) + ")"));
+      continue;
+    }
+    bool demote = false;
+    if (Status s = admission_->Admit(req, now, &demote); !s.ok()) {
+      completion_->Discard(ids[i].client_id, ids[i].client_seq);
+      reject(i, std::move(s));
+      continue;
+    }
+    live.push_back(i);
+    lanes.push_back(demote ? IngestLane::kLow : mempool_->LaneFor(req));
+    to_enqueue.push_back(std::move(req));
+  }
+
+  // Phase 2 — single-reservation enqueue; per-request failures resolve
+  // exactly like their SubmitWithReceipt equivalents.
+  size_t enqueued = 0;
+  if (!to_enqueue.empty()) {
+    std::vector<Status> statuses;
+    enqueued = mempool_->AddBatch(&to_enqueue, lanes, &statuses);
+    for (size_t j = 0; j < live.size(); j++) {
+      if (statuses[j].ok()) continue;
+      const size_t i = live[j];
+      if (statuses[j].IsBusy()) {
+        stats->backpressured.fetch_add(1, std::memory_order_relaxed);
+      } else if (statuses[j].IsInvalidArgument()) {
+        stats->duplicates.fetch_add(1, std::memory_order_relaxed);
+      }
+      completion_->Discard(ids[i].client_id, ids[i].client_seq);
+      reject(i, std::move(statuses[j]));
+    }
+  }
+  if (enqueued > 0) {
+    stats->admitted.fetch_add(enqueued, std::memory_order_relaxed);
+    sealer_->Notify();
+  }
+  return entries;
 }
 
 Status HarmonyBC::Submit(TxnRequest req) {

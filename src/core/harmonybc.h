@@ -66,6 +66,10 @@ class HarmonyBC {
     size_t block_size = 25;        ///< transactions per sealed block
     size_t checkpoint_every = 10;  ///< blocks between checkpoints
     std::string orderer_secret = "orderer-secret";
+    /// Block log (v4) compression for sealed-txn sections. Per-block raw
+    /// fallback keeps incompressible blocks from growing; kNone stores
+    /// every section raw (still a v4 log).
+    Compression block_compression = Compression::kHlz;
 
     // --- ingress subsystem ---
     /// Seal a partial block once the oldest pending txn has waited this
@@ -185,6 +189,14 @@ class HarmonyBC {
   std::shared_ptr<PendingTxn> SubmitWithReceipt(
       TxnRequest req, ReceiptCallback cb,
       std::shared_ptr<SessionStats> session);
+
+  /// Batch twin of SubmitWithReceipt (Session::SubmitBatch): same
+  /// per-transaction semantics, but one clock read and a single-reservation
+  /// Mempool::AddBatch enqueue + one sealer wake for the whole batch.
+  /// Returns one (always non-null) entry per request, in order.
+  std::vector<std::shared_ptr<PendingTxn>> SubmitBatchWithReceipt(
+      std::vector<TxnRequest> reqs, const ReceiptCallback& cb,
+      const std::shared_ptr<SessionStats>& session);
 
   Options opts_;
   /// Declared before the replica: the commit thread resolves receipts

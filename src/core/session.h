@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <vector>
 
 #include "core/completion.h"
 #include "txn/procedure.h"
@@ -89,6 +90,16 @@ class Session {
   /// returned for callers that also want to poll/wait.
   TxnTicket Submit(TxnRequest req, ReceiptCallback cb);
 
+  /// Batch submission (the BATCH_SUBMIT fast path): semantically identical
+  /// to calling Submit once per request — every request gets its own ticket
+  /// and exactly one receipt, `cb` (shared, may be null) fires once per
+  /// request — but the whole batch pays one clock read, one admission pass
+  /// per txn into a *single* mempool capacity reservation, and one sealer
+  /// wake. Per-request failures (flow-control cap, duplicate, Busy) resolve
+  /// synchronously as kRejected without disturbing the rest of the batch.
+  std::vector<TxnTicket> SubmitBatch(std::vector<TxnRequest> reqs,
+                                     ReceiptCallback cb = nullptr);
+
   /// 0 for the facade's default (pass-through) session, which keeps each
   /// request's own client_id.
   uint64_t client_id() const { return client_id_; }
@@ -100,6 +111,15 @@ class Session {
   Session(HarmonyBC* db, uint64_t client_id)
       : db_(db), client_id_(client_id),
         stats_(std::make_shared<SessionStats>()) {}
+
+  /// Stamps the session's client_id and auto-assigns (or advances past) the
+  /// request's client_seq — shared by Submit and SubmitBatch.
+  void StampIdentity(TxnRequest* req);
+  /// Takes one inflight slot; over the flow-control cap it resolves a Busy
+  /// rejection synchronously and returns its ticket (invalid ticket = slot
+  /// taken, proceed).
+  TxnTicket TryTakeInflightSlot(const TxnRequest& req, const ReceiptCallback& cb,
+                                uint64_t now);
 
   HarmonyBC* db_;
   const uint64_t client_id_;

@@ -60,14 +60,55 @@ Status Mempool::Add(TxnRequest req, IngestLane lane) {
     }
   } while (!size_.compare_exchange_weak(cur, cur + 1,
                                         std::memory_order_relaxed));
+  Status s = AddWithSlot(std::move(req), lane);
+  if (!s.ok()) size_.fetch_sub(1, std::memory_order_relaxed);
+  return s;
+}
 
+size_t Mempool::AddBatch(std::vector<TxnRequest>* reqs,
+                         const std::vector<IngestLane>& lanes,
+                         std::vector<Status>* statuses) {
+  const size_t n = reqs->size();
+  statuses->assign(n, Status::OK());
+  // One CAS reserves capacity for as much of the batch as fits; the
+  // shortfall lands on the trailing requests as Busy.
+  size_t granted = 0;
+  size_t cur = size_.load(std::memory_order_relaxed);
+  do {
+    granted = cur < opts_.capacity
+                  ? std::min(n, opts_.capacity - cur)
+                  : 0;
+    if (granted == 0) break;
+  } while (!size_.compare_exchange_weak(cur, cur + granted,
+                                        std::memory_order_relaxed));
+
+  size_t slots = granted;
+  size_t enqueued = 0;
+  for (size_t i = 0; i < n; i++) {
+    if (slots == 0) {
+      (*statuses)[i] =
+          Status::Busy("mempool full (" + std::to_string(cur) + " / " +
+                       std::to_string(opts_.capacity) + ")");
+      continue;
+    }
+    Status s = AddWithSlot(std::move((*reqs)[i]), lanes[i]);
+    if (s.ok()) {
+      slots--;  // the slot is now owned by the enqueued request
+      enqueued++;
+    }
+    (*statuses)[i] = std::move(s);
+  }
+  if (slots > 0) size_.fetch_sub(slots, std::memory_order_relaxed);
+  return enqueued;
+}
+
+Status Mempool::AddWithSlot(TxnRequest req, IngestLane lane) {
   const bool dedup = req.client_seq != 0;
   const uint64_t key = DedupKey(req);
   Shard& s = shard_for(key);
   if (dedup) {
     std::lock_guard<SpinLock> lk(s.dedup_mu);
     if (!s.seen.insert(key).second) {
-      size_.fetch_sub(1, std::memory_order_relaxed);
       return Status::InvalidArgument(
           "duplicate transaction (client " + std::to_string(req.client_id) +
           ", seq " + std::to_string(req.client_seq) + ")");
@@ -105,7 +146,6 @@ Status Mempool::Add(TxnRequest req, IngestLane lane) {
       std::lock_guard<SpinLock> lk(s.dedup_mu);
       s.seen.erase(key);
     }
-    size_.fetch_sub(1, std::memory_order_relaxed);
     return Status::Busy(std::string("mempool shard ring full (") +
                         LaneName(lane) + " lane)");
   }

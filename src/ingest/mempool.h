@@ -89,6 +89,18 @@ class Mempool {
   /// bounced with Busy).
   Status Add(TxnRequest req, IngestLane lane);
 
+  /// One-pass batch enqueue (the BATCH_SUBMIT fast path): a *single*
+  /// capacity reservation CAS covers the whole batch, then each request
+  /// runs the usual dedup + ring push into its caller-chosen lane. Capacity
+  /// the batch could not reserve surfaces as Busy on the trailing requests;
+  /// per-request failures (duplicate, ring full) free their slot back to
+  /// the batch's local credit, so one rejected request cannot starve the
+  /// rest. `reqs`, `lanes`, and `statuses` are parallel arrays; returns the
+  /// number enqueued. Requests are consumed (moved from) on success.
+  size_t AddBatch(std::vector<TxnRequest>* reqs,
+                  const std::vector<IngestLane>& lanes,
+                  std::vector<Status>* statuses);
+
   /// Re-admits a CC-aborted transaction via the retry lane (no dedup, no
   /// capacity check — see class comment).
   void AddRetry(TxnRequest req);
@@ -174,6 +186,11 @@ class Mempool {
 
   /// Pops up to `quota` txns from one lane, round-robin across shards.
   size_t DrainLane(size_t lane, size_t quota, std::vector<TxnRequest>* out);
+
+  /// Dedup + ring push with the capacity slot already reserved by the
+  /// caller. Does NOT touch size_ — on failure the caller keeps (or
+  /// refunds) the slot.
+  Status AddWithSlot(TxnRequest req, IngestLane lane);
 
   MempoolOptions opts_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -7,7 +7,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "chain/block.h"
@@ -51,11 +53,26 @@ Result<std::unique_ptr<NetClient>> NetClient::Connect(
   auto client = std::unique_ptr<NetClient>(new NetClient());
   client->fd_ = fd;
   client->max_frame_payload_ = opts.max_frame_payload;
+  client->batch_max_txns_ =
+      std::min<size_t>(std::max<size_t>(1, opts.batch_max_txns),
+                       kMaxBatchTxns);
+  client->batch_max_delay_us_ = opts.batch_max_delay_us;
   client->reader_ = std::thread([raw = client.get()] { raw->ReaderLoop(); });
+  if (client->batch_max_txns_ > 1 && client->batch_max_delay_us_ > 0) {
+    client->flusher_ =
+        std::thread([raw = client.get()] { raw->FlusherLoop(); });
+  }
   return client;
 }
 
 NetClient::~NetClient() {
+  FlushBatch();  // best effort: don't strand buffered submits
+  {
+    std::lock_guard<std::mutex> lk(batch_mu_);
+    flusher_stop_ = true;
+  }
+  batch_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
   BreakConnection(Status::Aborted("client closed"));
   if (reader_.joinable()) reader_.join();
   if (fd_ >= 0) ::close(fd_);
@@ -109,7 +126,53 @@ TxnTicket NetClient::Submit(TxnRequest req, ReceiptCallback cb) {
 
   std::string payload;
   BlockCodec::EncodeTxn(req, &payload);
-  if (Status s = WriteFrame(Opcode::kSubmit, payload); !s.ok()) {
+  if (batch_max_txns_ > 1) {
+    // Coalescing path: buffer the encoding; the ticket is already
+    // registered, so a connection loss fails it like any sent submit. The
+    // flusher enforces the delay bound; the size bound flushes inline.
+    // Frames are only *collected* under batch_mu_ — the blocking socket
+    // write (and BreakConnection, which runs user receipt callbacks) must
+    // happen after the unlock, or a stalled send would wedge every
+    // concurrent Submit and a callback that re-enters this client would
+    // self-deadlock.
+    std::string to_send[2];
+    size_t n_send = 0;
+    bool notify = false;
+    {
+      std::lock_guard<std::mutex> lk(batch_mu_);
+      // Never let a batch outgrow one frame: ship what's buffered first.
+      if (!batch_buf_.empty() &&
+          4 + batch_buf_.size() + payload.size() > max_frame_payload_) {
+        std::string buf;
+        buf.swap(batch_buf_);
+        to_send[n_send++] = SealBatchPayload(batch_count_, buf);
+        batch_count_ = 0;
+      }
+      batch_buf_.append(payload);
+      batch_count_++;
+      if (batch_count_ == 1) {
+        batch_oldest_us_ = now;
+        notify = true;  // arm the flusher's delay bound
+      }
+      if (batch_count_ >= batch_max_txns_) {
+        std::string buf;
+        buf.swap(batch_buf_);
+        to_send[n_send++] = SealBatchPayload(batch_count_, buf);
+        batch_count_ = 0;
+        notify = false;
+      }
+    }
+    if (notify) batch_cv_.notify_one();
+    for (size_t i = 0; i < n_send; i++) {
+      if (Status s = WriteFrame(Opcode::kOpBatchSubmit, to_send[i]);
+          !s.ok()) {
+        BreakConnection(s);
+        break;
+      }
+    }
+    return TxnTicket(std::move(entry), req.client_id, seq);
+  }
+  if (Status s = WriteFrame(Opcode::kOpSubmit, payload); !s.ok()) {
     // The write failed mid-connection: everything in flight (this submit
     // included) is now fate-unknown.
     BreakConnection(s);
@@ -117,12 +180,57 @@ TxnTicket NetClient::Submit(TxnRequest req, ReceiptCallback cb) {
   return TxnTicket(std::move(entry), req.client_id, seq);
 }
 
+void NetClient::FlushBatch() {
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lk(batch_mu_);
+    if (batch_count_ == 0) return;
+    std::string buf;
+    buf.swap(batch_buf_);
+    payload = SealBatchPayload(batch_count_, buf);
+    batch_count_ = 0;
+  }
+  if (Status s = WriteFrame(Opcode::kOpBatchSubmit, payload); !s.ok()) {
+    BreakConnection(s);
+  }
+}
+
+void NetClient::FlusherLoop() {
+  std::unique_lock<std::mutex> lk(batch_mu_);
+  while (!flusher_stop_) {
+    if (batch_count_ == 0) {
+      batch_cv_.wait(lk);
+      continue;
+    }
+    const uint64_t now = NowMicros();
+    const uint64_t deadline = batch_oldest_us_ + batch_max_delay_us_;
+    if (now < deadline) {
+      batch_cv_.wait_for(lk, std::chrono::microseconds(deadline - now));
+      continue;
+    }
+    // Delay bound hit: ship the partial batch.
+    std::string buf;
+    buf.swap(batch_buf_);
+    const std::string payload = SealBatchPayload(batch_count_, buf);
+    batch_count_ = 0;
+    lk.unlock();
+    if (Status s = WriteFrame(Opcode::kOpBatchSubmit, payload); !s.ok()) {
+      BreakConnection(s);
+      return;
+    }
+    lk.lock();
+  }
+}
+
 bool NetClient::Sync(uint64_t timeout_us) {
+  // The watermark must cover every Submit that returned before this call —
+  // including ones still sitting in the coalescing buffer.
+  FlushBatch();
   const uint64_t token =
       next_sync_token_.fetch_add(1, std::memory_order_relaxed) + 1;
   std::string payload;
   EncodeSync(token, &payload);
-  if (Status s = WriteFrame(Opcode::kSync, payload); !s.ok()) {
+  if (Status s = WriteFrame(Opcode::kOpSync, payload); !s.ok()) {
     // A partially written frame desynchronizes the stream — same terminal
     // handling as Submit().
     BreakConnection(s);
@@ -139,13 +247,15 @@ bool NetClient::Sync(uint64_t timeout_us) {
 }
 
 Result<WireStats> NetClient::Stats(uint64_t timeout_us) {
+  // Ship buffered submits first so the snapshot reflects them.
+  FlushBatch();
   // One STATS exchange at a time: the reply carries no correlation id.
   std::lock_guard<std::mutex> call_lk(stats_call_mu_);
   {
     std::lock_guard<std::mutex> lk(mu_);
     stats_ready_ = false;
   }
-  if (Status s = WriteFrame(Opcode::kStats, {}); !s.ok()) {
+  if (Status s = WriteFrame(Opcode::kOpStats, {}); !s.ok()) {
     BreakConnection(s);  // a half-written frame desynchronizes the stream
     return s;
   }
@@ -224,7 +334,7 @@ void NetClient::ReaderLoop() {
         return;
       }
       switch (frame.opcode) {
-        case Opcode::kReceipt: {
+        case Opcode::kOpReceipt: {
           TxnReceipt r;
           if (!DecodeReceipt(frame.payload, &r)) {
             BreakConnection(Status::Corruption("bad RECEIPT payload"));
@@ -233,7 +343,18 @@ void NetClient::ReaderLoop() {
           ResolveSeq(r.client_seq, r);
           break;
         }
-        case Opcode::kError: {
+        case Opcode::kOpBatchReceipt: {
+          std::vector<TxnReceipt> rs;
+          if (!DecodeBatchReceipt(frame.payload, &rs)) {
+            BreakConnection(Status::Corruption("bad BATCH_RECEIPT payload"));
+            return;
+          }
+          // Per-txn fan-out: rejected entries (Busy included) resolve
+          // exactly like a scoped ERROR would have for single submits.
+          for (TxnReceipt& r : rs) ResolveSeq(r.client_seq, r);
+          break;
+        }
+        case Opcode::kOpError: {
           WireError e;
           if (!DecodeError(frame.payload, &e)) {
             BreakConnection(Status::Corruption("bad ERROR payload"));
@@ -253,7 +374,7 @@ void NetClient::ReaderLoop() {
           BreakConnection(WireStatus(e.code, std::move(e.message)));
           return;
         }
-        case Opcode::kSync: {
+        case Opcode::kOpSync: {
           uint64_t token = 0;
           if (!DecodeSync(frame.payload, &token)) {
             BreakConnection(Status::Corruption("bad SYNC payload"));
@@ -266,7 +387,7 @@ void NetClient::ReaderLoop() {
           cv_.notify_all();
           break;
         }
-        case Opcode::kStats: {
+        case Opcode::kOpStats: {
           WireStats s;
           if (!DecodeStats(frame.payload, &s)) {
             BreakConnection(Status::Corruption("bad STATS payload"));
@@ -284,7 +405,8 @@ void NetClient::ReaderLoop() {
           cv_.notify_all();
           break;
         }
-        case Opcode::kSubmit:
+        case Opcode::kOpSubmit:
+        case Opcode::kOpBatchSubmit:
           BreakConnection(
               Status::Corruption("server sent a client-only opcode"));
           return;

@@ -21,6 +21,16 @@ struct NetClientOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
   size_t max_frame_payload = kMaxFramePayload;
+  /// Submit coalescing (wire v2): > 1 buffers Submit()s and ships them as
+  /// one BATCH_SUBMIT frame once this many are pending (clamped to
+  /// kMaxBatchTxns) — or once the oldest buffered submit has waited
+  /// batch_max_delay_us. 1 disables batching (pure wire-v1 traffic; use
+  /// this against pre-batching servers). The Submit -> TxnTicket surface
+  /// is unchanged either way.
+  size_t batch_max_txns = 1;
+  /// Latency bound on coalescing: a partial batch is flushed once its
+  /// oldest submit is this old. 0 flushes on the next Submit or Sync only.
+  uint64_t batch_max_delay_us = 200;
 };
 
 /// Blocking + callback client for the HarmonyBC wire protocol — the remote
@@ -80,6 +90,11 @@ class NetClient {
   NetClient() : stats_(std::make_shared<SessionStats>()) {}
 
   void ReaderLoop();
+  void FlusherLoop();
+  /// Sends the buffered batch now (no-op when empty). Called by Submit at
+  /// the size bound, by the flusher at the delay bound, and by Sync/Stats/
+  /// the destructor so nothing they promise is still sitting local.
+  void FlushBatch();
   /// Fails every pending ticket and sync/stats waiter with `why`.
   void BreakConnection(const Status& why);
   Status WriteFrame(Opcode op, std::string_view payload);
@@ -87,11 +102,25 @@ class NetClient {
 
   int fd_ = -1;
   size_t max_frame_payload_ = kMaxFramePayload;
+  size_t batch_max_txns_ = 1;
+  uint64_t batch_max_delay_us_ = 0;
   std::shared_ptr<SessionStats> stats_;
   std::atomic<uint64_t> next_seq_{0};
   std::atomic<uint64_t> next_sync_token_{0};
   std::atomic<bool> broken_{false};
   std::thread reader_;
+
+  /// Coalescing buffer: EncodeTxn bytes of Submit()s not yet framed. The
+  /// flusher thread enforces the delay bound; Submit enforces the size
+  /// bound inline. Buffered submits are already registered in pending_, so
+  /// connection loss fails them like any other in-flight ticket.
+  std::mutex batch_mu_;
+  std::condition_variable batch_cv_;
+  std::string batch_buf_;
+  uint32_t batch_count_ = 0;
+  uint64_t batch_oldest_us_ = 0;
+  bool flusher_stop_ = false;
+  std::thread flusher_;
 
   std::mutex write_mu_;       ///< serializes whole-frame socket writes
   std::mutex stats_call_mu_;  ///< one STATS exchange at a time (no corr. id)

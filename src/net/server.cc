@@ -136,7 +136,7 @@ void NetServer::Stop() {
         if (c->closed) continue;
         if (c->resolved.load(std::memory_order_acquire) <
                 c->submitted.load(std::memory_order_acquire) ||
-            !c->outq.empty()) {
+            !c->outq.empty() || c->batch_count != 0) {
           drained = false;
         }
       }
@@ -361,7 +361,7 @@ void NetServer::HandleReadable(Reactor& r, const std::shared_ptr<Conn>& conn) {
       bool wake;
       {
         std::lock_guard<std::mutex> lk(conn->mu);
-        wake = EnqueueLocked(*conn, Opcode::kError, payload);
+        wake = EnqueueLocked(*conn, Opcode::kOpError, payload);
         conn->close_after_flush = true;
       }
       (void)wake;
@@ -379,7 +379,7 @@ void NetServer::HandleReadable(Reactor& r, const std::shared_ptr<Conn>& conn) {
       EncodeError(e, &payload);
       {
         std::lock_guard<std::mutex> lk(conn->mu);
-        EnqueueLocked(*conn, Opcode::kError, payload);
+        EnqueueLocked(*conn, Opcode::kOpError, payload);
         conn->close_after_flush = true;
       }
       FlushConn(r, conn);
@@ -391,7 +391,7 @@ void NetServer::HandleReadable(Reactor& r, const std::shared_ptr<Conn>& conn) {
 
 bool NetServer::Dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
   switch (frame.opcode) {
-    case Opcode::kSubmit: {
+    case Opcode::kOpSubmit: {
       TxnRequest req;
       codec::Reader rd(frame.payload);
       if (!BlockCodec::DecodeTxn(&rd, &req) || rd.remaining() != 0) {
@@ -408,7 +408,27 @@ bool NetServer::Dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
           [weak](const TxnReceipt& receipt) { PushReceipt(weak, receipt); });
       return true;
     }
-    case Opcode::kSync: {
+    case Opcode::kOpBatchSubmit: {
+      std::vector<TxnRequest> txns;
+      if (!DecodeBatchSubmit(frame.payload, &txns)) return false;
+      const size_t n = txns.size();
+      for (TxnRequest& req : txns) {
+        // The server's clock stamps admission and latency, as for SUBMIT.
+        req.submit_time_us = 0;
+      }
+      stats_->submits.fetch_add(n, std::memory_order_relaxed);
+      stats_->batch_submits.fetch_add(1, std::memory_order_relaxed);
+      conn->submitted.fetch_add(n, std::memory_order_acq_rel);
+      // From now on this connection's receipts coalesce (set before the
+      // submit so no receipt of this batch can race past it).
+      conn->batch_mode.store(true, std::memory_order_release);
+      std::weak_ptr<Conn> weak = conn;
+      conn->session->SubmitBatch(
+          std::move(txns),
+          [weak](const TxnReceipt& receipt) { PushReceipt(weak, receipt); });
+      return true;
+    }
+    case Opcode::kOpSync: {
       uint64_t token = 0;
       if (!DecodeSync(frame.payload, &token)) return false;
       const uint64_t watermark =
@@ -417,13 +437,16 @@ bool NetServer::Dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
       EncodeSync(token, &payload);
       std::lock_guard<std::mutex> lk(conn->mu);
       if (conn->resolved.load(std::memory_order_acquire) >= watermark) {
-        EnqueueLocked(*conn, Opcode::kSync, payload);
+        // Receipts covered by this ack may still sit in the coalescing
+        // buffer; they must hit the queue before the ack does.
+        PackBatchLocked(*conn);
+        EnqueueLocked(*conn, Opcode::kOpSync, payload);
       } else {
         conn->pending_syncs.emplace_back(watermark, token);
       }
       return true;
     }
-    case Opcode::kStats: {
+    case Opcode::kOpStats: {
       if (!frame.payload.empty()) return false;
       WireStats s;
       const SessionStats& ss = conn->session->stats();
@@ -468,45 +491,84 @@ bool NetServer::Dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
       std::string payload;
       EncodeStats(s, &payload);
       std::lock_guard<std::mutex> lk(conn->mu);
-      EnqueueLocked(*conn, Opcode::kStats, payload);
+      EnqueueLocked(*conn, Opcode::kOpStats, payload);
       return true;
     }
-    case Opcode::kReceipt:
-    case Opcode::kError:
+    case Opcode::kOpReceipt:
+    case Opcode::kOpBatchReceipt:
+    case Opcode::kOpError:
       return false;  // server-to-client opcodes; a client must not send them
   }
   return false;
+}
+
+void NetServer::SealOverloadedLocked(Conn& conn) {
+  // Slow consumer: seal the queue with one terminal ERROR{overloaded}
+  // frame and close once it flushes. Receipts already queued still go
+  // out; this one (and later ones) are lost *with the connection* — the
+  // client observes the close and fails its pending tickets, so nothing
+  // is silently dropped on a connection that looks healthy.
+  conn.overloaded = true;
+  conn.close_after_flush = true;
+  conn.srv_stats->overloaded_closes.fetch_add(1, std::memory_order_relaxed);
+  WireError e;
+  e.code = Status::Code::kBusy;
+  e.client_seq = 0;
+  e.message = "overloaded: write queue over " + std::to_string(conn.wq_cap) +
+              " bytes";
+  std::string epayload;
+  EncodeError(e, &epayload);
+  std::string eframe = EncodeFrame(Opcode::kOpError, epayload);
+  conn.out_bytes += eframe.size();
+  conn.outq.push_back(std::move(eframe));
 }
 
 bool NetServer::EnqueueLocked(Conn& conn, Opcode op,
                               std::string_view payload) {
   if (conn.closed || conn.overloaded) return false;
   std::string frame = EncodeFrame(op, payload);
-  if (conn.out_bytes + frame.size() > conn.wq_cap) {
-    // Slow consumer: seal the queue with one terminal ERROR{overloaded}
-    // frame and close once it flushes. Receipts already queued still go
-    // out; this one (and later ones) are lost *with the connection* — the
-    // client observes the close and fails its pending tickets, so nothing
-    // is silently dropped on a connection that looks healthy.
-    conn.overloaded = true;
-    conn.close_after_flush = true;
-    conn.srv_stats->overloaded_closes.fetch_add(1, std::memory_order_relaxed);
-    WireError e;
-    e.code = Status::Code::kBusy;
-    e.client_seq = 0;
-    e.message = "overloaded: write queue over " +
-                std::to_string(conn.wq_cap) + " bytes";
-    std::string epayload;
-    EncodeError(e, &epayload);
-    std::string eframe = EncodeFrame(Opcode::kError, epayload);
-    conn.out_bytes += eframe.size();
-    conn.outq.push_back(std::move(eframe));
+  if (conn.out_bytes + conn.batch_entries.size() + frame.size() >
+      conn.wq_cap) {
+    SealOverloadedLocked(conn);
     return !conn.want_write;
   }
   conn.out_bytes += frame.size();
   conn.outq.push_back(std::move(frame));
   conn.srv_stats->frames_out.fetch_add(1, std::memory_order_relaxed);
   return !conn.want_write;
+}
+
+void NetServer::PackBatchLocked(Conn& conn) {
+  if (conn.batch_count == 0 || conn.closed || conn.overloaded) return;
+  // Take the buffer first so EnqueueLocked's cap check does not count the
+  // same bytes twice (once buffered, once framed).
+  const std::string entries = std::move(conn.batch_entries);
+  uint32_t left = conn.batch_count;
+  conn.batch_entries.clear();
+  conn.batch_count = 0;
+  // Split the buffered entries into frames bounded by the batch-count and
+  // frame-payload caps (entries are length-prefixed, so the split walks
+  // the prefixes). Usually this emits exactly one frame.
+  std::string_view rest = entries;
+  while (left > 0) {
+    size_t bytes = 0;
+    uint32_t count = 0;
+    while (count < left && count < kMaxBatchTxns) {
+      uint32_t entry_len = 0;
+      std::memcpy(&entry_len, rest.data() + bytes, 4);
+      const size_t next = bytes + 4 + entry_len;
+      if (count > 0 && 4 + next > kMaxFramePayload) break;
+      bytes = next;
+      count++;
+    }
+    const std::string payload =
+        SealBatchPayload(count, rest.substr(0, bytes));
+    rest.remove_prefix(bytes);
+    left -= count;
+    conn.srv_stats->batch_receipts.fetch_add(1, std::memory_order_relaxed);
+    EnqueueLocked(conn, Opcode::kOpBatchReceipt, payload);
+    if (conn.overloaded) break;  // sealed mid-pack; the rest dies with conn
+  }
 }
 
 void NetServer::PushFrame(const std::shared_ptr<Conn>& conn, Opcode op,
@@ -537,8 +599,29 @@ void NetServer::PushReceipt(const std::weak_ptr<Conn>& weak,
   {
     std::lock_guard<std::mutex> lk(conn->mu);
     std::string payload;
-    if (receipt.outcome == ReceiptOutcome::kRejected &&
-        receipt.status.IsBusy()) {
+    if (conn->batch_mode.load(std::memory_order_acquire)) {
+      // Coalescing path: buffer the entry; the owning reactor packs the
+      // buffer into BATCH_RECEIPT frame(s) on its next flush, so receipts
+      // resolving between flushes share one frame instead of one each.
+      // Busy rejections ride along as kRejected entries — the batch reply
+      // subsumes the single-submit ERROR{busy} mapping.
+      if (!conn->closed && !conn->overloaded) {
+        const size_t before = conn->batch_entries.size();
+        AppendBatchReceiptEntry(receipt, &conn->batch_entries);
+        if (conn->out_bytes + conn->batch_entries.size() > conn->wq_cap) {
+          conn->batch_entries.resize(before);  // dies with the connection
+          SealOverloadedLocked(*conn);
+          wake = !conn->want_write;
+        } else {
+          conn->batch_count++;
+          conn->srv_stats->receipts.fetch_add(1, std::memory_order_relaxed);
+          // One wake per coalescing window: the first buffered entry asks
+          // the reactor to flush; followers are picked up by that flush.
+          wake = conn->batch_count == 1 && !conn->want_write;
+        }
+      }
+    } else if (receipt.outcome == ReceiptOutcome::kRejected &&
+               receipt.status.IsBusy()) {
       // Flow control (session inflight cap, rate limiting, mempool
       // backpressure) surfaces as ERROR{busy} scoped to the submit.
       WireError e;
@@ -546,11 +629,11 @@ void NetServer::PushReceipt(const std::weak_ptr<Conn>& weak,
       e.client_seq = receipt.client_seq;
       e.message = receipt.status.message();
       EncodeError(e, &payload);
-      wake = EnqueueLocked(*conn, Opcode::kError, payload);
+      wake = EnqueueLocked(*conn, Opcode::kOpError, payload);
       conn->srv_stats->busy_errors.fetch_add(1, std::memory_order_relaxed);
     } else {
       EncodeReceipt(receipt, &payload);
-      wake = EnqueueLocked(*conn, Opcode::kReceipt, payload);
+      wake = EnqueueLocked(*conn, Opcode::kOpReceipt, payload);
       conn->srv_stats->receipts.fetch_add(1, std::memory_order_relaxed);
     }
     // resolved advances under mu so a concurrent SYNC registration either
@@ -559,9 +642,13 @@ void NetServer::PushReceipt(const std::weak_ptr<Conn>& weak,
         conn->resolved.fetch_add(1, std::memory_order_acq_rel) + 1;
     for (size_t i = 0; i < conn->pending_syncs.size();) {
       if (conn->pending_syncs[i].first <= resolved) {
+        // The ack promises every covered receipt has been *queued ahead of
+        // it* — flush the coalescing buffer first so the ack cannot
+        // overtake receipts still waiting to be packed.
+        PackBatchLocked(*conn);
         std::string ack;
         EncodeSync(conn->pending_syncs[i].second, &ack);
-        wake = EnqueueLocked(*conn, Opcode::kSync, ack) || wake;
+        wake = EnqueueLocked(*conn, Opcode::kOpSync, ack) || wake;
         conn->pending_syncs.erase(conn->pending_syncs.begin() +
                                   static_cast<long>(i));
       } else {
@@ -583,6 +670,9 @@ void NetServer::FlushConn(Reactor& r, const std::shared_ptr<Conn>& conn) {
   {
     std::lock_guard<std::mutex> lk(conn->mu);
     if (conn->closed) return;
+    // Coalesce: whatever receipts accumulated since the last flush leave
+    // as BATCH_RECEIPT frame(s) now.
+    PackBatchLocked(*conn);
     while (!conn->outq.empty()) {
       const std::string& front = conn->outq.front();
       // MSG_NOSIGNAL: a peer that vanished mid-flush must surface as EPIPE

@@ -41,8 +41,10 @@ struct NetServerStats {
   std::atomic<uint64_t> closed{0};
   std::atomic<uint64_t> frames_in{0};
   std::atomic<uint64_t> frames_out{0};
-  std::atomic<uint64_t> submits{0};
+  std::atomic<uint64_t> submits{0};            ///< txns (batched included)
+  std::atomic<uint64_t> batch_submits{0};      ///< BATCH_SUBMIT frames in
   std::atomic<uint64_t> receipts{0};
+  std::atomic<uint64_t> batch_receipts{0};     ///< BATCH_RECEIPT frames out
   std::atomic<uint64_t> busy_errors{0};        ///< ERROR{busy} sent
   std::atomic<uint64_t> overloaded_closes{0};  ///< write queue overflow
   std::atomic<uint64_t> corrupt_closes{0};     ///< bad frames / protocol
@@ -107,17 +109,26 @@ class NetServer {
     size_t wq_cap = 0;
     std::unique_ptr<Session> session;
     FrameReassembler reasm;
-    /// Frames submitted on this connection (owning reactor only).
+    /// Transactions submitted on this connection (owning reactor only; a
+    /// BATCH_SUBMIT counts each txn it carries).
     std::atomic<uint64_t> submitted{0};
     /// Receipts resolved; incremented under mu so SYNC-ack registration
     /// cannot miss the catch-up.
     std::atomic<uint64_t> resolved{0};
+    /// Set (once) when the client sends its first BATCH_SUBMIT: from then
+    /// on receipts coalesce into BATCH_RECEIPT frames packed at flush time.
+    std::atomic<bool> batch_mode{false};
 
     // Write side — shared between the owning reactor and receipt callbacks.
     std::mutex mu;
     std::deque<std::string> outq;
     size_t out_bytes = 0;
     size_t out_off = 0;  ///< partial-write offset into outq.front()
+    /// Coalescing buffer (batch mode): length-prefixed receipt entries
+    /// appended by receipt callbacks, packed into one or more BATCH_RECEIPT
+    /// frames by the owning reactor's next flush. Counted against wq_cap.
+    std::string batch_entries;
+    uint32_t batch_count = 0;
     std::vector<std::pair<uint64_t, uint64_t>> pending_syncs;  ///< (wm, token)
     bool want_write = false;  ///< EPOLLOUT armed
     bool close_after_flush = false;
@@ -149,6 +160,13 @@ class NetServer {
   /// returns true when the owning reactor must be woken to flush it.
   /// Requires conn.mu.
   static bool EnqueueLocked(Conn& conn, Opcode op, std::string_view payload);
+  /// Seals the queue with one terminal ERROR{overloaded} frame (slow
+  /// consumer); the connection closes once it flushes. Requires conn.mu.
+  static void SealOverloadedLocked(Conn& conn);
+  /// Packs the coalescing buffer into BATCH_RECEIPT frame(s) on the write
+  /// queue, splitting at kMaxBatchTxns / frame-payload bounds. Requires
+  /// conn.mu.
+  static void PackBatchLocked(Conn& conn);
   void PushFrame(const std::shared_ptr<Conn>& conn, Opcode op,
                  std::string_view payload);
   /// Receipt-callback path: RECEIPT or ERROR{busy}, plus due SYNC acks.

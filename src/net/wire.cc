@@ -2,21 +2,27 @@
 
 #include <cstring>
 
+#include "chain/block.h"
+
 namespace harmony {
 namespace net {
 
 const char* OpcodeName(Opcode op) {
   switch (op) {
-    case Opcode::kSubmit:
+    case Opcode::kOpSubmit:
       return "SUBMIT";
-    case Opcode::kReceipt:
+    case Opcode::kOpReceipt:
       return "RECEIPT";
-    case Opcode::kSync:
+    case Opcode::kOpSync:
       return "SYNC";
-    case Opcode::kStats:
+    case Opcode::kOpStats:
       return "STATS";
-    case Opcode::kError:
+    case Opcode::kOpError:
       return "ERROR";
+    case Opcode::kOpBatchSubmit:
+      return "BATCH_SUBMIT";
+    case Opcode::kOpBatchReceipt:
+      return "BATCH_RECEIPT";
   }
   return "?";
 }
@@ -25,7 +31,9 @@ std::string EncodeFrame(Opcode op, std::string_view payload) {
   std::string out;
   out.reserve(kHeaderSize + payload.size());
   codec::AppendU32(&out, kWireMagic);
-  out.push_back(static_cast<char>(kWireVersion));
+  // Stamped per frame so a non-batching exchange is byte-identical to what
+  // a v1 peer speaks (see the negotiation comment in wire.h).
+  out.push_back(static_cast<char>(WireVersionFor(op)));
   out.push_back(static_cast<char>(op));
   codec::AppendU16(&out, 0);  // flags
   codec::AppendU32(&out, static_cast<uint32_t>(payload.size()));
@@ -102,6 +110,58 @@ bool DecodeError(std::string_view payload, WireError* out) {
     return false;
   }
   out->code = static_cast<Status::Code>(code);
+  return r.remaining() == 0;
+}
+
+void EncodeBatchSubmit(const std::vector<TxnRequest>& txns,
+                       std::string* out) {
+  codec::AppendU32(out, static_cast<uint32_t>(txns.size()));
+  for (const TxnRequest& t : txns) BlockCodec::EncodeTxn(t, out);
+}
+
+bool DecodeBatchSubmit(std::string_view payload,
+                       std::vector<TxnRequest>* out) {
+  codec::Reader r(payload);
+  uint32_t count = 0;
+  if (!r.ReadU32(&count)) return false;
+  if (count == 0 || count > kMaxBatchTxns) return false;
+  // Each txn is > 4 bytes; a count the payload cannot carry must fail here,
+  // not size the resize below.
+  if (static_cast<uint64_t>(count) * 4 > r.remaining()) return false;
+  out->resize(count);
+  for (uint32_t i = 0; i < count; i++) {
+    if (!BlockCodec::DecodeTxn(&r, &(*out)[i])) return false;
+  }
+  return r.remaining() == 0;
+}
+
+void AppendBatchReceiptEntry(const TxnReceipt& r, std::string* out) {
+  std::string entry;
+  EncodeReceipt(r, &entry);
+  codec::AppendBytes(out, entry);
+}
+
+std::string SealBatchPayload(uint32_t count, std::string_view entries) {
+  std::string payload;
+  payload.reserve(4 + entries.size());
+  codec::AppendU32(&payload, count);
+  payload.append(entries.data(), entries.size());
+  return payload;
+}
+
+bool DecodeBatchReceipt(std::string_view payload,
+                        std::vector<TxnReceipt>* out) {
+  codec::Reader r(payload);
+  uint32_t count = 0;
+  if (!r.ReadU32(&count)) return false;
+  if (count == 0 || count > kMaxBatchTxns) return false;
+  if (static_cast<uint64_t>(count) * 4 > r.remaining()) return false;
+  out->resize(count);
+  std::string entry;
+  for (uint32_t i = 0; i < count; i++) {
+    if (!r.ReadBytes(&entry)) return false;
+    if (!DecodeReceipt(entry, &(*out)[i])) return false;
+  }
   return r.remaining() == 0;
 }
 
@@ -206,13 +266,20 @@ Status FrameReassembler::Next(Frame* out) {
   const uint8_t opcode = static_cast<uint8_t>(ver_op >> 8);
   if (magic != kWireMagic) return Status::Corruption("bad magic");
   if (header_crc != Crc32(h, 16)) return Status::Corruption("header CRC");
-  if (version != kWireVersion) {
+  if (version != kWireV1 && version != kWireV2) {
     return Status::Corruption("wire version " + std::to_string(version));
   }
   if (flags != 0) return Status::Corruption("reserved flags set");
-  if (opcode < static_cast<uint8_t>(Opcode::kSubmit) ||
-      opcode > static_cast<uint8_t>(Opcode::kError)) {
+  if (opcode < static_cast<uint8_t>(Opcode::kOpSubmit) ||
+      opcode > static_cast<uint8_t>(Opcode::kOpBatchReceipt)) {
     return Status::Corruption("unknown opcode " + std::to_string(opcode));
+  }
+  // A batch opcode promises v2 semantics; a v1-stamped frame carrying one
+  // is a peer that doesn't know what it's saying.
+  if (version < WireVersionFor(static_cast<Opcode>(opcode))) {
+    return Status::Corruption("opcode " + std::to_string(opcode) +
+                              " not valid in wire v" +
+                              std::to_string(version));
   }
   if (payload_len > max_payload_) {
     return Status::Corruption("oversized frame (" +

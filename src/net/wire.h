@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/codec.h"
 #include "common/status.h"
@@ -12,14 +13,15 @@
 namespace harmony {
 namespace net {
 
-/// HarmonyBC wire protocol v1 — a versioned, length-prefixed binary frame
-/// format spoken between NetClient and NetServer (see docs/NET.md).
+/// HarmonyBC wire protocol v2 — a versioned, length-prefixed binary frame
+/// format spoken between NetClient and NetServer (docs/NET.md for the
+/// contracts, docs/FORMATS.md for the authoritative byte-level reference).
 ///
 /// Every frame is a fixed 20-byte header followed by `payload_len` bytes:
 ///
 ///   offset  size  field
 ///   0       4     magic        "HBC1" (0x31434248 little-endian)
-///   4       1     version      kWireVersion
+///   4       1     version      kWireV1 or kWireV2 (see below)
 ///   5       1     opcode       Opcode
 ///   6       2     flags        reserved, must be 0
 ///   8       4     payload_len  bytes following the header
@@ -31,27 +33,53 @@ namespace net {
 /// committing the reader to a garbage-length read. Payload encodings reuse
 /// the little-endian helpers in common/codec.h (the same codec the block
 /// log uses), and SUBMIT payloads are exactly BlockCodec::EncodeTxn.
+///
+/// ## Version negotiation (v1 ⇄ v2)
+/// The version is stamped *per frame*, by opcode: frames carrying a v1
+/// opcode (SUBMIT..ERROR) are stamped kWireV1, the batch opcodes
+/// (BATCH_SUBMIT/BATCH_RECEIPT) kWireV2. Readers accept both versions, so
+/// a v2 endpoint interoperates with a v1 peer for as long as neither side
+/// batches — a v1 server only ever sees v1 frames from a non-batching v2
+/// client, and a server never sends BATCH_RECEIPT to a connection that has
+/// not itself sent BATCH_SUBMIT. A batch opcode inside a v1-stamped frame
+/// is a protocol violation.
 inline constexpr uint32_t kWireMagic = 0x31434248;  // "HBC1"
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireV1 = 1;
+inline constexpr uint8_t kWireV2 = 2;
+inline constexpr uint8_t kWireVersion = kWireV2;
 inline constexpr size_t kHeaderSize = 20;
 /// Frames advertising a larger payload are rejected as corrupt before any
 /// allocation — the cap bounds per-connection memory against hostile or
 /// desynchronized peers. Must admit the largest admissible SUBMIT
-/// (AdmissionOptions::max_blob_bytes plus slack) and the STATS snapshot.
+/// (AdmissionOptions::max_blob_bytes plus slack), a full BATCH_SUBMIT, and
+/// the STATS snapshot.
 inline constexpr uint32_t kMaxFramePayload = 2u << 20;
+/// Per-frame bound on BATCH_SUBMIT / BATCH_RECEIPT entry counts; a count
+/// beyond this (or beyond what payload_len can carry) is a protocol error.
+inline constexpr uint32_t kMaxBatchTxns = 4096;
 
 enum class Opcode : uint8_t {
-  kSubmit = 1,   ///< client -> server: one TxnRequest (BlockCodec::EncodeTxn)
-  kReceipt = 2,  ///< server -> client: the TxnReceipt for one SUBMIT
-  kSync = 3,     ///< both ways: token echo once prior receipts are delivered
-  kStats = 4,    ///< client -> server: empty; server -> client: WireStats
-  kError = 5,    ///< server -> client: WireError (busy / overloaded / corrupt)
+  kOpSubmit = 1,   ///< C -> S: one TxnRequest (BlockCodec::EncodeTxn)
+  kOpReceipt = 2,  ///< S -> C: the TxnReceipt for one SUBMIT
+  kOpSync = 3,     ///< both ways: token echo once prior receipts delivered
+  kOpStats = 4,    ///< C -> S: empty; S -> C: WireStats
+  kOpError = 5,    ///< S -> C: WireError (busy / overloaded / corrupt)
+  // --- wire v2 ---
+  kOpBatchSubmit = 6,   ///< C -> S: u32 count + count x EncodeTxn
+  kOpBatchReceipt = 7,  ///< S -> C: u32 count + count x length-prefixed
+                        ///<         receipt entries (coalesced per flush)
 };
 
 const char* OpcodeName(Opcode op);
 
+/// The version an Opcode's frames are stamped with (see the negotiation
+/// comment above).
+inline uint8_t WireVersionFor(Opcode op) {
+  return op >= Opcode::kOpBatchSubmit ? kWireV2 : kWireV1;
+}
+
 struct Frame {
-  Opcode opcode = Opcode::kError;
+  Opcode opcode = Opcode::kOpError;
   std::string payload;
 };
 
@@ -109,7 +137,8 @@ Status WireStatus(Status::Code code, std::string msg);
 
 // --- payload codecs ---------------------------------------------------------
 // SUBMIT uses BlockCodec::EncodeTxn/DecodeTxn directly (chain/block.h): the
-// wire ships the exact bytes the block log persists.
+// wire ships the exact bytes the block log persists. BATCH_SUBMIT is a u32
+// count followed by that many EncodeTxn encodings back to back.
 
 void EncodeReceipt(const TxnReceipt& r, std::string* out);
 bool DecodeReceipt(std::string_view payload, TxnReceipt* out);
@@ -122,6 +151,23 @@ bool DecodeSync(std::string_view payload, uint64_t* token);
 
 void EncodeStats(const WireStats& s, std::string* out);
 bool DecodeStats(std::string_view payload, WireStats* out);
+
+/// BATCH_SUBMIT: decodes the whole payload or fails (count 0, count over
+/// kMaxBatchTxns, short/trailing bytes are all protocol errors).
+void EncodeBatchSubmit(const std::vector<TxnRequest>& txns, std::string* out);
+bool DecodeBatchSubmit(std::string_view payload,
+                       std::vector<TxnRequest>* out);
+
+/// BATCH_RECEIPT entries are length-prefixed EncodeReceipt encodings so the
+/// server can append them to a per-connection buffer as receipts resolve
+/// and stamp the count at flush time (see NetServer's coalescing).
+void AppendBatchReceiptEntry(const TxnReceipt& r, std::string* out);
+/// Builds a "u32 count + concatenated bytes" batch payload — the shared
+/// outer layout of BATCH_SUBMIT and BATCH_RECEIPT (both sides accumulate
+/// bytes incrementally and stamp the count at flush time).
+std::string SealBatchPayload(uint32_t count, std::string_view entries);
+bool DecodeBatchReceipt(std::string_view payload,
+                        std::vector<TxnReceipt>* out);
 
 /// Incremental frame reassembly over a byte stream: Feed() whatever the
 /// socket produced, then drain complete frames with Next() until it

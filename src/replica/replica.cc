@@ -36,7 +36,8 @@ Status Replica::Open() {
   protocol_ = MakeProtocol(opts_.dcc, store_.get(), &procs_, pool_.get(),
                            opts_.dcc_cfg);
   block_store_ = std::make_unique<BlockStore>(
-      opts_.dir + "/" + opts_.name + ".chain", opts_.disk.fsync_latency_us);
+      opts_.dir + "/" + opts_.name + ".chain", opts_.disk.fsync_latency_us,
+      opts_.block_compression);
   HARMONY_RETURN_NOT_OK(block_store_->Open());
   manifest_ = std::make_unique<CheckpointManifest>(opts_.dir + "/" +
                                                    opts_.name + ".ckpt");

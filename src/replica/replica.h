@@ -33,6 +33,9 @@ struct ReplicaOptions {
   std::string orderer_secret = "orderer-secret";
   bool verify_blocks = true;      ///< verify signature/hash chain on receipt
   bool persist_blocks = true;     ///< append input blocks to the logical log
+  /// Codec for the block log's sealed-txn sections (log v4; per-block raw
+  /// fallback when a section does not shrink).
+  Compression block_compression = Compression::kHlz;
 };
 
 /// Invoked (on the commit thread, in block order) after each block commits.
@@ -98,6 +101,8 @@ class Replica {
 
   const ProtocolStats& protocol_stats() const { return protocol_->stats(); }
   StateBackend* backend() { return backend_.get(); }
+  /// The logical block log (compression accounting lives here).
+  BlockStore* block_store() { return block_store_.get(); }
   DccProtocol* protocol() { return protocol_.get(); }
   BlockId last_committed() const;
   const ReplicaOptions& options() const { return opts_; }

@@ -160,6 +160,46 @@ TEST(Mempool, CapacityBackpressure) {
   ASSERT_OK(pool.Add(Req(1, 5)));
 }
 
+TEST(Mempool, AddBatchSingleReservationAndPerTxnFailures) {
+  MempoolOptions mo;
+  mo.capacity = 6;
+  mo.shards = 2;
+  Mempool pool(mo);
+  ASSERT_OK(pool.Add(Req(9, 99)));  // pre-occupy one slot
+
+  // 8 requests into 5 remaining slots, one of them a duplicate: the dup
+  // frees its slot back to the batch's credit, so 5 distinct requests fit
+  // and the trailing two bounce on capacity.
+  std::vector<TxnRequest> reqs;
+  std::vector<IngestLane> lanes;
+  for (uint64_t i = 0; i < 8; i++) {
+    reqs.push_back(Req(1, i == 3 ? 1 : i + 1));  // index 3 duplicates seq 1
+    lanes.push_back(IngestLane::kNormal);
+  }
+  std::vector<Status> st;
+  const size_t enq = pool.AddBatch(&reqs, lanes, &st);
+  EXPECT_EQ(enq, 5u);
+  EXPECT_EQ(pool.size(), 6u);  // full, not over-reserved
+  ASSERT_EQ(st.size(), 8u);
+  EXPECT_TRUE(st[3].IsInvalidArgument()) << st[3].ToString();
+  size_t busy = 0, ok = 0;
+  for (const Status& s : st) {
+    if (s.ok()) ok++;
+    if (s.IsBusy()) busy++;
+  }
+  EXPECT_EQ(ok, 5u);
+  EXPECT_EQ(busy, 2u);
+
+  // Draining returns the capacity to future batches.
+  std::vector<TxnRequest> out;
+  EXPECT_EQ(pool.TakeBatch(16, &out), 6u);
+  reqs.clear();
+  lanes.assign(1, IngestLane::kNormal);
+  reqs.push_back(Req(2, 50));
+  EXPECT_EQ(pool.AddBatch(&reqs, lanes, &st), 1u);
+  EXPECT_OK(st[0]);
+}
+
 TEST(Mempool, RetryLaneDrainsFirstAndSkipsChecks) {
   MempoolOptions mo;
   mo.capacity = 2;
@@ -429,8 +469,9 @@ TEST(BlockStore, RejectsUnversionedLogInsteadOfTruncating) {
   TempDir dir("logver");
   const std::string path = dir.path() + "/chain";
   {
-    // A pre-versioning (or foreign) log: starts with a record length, not
-    // the magic. Open must refuse, not silently wipe it as a torn tail.
+    // A foreign file: no magic, and not parseable as a headerless v1 log
+    // either (tests/formats_test.cc covers real v1 migration). Open must
+    // refuse, not silently wipe it as a torn tail.
     FILE* f = std::fopen(path.c_str(), "wb");
     ASSERT_NE(f, nullptr);
     const char bytes[] = "\x40\x00\x00\x00legacy-block-bytes";

@@ -77,9 +77,12 @@ struct Harness {
     server.reset();
     db.reset();
   }
-  std::unique_ptr<net::NetClient> Client() {
+  std::unique_ptr<net::NetClient> Client(size_t batch_max_txns = 1,
+                                         uint64_t batch_max_delay_us = 500) {
     net::NetClientOptions co;
     co.port = server->port();
+    co.batch_max_txns = batch_max_txns;
+    co.batch_max_delay_us = batch_max_delay_us;
     auto c = net::NetClient::Connect(co);
     EXPECT_TRUE(c.ok()) << c.status().ToString();
     return std::move(*c);
@@ -135,9 +138,9 @@ TEST(Wire, FrameRoundTripEveryOpcode) {
   net::EncodeError(we, &error_payload);
 
   const std::pair<Opcode, std::string> frames[] = {
-      {Opcode::kSubmit, submit_payload}, {Opcode::kReceipt, receipt_payload},
-      {Opcode::kSync, sync_payload},     {Opcode::kStats, stats_payload},
-      {Opcode::kError, error_payload},
+      {Opcode::kOpSubmit, submit_payload}, {Opcode::kOpReceipt, receipt_payload},
+      {Opcode::kOpSync, sync_payload},     {Opcode::kOpStats, stats_payload},
+      {Opcode::kOpError, error_payload},
   };
   FrameReassembler reasm;
   std::string stream;
@@ -182,7 +185,7 @@ TEST(Wire, FrameRoundTripEveryOpcode) {
 }
 
 TEST(Wire, TruncatedFrameIsIncompleteNotCorrupt) {
-  std::string frame = net::EncodeFrame(Opcode::kSync, std::string(8, 'x'));
+  std::string frame = net::EncodeFrame(Opcode::kOpSync, std::string(8, 'x'));
   FrameReassembler reasm;
   reasm.Feed(frame.data(), frame.size() - 1);
   Frame f;
@@ -194,7 +197,7 @@ TEST(Wire, TruncatedFrameIsIncompleteNotCorrupt) {
 TEST(Wire, CorruptFramesRejected) {
   // Bad magic.
   {
-    std::string frame = net::EncodeFrame(Opcode::kSync, "12345678");
+    std::string frame = net::EncodeFrame(Opcode::kOpSync, "12345678");
     frame[0] ^= 0x5a;
     FrameReassembler reasm;
     reasm.Feed(frame.data(), frame.size());
@@ -204,7 +207,7 @@ TEST(Wire, CorruptFramesRejected) {
   // Flipped header byte (length): header CRC catches it before the length
   // is trusted.
   {
-    std::string frame = net::EncodeFrame(Opcode::kSync, "12345678");
+    std::string frame = net::EncodeFrame(Opcode::kOpSync, "12345678");
     frame[9] ^= 0x01;
     FrameReassembler reasm;
     reasm.Feed(frame.data(), frame.size());
@@ -213,7 +216,7 @@ TEST(Wire, CorruptFramesRejected) {
   }
   // Flipped payload byte: payload CRC.
   {
-    std::string frame = net::EncodeFrame(Opcode::kSync, "12345678");
+    std::string frame = net::EncodeFrame(Opcode::kOpSync, "12345678");
     frame[net::kHeaderSize + 3] ^= 0x40;
     FrameReassembler reasm;
     reasm.Feed(frame.data(), frame.size());
@@ -242,7 +245,7 @@ TEST(Wire, CorruptFramesRejected) {
     std::string frame;
     codec::AppendU32(&frame, net::kWireMagic);
     frame.push_back(static_cast<char>(net::kWireVersion));
-    frame.push_back(static_cast<char>(Opcode::kSubmit));
+    frame.push_back(static_cast<char>(Opcode::kOpSubmit));
     codec::AppendU16(&frame, 0);
     codec::AppendU32(&frame, 64u << 20);
     codec::AppendU32(&frame, 0);
@@ -252,6 +255,109 @@ TEST(Wire, CorruptFramesRejected) {
     Frame f;
     EXPECT_TRUE(reasm.Next(&f).IsCorruption());
   }
+}
+
+// ------------------------------------------------------------ wire v2 -----
+
+TEST(WireV2, BatchFrameRoundTrip) {
+  std::vector<TxnRequest> txns;
+  for (int i = 0; i < 5; i++) {
+    TxnRequest t = TransferReq(i, i + 1, 10 * i);
+    t.client_id = 7;
+    t.client_seq = 100 + i;
+    t.fee = i;
+    txns.push_back(std::move(t));
+  }
+  std::string payload;
+  net::EncodeBatchSubmit(txns, &payload);
+  const std::string frame = net::EncodeFrame(Opcode::kOpBatchSubmit, payload);
+  // Per-opcode version stamping: batch frames are v2, singles stay v1.
+  EXPECT_EQ(static_cast<uint8_t>(frame[4]), net::kWireV2);
+  EXPECT_EQ(
+      static_cast<uint8_t>(net::EncodeFrame(Opcode::kOpSubmit, "x")[4]),
+      net::kWireV1);
+
+  FrameReassembler reasm;
+  reasm.Feed(frame.data(), frame.size());
+  Frame f;
+  ASSERT_OK(reasm.Next(&f));
+  EXPECT_EQ(f.opcode, Opcode::kOpBatchSubmit);
+  std::vector<TxnRequest> out;
+  ASSERT_TRUE(net::DecodeBatchSubmit(f.payload, &out));
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[3].client_seq, 103u);
+  EXPECT_EQ(out[3].args.ints[2], 30);
+
+  // BATCH_RECEIPT: entries accumulate, the count seals at flush.
+  std::string entries;
+  for (int i = 0; i < 3; i++) {
+    TxnReceipt rc;
+    rc.outcome = i == 1 ? ReceiptOutcome::kRejected : ReceiptOutcome::kCommitted;
+    rc.status = i == 1 ? Status::Busy("flow") : Status::OK();
+    rc.client_seq = 200 + i;
+    rc.block_id = 9;
+    net::AppendBatchReceiptEntry(rc, &entries);
+  }
+  const std::string rpayload = net::SealBatchPayload(3, entries);
+  std::vector<TxnReceipt> receipts;
+  ASSERT_TRUE(net::DecodeBatchReceipt(rpayload, &receipts));
+  ASSERT_EQ(receipts.size(), 3u);
+  EXPECT_EQ(receipts[1].outcome, ReceiptOutcome::kRejected);
+  EXPECT_TRUE(receipts[1].status.IsBusy());
+  EXPECT_EQ(receipts[2].client_seq, 202u);
+}
+
+TEST(WireV2, BatchPayloadRejects) {
+  std::vector<TxnRequest> out;
+  // Empty batch, oversized count, truncation, trailing bytes.
+  EXPECT_FALSE(net::DecodeBatchSubmit(net::SealBatchPayload(0, ""), &out));
+  EXPECT_FALSE(net::DecodeBatchSubmit(
+      net::SealBatchPayload(net::kMaxBatchTxns + 1, ""), &out));
+  EXPECT_FALSE(net::DecodeBatchSubmit(net::SealBatchPayload(3, "xy"), &out));
+  std::vector<TxnRequest> txns = {TransferReq(1, 2, 3)};
+  std::string payload;
+  net::EncodeBatchSubmit(txns, &payload);
+  payload += "trailing";
+  EXPECT_FALSE(net::DecodeBatchSubmit(payload, &out));
+
+  std::vector<TxnReceipt> rout;
+  EXPECT_FALSE(net::DecodeBatchReceipt(net::SealBatchPayload(0, ""), &rout));
+  EXPECT_FALSE(net::DecodeBatchReceipt(net::SealBatchPayload(1, "xx"), &rout));
+}
+
+TEST(WireV2, BatchOpcodeInV1FrameIsProtocolError) {
+  std::vector<TxnRequest> txns = {TransferReq(1, 2, 3)};
+  std::string payload;
+  net::EncodeBatchSubmit(txns, &payload);
+  // Hand-build the frame with the version byte forced to v1.
+  std::string frame;
+  codec::AppendU32(&frame, net::kWireMagic);
+  frame.push_back(static_cast<char>(net::kWireV1));
+  frame.push_back(static_cast<char>(Opcode::kOpBatchSubmit));
+  codec::AppendU16(&frame, 0);
+  codec::AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  codec::AppendU32(&frame, Crc32(payload));
+  codec::AppendU32(&frame, Crc32(frame.data(), 16));
+  frame += payload;
+  FrameReassembler reasm;
+  reasm.Feed(frame.data(), frame.size());
+  Frame f;
+  EXPECT_TRUE(reasm.Next(&f).IsCorruption());
+  // And a v2-stamped single SUBMIT is fine (liberal in what we accept).
+  std::string ok_frame;
+  std::string single;
+  BlockCodec::EncodeTxn(txns[0], &single);
+  codec::AppendU32(&ok_frame, net::kWireMagic);
+  ok_frame.push_back(static_cast<char>(net::kWireV2));
+  ok_frame.push_back(static_cast<char>(Opcode::kOpSubmit));
+  codec::AppendU16(&ok_frame, 0);
+  codec::AppendU32(&ok_frame, static_cast<uint32_t>(single.size()));
+  codec::AppendU32(&ok_frame, Crc32(single));
+  codec::AppendU32(&ok_frame, Crc32(ok_frame.data(), 16));
+  ok_frame += single;
+  FrameReassembler reasm2;
+  reasm2.Feed(ok_frame.data(), ok_frame.size());
+  EXPECT_OK(reasm2.Next(&f));
 }
 
 // ----------------------------------------------------------- end to end ----
@@ -372,7 +478,7 @@ TEST(NetServer, CorruptStreamGetsErrorThenClose) {
     reasm.Feed(buf, static_cast<size_t>(n));
     Frame f;
     if (reasm.Next(&f).ok()) {
-      EXPECT_EQ(f.opcode, Opcode::kError);
+      EXPECT_EQ(f.opcode, Opcode::kOpError);
       WireError e;
       ASSERT_TRUE(net::DecodeError(f.payload, &e));
       EXPECT_EQ(e.client_seq, 0u);
@@ -495,6 +601,124 @@ TEST(NetServer, ManyConnectionsExactlyOnceReceipts) {
   }
   EXPECT_EQ(total, delta_sum.load());
   EXPECT_EQ(committed.load(), static_cast<uint64_t>(delta_sum.load()));
+}
+
+// -------------------------------------------------------- batched wire -----
+
+TEST(NetServerBatch, BatchedLoopbackEndToEnd) {
+  TempDir dir("net-batch");
+  HarmonyBC::Options o = FastOpts(dir.path());
+  o.block_size = 32;
+  o.max_block_delay_us = 2'000;
+  Harness h(dir.path(), o);
+
+  constexpr size_t kTxns = 200;
+  std::vector<std::atomic<uint8_t>> seen(kTxns + 1);
+  std::atomic<uint64_t> resolved{0}, committed{0}, duplicated{0};
+  auto client = h.Client(/*batch_max_txns=*/16, /*batch_max_delay_us=*/500);
+  for (size_t i = 0; i < kTxns; i++) {
+    TxnRequest t;
+    t.proc_id = 2;
+    t.args.ints = {static_cast<int64_t>(i % 64), 1};
+    client->Submit(std::move(t), [&](const TxnReceipt& r) {
+      if (r.client_seq == 0 || r.client_seq > kTxns ||
+          seen[r.client_seq].fetch_add(1, std::memory_order_acq_rel) != 0) {
+        duplicated.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      resolved.fetch_add(1, std::memory_order_relaxed);
+      if (r.outcome == ReceiptOutcome::kCommitted) {
+        committed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Sync flushes the coalescing buffer and covers every prior submit.
+  EXPECT_TRUE(client->Sync(kWaitUs));
+  EXPECT_EQ(duplicated.load(), 0u);
+  EXPECT_EQ(resolved.load(), kTxns);
+  EXPECT_EQ(committed.load(), kTxns);
+
+  // The wire actually batched: fewer frames than transactions, in both
+  // directions.
+  EXPECT_GT(h.server->stats().batch_submits.load(), 0u);
+  EXPECT_LT(h.server->stats().batch_submits.load(), kTxns);
+  EXPECT_GT(h.server->stats().batch_receipts.load(), 0u);
+  EXPECT_EQ(h.server->stats().submits.load(), kTxns);
+
+  // State agrees with the receipts.
+  ASSERT_OK(h.db->Sync());
+  int64_t total = 0;
+  for (Key k = 0; k < 64; k++) {
+    std::optional<Value> v;
+    ASSERT_OK(h.db->Query(k, &v));
+    total += v->field(0) - 1000;
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(committed.load()));
+}
+
+TEST(NetServerBatch, BusyRejectionsFanOutPerTxn) {
+  TempDir dir("net-batch-busy");
+  HarmonyBC::Options o = FastOpts(dir.path());
+  o.block_size = 100;
+  o.max_block_delay_us = 50'000;  // nothing resolves for a while
+  o.max_inflight_per_session = 2;
+  Harness h(dir.path(), o);
+  // delay 0: the batch flushes only when full — all 6 in one frame.
+  auto client = h.Client(/*batch_max_txns=*/6, /*batch_max_delay_us=*/0);
+
+  std::vector<TxnTicket> tickets;
+  for (int i = 0; i < 6; i++) {
+    tickets.push_back(client->Submit(TransferReq(0, 1, 1)));
+  }
+  // The first two occupy the session window; the rest bounce as Busy —
+  // delivered inside the coalesced BATCH_RECEIPT, connection intact.
+  size_t busy = 0, pending_or_committed = 0;
+  for (auto& t : tickets) {
+    TxnReceipt r;
+    if (t.WaitFor(/*timeout_us=*/5'000'000, &r) &&
+        r.outcome == ReceiptOutcome::kRejected) {
+      EXPECT_TRUE(r.status.IsBusy());
+      busy++;
+    } else {
+      pending_or_committed++;
+    }
+  }
+  EXPECT_EQ(busy, 4u);
+  EXPECT_EQ(pending_or_committed, 2u);
+  EXPECT_TRUE(client->connected());
+  // The connection still works after the rejections.
+  EXPECT_TRUE(client->Sync(kWaitUs));
+}
+
+TEST(NetServerBatch, MixedBatchingAndPlainClients) {
+  TempDir dir("net-batch-mixed");
+  HarmonyBC::Options o = FastOpts(dir.path());
+  o.block_size = 32;
+  o.max_block_delay_us = 2'000;
+  Harness h(dir.path(), o);
+
+  constexpr size_t kTxns = 100;
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> threads;
+  for (int mode = 0; mode < 2; mode++) {
+    threads.emplace_back([&, mode] {
+      // mode 0: plain v1-style singles; mode 1: coalesced BATCH_SUBMITs.
+      auto client = mode == 0 ? h.Client() : h.Client(8, 300);
+      for (size_t i = 0; i < kTxns; i++) {
+        TxnRequest t;
+        t.proc_id = 2;
+        t.args.ints = {static_cast<int64_t>(i % 64), 1};
+        client->Submit(std::move(t), [&](const TxnReceipt& r) {
+          if (r.outcome == ReceiptOutcome::kCommitted) {
+            committed.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      EXPECT_TRUE(client->Sync(kWaitUs));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(committed.load(), 2 * kTxns);
 }
 
 // --------------------------------------------------- in-process satellite --

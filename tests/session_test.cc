@@ -478,5 +478,73 @@ TEST(Session, RecoveryReplayDoesNotRequeueRetries) {
   }
 }
 
+// SubmitBatch is semantically Submit-per-request: per-txn tickets and
+// receipts, with failures (duplicate, flow cap) isolated to their slot.
+TEST(Session, SubmitBatchMatchesPerTxnSemantics) {
+  TempDir dir("sess-batch");
+  HarmonyBC::Options o = FastOpts(dir.path());
+  o.max_inflight_per_session = 6;
+  auto db = HarmonyBC::Open(o);
+  ASSERT_TRUE(db.ok());
+  (*db)->RegisterProcedure(2, "increment", Increment);
+  for (Key k = 0; k < 8; k++) ASSERT_OK((*db)->Load(k, Value({0})));
+  ASSERT_OK((*db)->Recover().status());
+
+  auto session = (*db)->OpenSession();
+  std::atomic<int> cb_fired{0};
+  std::vector<TxnRequest> reqs;
+  for (int i = 0; i < 5; i++) {
+    TxnRequest t;
+    t.proc_id = 2;
+    t.args.ints = {i % 8, 1};
+    if (i == 3) t.client_seq = 1;  // duplicates the batch's first auto-seq
+    reqs.push_back(std::move(t));
+  }
+  std::vector<TxnTicket> tickets = session->SubmitBatch(
+      std::move(reqs), [&](const TxnReceipt&) {
+        cb_fired.fetch_add(1, std::memory_order_relaxed);
+      });
+  ASSERT_EQ(tickets.size(), 5u);
+  ASSERT_OK((*db)->Sync());
+
+  int committed = 0, rejected = 0;
+  for (auto& t : tickets) {
+    ASSERT_TRUE(t.valid());
+    TxnReceipt r;
+    ASSERT_TRUE(t.WaitFor(kWaitUs, &r));
+    if (r.outcome == ReceiptOutcome::kCommitted) committed++;
+    if (r.outcome == ReceiptOutcome::kRejected) {
+      EXPECT_TRUE(r.status.IsInvalidArgument()) << r.status.ToString();
+      rejected++;
+    }
+  }
+  EXPECT_EQ(committed, 4);
+  EXPECT_EQ(rejected, 1);  // the duplicate, alone
+  EXPECT_EQ(cb_fired.load(), 5);
+  EXPECT_EQ(session->stats().submitted.load(), 5u);
+  EXPECT_EQ(session->stats().inflight.load(), 0u);
+
+  // Flow control inside a batch: cap 6, batch of 8 -> exactly 2 bounce.
+  std::vector<TxnRequest> burst(8);
+  for (int i = 0; i < 8; i++) {
+    burst[i].proc_id = 2;
+    burst[i].args.ints = {i % 8, 1};
+  }
+  std::vector<TxnTicket> burst_tickets =
+      session->SubmitBatch(std::move(burst));
+  int busy = 0;
+  for (auto& t : burst_tickets) {
+    if (auto r = t.TryGet();
+        r.has_value() && r->outcome == ReceiptOutcome::kRejected &&
+        r->status.IsBusy()) {
+      busy++;
+    }
+  }
+  EXPECT_EQ(busy, 2);
+  EXPECT_EQ(session->stats().flow_rejected.load(), 2u);
+  ASSERT_OK((*db)->Sync());
+  EXPECT_EQ(session->stats().inflight.load(), 0u);
+}
+
 }  // namespace
 }  // namespace harmony

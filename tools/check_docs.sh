@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
 # Docs drift check: fail when a markdown doc (or an example's comments)
-# references a repo path that no longer exists. Registered as the
-# `docs_check` ctest, so renaming or deleting a source file without
-# updating docs/, the READMEs, or examples/ breaks CI.
+# references a repo path that no longer exists, or names a wire opcode /
+# block-log format version that src/ no longer defines. Registered as the
+# `docs_check` ctest, so renaming or deleting a source file — or an opcode
+# or log version — without updating docs/, the READMEs, or examples/
+# breaks CI.
 #
 # Checked files:  docs/*.md, README.md, bench/README.md, examples/*.cpp,
 #                 tools/*.sh (their comments name source paths too)
-# Checked tokens: anything shaped like <topdir>/<path> where <topdir> is a
-#                 real source tree root (src, bench, tests, examples, docs,
-#                 tools). Brace shorthand like src/ingest/mempool.{h,cc}
-#                 expands to each alternative. Paths under build/ (binary
-#                 locations in usage comments) are skipped.
+# Checked tokens:
+#   - anything shaped like <topdir>/<path> where <topdir> is a real source
+#     tree root (src, bench, tests, examples, docs, tools). Brace
+#     shorthand like src/ingest/mempool.{h,cc} expands to each
+#     alternative. Paths under build/ (binary locations in usage
+#     comments) are skipped.
+#   - opcode / format-version names (kOp<Name>, kLogV<N> — e.g.
+#     kOpBatchSubmit, kLogV4): each must still have a definition
+#     (`<token> =`) somewhere under src/.
 set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -50,7 +56,21 @@ for doc in "$root"/docs/*.md "$root"/README.md "$root"/bench/README.md \
            grep -oE '\b(src|bench|tests|examples|docs|tools)/[A-Za-z0-9_{},./-]+' | sort -u)
 done
 
+# Opcode / format-version drift: docs/FORMATS.md (and friends) name wire
+# opcodes and block log versions by their source constants; a doc token
+# with no definition left in src/ is stale.
+for doc in "$root"/docs/*.md "$root"/README.md "$root"/bench/README.md; do
+  [[ -f "$doc" ]] || continue
+  while IFS= read -r tok; do
+    [[ -z "$tok" ]] && continue
+    if ! grep -rqE "\b${tok}[[:space:]]*=" "$root/src"; then
+      echo "stale token in ${doc#"$root"/}: $tok (no definition in src/)" >&2
+      status=1
+    fi
+  done < <(grep -ohE '\bkOp[A-Za-z]+\b|\bkLogV[0-9]+\b' "$doc" | sort -u)
+done
+
 if [[ $status -eq 0 ]]; then
-  echo "docs_check: all path references resolve"
+  echo "docs_check: all path references and opcode/format tokens resolve"
 fi
 exit $status
