@@ -67,6 +67,7 @@ std::unique_ptr<HarmonyBC> OpenDb(const std::string& tag) {
   o.mempool_capacity = 1 << 15;
   o.threads = 8;
   o.checkpoint_every = 50;
+  o.enable_tracing = true;  // feeds the per-stage breakdown table
   auto db = HarmonyBC::Open(o);
   if (!db.ok()) {
     std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
@@ -251,6 +252,7 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--batch")) batch = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--batch-delay-us")) batch_delay_us = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--port")) external_port = static_cast<uint16_t>(std::atoi(next()));
+    else if (!std::strcmp(argv[i], "--json-out")) SetJsonOut(next());
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
   }
   const uint64_t total = static_cast<uint64_t>(conns) * txns;
@@ -265,11 +267,22 @@ int main(int argc, char** argv) {
        "lost/dup"});
 
   RunResult wire, batched;
+  obs::MetricsSnapshot stage_metrics;  // per-stage breakdown, unbatched wire
+  bool have_stage_metrics = false;
   if (external_port != 0) {
     wire = RunWire(external_port, conns, txns, window, 1, 0);
     if (batch > 1) {
       batched =
           RunWire(external_port, conns, txns, window, batch, batch_delay_us);
+    }
+    // An external daemon's registry is reachable over the wire (METRICS).
+    net::NetClientOptions co;
+    co.port = external_port;
+    if (auto client = net::NetClient::Connect(co); client.ok()) {
+      if (auto m = (*client)->Metrics(/*timeout_us=*/5'000'000); m.ok()) {
+        stage_metrics = std::move(*m);
+        have_stage_metrics = true;
+      }
     }
   } else {
     // Fresh server (and chain) per path so the runs don't share warmup.
@@ -287,10 +300,15 @@ int main(int argc, char** argv) {
       out = RunWire(server.port(), conns, txns, window,
                     mode == 0 ? 1 : batch, batch_delay_us);
       server.Stop();
+      if (mode == 0) {
+        stage_metrics = db->CollectMetrics();
+        have_stage_metrics = true;
+      }
     }
   }
   PrintResult("wire", conns, wire, total);
   if (batch > 1) PrintResult("wire-batched", conns, batched, total);
+  if (have_stage_metrics) PrintStageTable(stage_metrics);
 
   if (external_port == 0) {
     RunResult local = RunInProcess(conns, txns, window);

@@ -7,24 +7,66 @@
 
 namespace harmony {
 
-/// Latency histogram with exact percentiles (stores raw samples; benchmark
-/// scale keeps sample counts modest). Values are in microseconds.
+/// Latency histogram over raw samples, bounded: past `max_samples` it
+/// degrades to uniform reservoir sampling (Vitter's algorithm R), so
+/// long open-loop bench runs cannot grow memory without bound. count(),
+/// Mean(), Min() and Max() stay exact over everything Added; percentiles
+/// are exact until the cap, then estimates over the reservoir. Values are
+/// in microseconds. Hot multi-threaded paths should use
+/// obs::LatencyHistogram instead (src/obs/metrics.h).
 class Histogram {
  public:
-  void Add(double v) { samples_.push_back(v); sorted_ = false; }
+  static constexpr size_t kDefaultMaxSamples = 1u << 20;
 
-  void Merge(const Histogram& other) {
-    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  explicit Histogram(size_t max_samples = kDefaultMaxSamples)
+      : cap_(max_samples == 0 ? 1 : max_samples) {
+    rng_ = 0x9e3779b97f4a7c15ull ^ reinterpret_cast<uintptr_t>(this);
+  }
+
+  void Add(double v) {
+    count_++;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (count_ == 1 || v > max_) max_ = v;
+    if (samples_.size() < cap_) {
+      samples_.push_back(v);
+    } else {
+      // Reservoir: keep each of the count_ samples with probability
+      // cap_/count_ by overwriting a uniformly random slot.
+      const uint64_t j = NextRand() % count_;
+      if (j < cap_) samples_[j] = v;
+    }
     sorted_ = false;
   }
 
-  size_t count() const { return samples_.size(); }
+  void Merge(const Histogram& other) {
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+      if (count_ == other.count_ || other.min_ < min_) min_ = other.min_;
+      if (count_ == other.count_ || other.max_ > max_) max_ = other.max_;
+    }
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    if (samples_.size() > cap_) {
+      // Down-sample the union back to the cap. A uniform pick over the
+      // combined retained samples — close enough for bench-grade merges
+      // (callers merge reservoirs of similar fill).
+      for (size_t i = samples_.size(); i > 1; i--) {
+        std::swap(samples_[i - 1], samples_[NextRand() % i]);
+      }
+      samples_.resize(cap_);
+    }
+    sorted_ = false;
+  }
+
+  /// Total samples Added (not the retained reservoir size).
+  size_t count() const { return count_; }
+  size_t retained() const { return samples_.size(); }
+  size_t capacity() const { return cap_; }
 
   double Mean() const {
-    if (samples_.empty()) return 0;
-    double sum = 0;
-    for (double s : samples_) sum += s;
-    return sum / static_cast<double>(samples_.size());
+    return count_ ? sum_ / static_cast<double>(count_) : 0;
   }
 
   double Percentile(double p) const {
@@ -37,26 +79,40 @@ class Histogram {
     return samples_[lo] * (1 - frac) + samples_[hi] * frac;
   }
 
-  double Min() const {
-    if (samples_.empty()) return 0;
-    Sort();
-    return samples_.front();
-  }
-  double Max() const {
-    if (samples_.empty()) return 0;
-    Sort();
-    return samples_.back();
-  }
+  double Min() const { return count_ ? min_ : 0; }
+  double Max() const { return count_ ? max_ : 0; }
 
-  void Clear() { samples_.clear(); }
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+  }
 
  private:
+  uint64_t NextRand() {
+    // xorshift64*; seeded per-instance, bench-grade only.
+    rng_ ^= rng_ >> 12;
+    rng_ ^= rng_ << 25;
+    rng_ ^= rng_ >> 27;
+    return rng_ * 0x2545f4914f6cdd1dull;
+  }
+
   void Sort() const {
     if (!sorted_) {
       std::sort(samples_.begin(), samples_.end());
       sorted_ = true;
     }
   }
+
+  size_t cap_;
+  uint64_t rng_;
+  size_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace harmony {
 
 const char* ReceiptOutcomeName(ReceiptOutcome o) {
@@ -141,6 +143,31 @@ void CompletionRouter::Resolve(const TxnRequest& req, ReceiptOutcome outcome,
     auto it = s.entries.find(std::make_pair(req.client_id, req.client_seq));
     if (it == s.entries.end()) return;
     entry = it->second;
+  }
+  // Stage attribution for executed transactions (tracing on): split the
+  // receipt's latency at the lane-dequeue stamp and offer the trace to the
+  // slowest-N ring. queue_wait + commit_lag == total exactly — all three
+  // derive from the same three clock reads.
+  if (tracer_ != nullptr && tracer_->enabled() && req.trace.admit_us != 0 &&
+      (outcome == ReceiptOutcome::kCommitted ||
+       outcome == ReceiptOutcome::kLogicAborted)) {
+    const uint64_t admit = req.trace.admit_us;
+    const uint64_t total = now_us > admit ? now_us - admit : 0;
+    tracer_->resolve->Record(total);
+    tracer_->txns_traced->Add(1);
+    obs::SlowTxnTrace t;
+    t.client_id = req.client_id;
+    t.client_seq = req.client_seq;
+    t.block_id = block_id;
+    t.retries = req.retries;
+    t.total_us = total;
+    const uint64_t dq = req.trace.dequeue_us;
+    if (dq >= admit && dq - admit <= total) {
+      t.queue_wait_us = dq - admit;
+      t.commit_lag_us = total - t.queue_wait_us;
+      tracer_->commit_lag->Record(t.commit_lag_us);
+    }
+    tracer_->RecordSlow(t);
   }
   // Fulfill while still registered, unmap after: HasPendingBefore() turning
   // false then proves every receipt (callback included) has been delivered —

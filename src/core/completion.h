@@ -16,6 +16,10 @@
 
 namespace harmony {
 
+namespace obs {
+class TxnTracer;
+}
+
 /// Terminal fate of a submitted transaction, as reported to the client.
 /// Exactly one receipt is delivered per accepted Submit call.
 enum class ReceiptOutcome : uint8_t {
@@ -157,6 +161,11 @@ class CompletionRouter {
   void Resolve(const TxnRequest& req, ReceiptOutcome outcome, Status status,
                BlockId block_id, uint64_t now_us);
 
+  /// Installs the txn-lifecycle tracer (may be null). When enabled, Resolve
+  /// records the commit-lag / resolve stage histograms and offers each
+  /// executed txn to the slowest-N ring. Set before any Resolve can run.
+  void SetTracer(obs::TxnTracer* tracer) { tracer_ = tracer; }
+
   /// Any transaction with admission ticket < `watermark` still pending?
   bool HasPendingBefore(uint64_t watermark) const;
 
@@ -196,6 +205,7 @@ class CompletionRouter {
   std::vector<Shard> shards_;
   size_t shard_mask_;
   std::atomic<uint64_t> next_ticket_{0};
+  obs::TxnTracer* tracer_ = nullptr;
 };
 
 /// Fills a receipt's identity/latency fields from the request and resolves

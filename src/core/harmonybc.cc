@@ -9,7 +9,11 @@ namespace harmony {
 Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
   auto db = std::unique_ptr<HarmonyBC>(new HarmonyBC());
   db->opts_ = options;
+  db->metrics_ = std::make_unique<obs::MetricsRegistry>();
+  db->tracer_ = std::make_unique<obs::TxnTracer>(db->metrics_.get(),
+                                                 options.enable_tracing);
   db->completion_ = std::make_unique<CompletionRouter>();
+  db->completion_->SetTracer(db->tracer_.get());
 
   ReplicaOptions ro;
   ro.dir = options.dir;
@@ -22,6 +26,7 @@ Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
   ro.checkpoint_every = options.checkpoint_every;
   ro.orderer_secret = options.orderer_secret;
   ro.block_compression = options.block_compression;
+  ro.tracer = db->tracer_.get();
   db->replica_ = std::make_unique<Replica>(ro);
   HARMONY_RETURN_NOT_OK(db->replica_->Open());
 
@@ -76,6 +81,12 @@ Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
               if (t.retries < raw->opts_.max_txn_retries) {
                 TxnRequest retry = t;
                 retry.retries++;
+                // Re-entering the retry lane is a fresh admit for stage
+                // attribution: queue_wait measures time *in queue* per
+                // attempt, while the receipt's latency_us keeps covering
+                // submit -> final resolution end to end.
+                retry.trace.admit_us = now;
+                retry.trace.dequeue_us = 0;
                 raw->mempool_->AddRetry(std::move(retry));
                 stats->retries_enqueued.fetch_add(1,
                                                   std::memory_order_relaxed);
@@ -103,7 +114,8 @@ Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
   so.max_block_delay_us = options.max_block_delay_us;
   db->sealer_ = std::make_unique<BlockSealer>(
       so, db->mempool_.get(), db->orderer_.get(), db->admission_->stats(),
-      [raw](Block block) { return raw->replica_->SubmitBlock(std::move(block)); });
+      [raw](Block block) { return raw->replica_->SubmitBlock(std::move(block)); },
+      db->tracer_.get());
   db->sealer_->Start();
   // The legacy Submit/Sync surface rides a pass-through session (client_id
   // 0 keeps each request's own client identity).
@@ -171,6 +183,17 @@ Result<BlockId> HarmonyBC::Recover() {
 
 Status HarmonyBC::SealPending() { return sealer_->Flush(); }
 
+obs::MetricsSnapshot HarmonyBC::CollectMetrics() {
+  // Refresh the chain gauges at snapshot time — they are sampled state,
+  // not event streams.
+  tracer_->height->Set(static_cast<int64_t>(height()));
+  tracer_->pending_receipts->Set(static_cast<int64_t>(pending_receipts()));
+  tracer_->queue_depth->Set(static_cast<int64_t>(queue_depth()));
+  obs::MetricsSnapshot snap = metrics_->Snapshot();
+  snap.slow_txns = tracer_->SlowTxns();
+  return snap;
+}
+
 std::shared_ptr<PendingTxn> HarmonyBC::SubmitWithReceipt(
     TxnRequest req, ReceiptCallback cb,
     std::shared_ptr<SessionStats> session) {
@@ -178,6 +201,9 @@ std::shared_ptr<PendingTxn> HarmonyBC::SubmitWithReceipt(
   stats->submitted.fetch_add(1, std::memory_order_relaxed);
   const uint64_t now = NowMicros();
   if (req.submit_time_us == 0) req.submit_time_us = now;
+  // Admit stamp for txn-lifecycle tracing: a plain store of a clock value
+  // already read, so it is unconditional (see docs/OBSERVABILITY.md).
+  req.trace.admit_us = now;
 
   // The request's identity, kept past the std::move into the mempool so
   // rejection receipts never read a moved-from req.
@@ -268,6 +294,7 @@ std::vector<std::shared_ptr<PendingTxn>> HarmonyBC::SubmitBatchWithReceipt(
   for (size_t i = 0; i < n; i++) {
     TxnRequest& req = reqs[i];
     if (req.submit_time_us == 0) req.submit_time_us = now;
+    req.trace.admit_us = now;
     ids[i].client_id = req.client_id;
     ids[i].client_seq = req.client_seq;
     ids[i].retries = req.retries;

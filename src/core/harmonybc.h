@@ -11,6 +11,8 @@
 #include "ingest/admission.h"
 #include "ingest/mempool.h"
 #include "ingest/sealer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "replica/replica.h"
 
 namespace harmony {
@@ -100,6 +102,13 @@ class HarmonyBC {
     /// Busy rejection (the network frontend maps it to ERROR{busy}).
     /// 0 = unlimited. The slot frees when the receipt resolves.
     uint64_t max_inflight_per_session = 0;
+    /// Txn-lifecycle tracing (docs/OBSERVABILITY.md): per-stage latency
+    /// histograms (queue wait, seal, execute, commit, commit lag, resolve)
+    /// plus a slowest-N txn ring, all readable via CollectMetrics(). Off by
+    /// default; <2% ingest throughput overhead when on (see
+    /// bench/ingest_bench.cc). The metrics registry itself always exists —
+    /// this only gates the per-txn clock reads and histogram records.
+    bool enable_tracing = false;
   };
 
   /// Opens (or creates) the chain directory. Call RegisterProcedure and
@@ -175,6 +184,14 @@ class HarmonyBC {
   BlockId height() const { return replica_->last_committed(); }
   Replica* replica() { return replica_.get(); }
   Mempool* mempool() { return mempool_.get(); }
+  /// This instance's metrics registry (always non-null; see
+  /// Options::enable_tracing for what feeds it).
+  obs::MetricsRegistry* metrics() { return metrics_.get(); }
+  obs::TxnTracer* tracer() { return tracer_.get(); }
+  /// Registry snapshot with the chain gauges refreshed and the slow-txn
+  /// ring attached — what `harmonyd metrics` and the wire METRICS frame
+  /// serve. Safe from any thread.
+  obs::MetricsSnapshot CollectMetrics();
 
  private:
   friend class Session;
@@ -199,6 +216,11 @@ class HarmonyBC {
       const std::shared_ptr<SessionStats>& session);
 
   Options opts_;
+  /// Declared before everything that records into them: the sealer thread
+  /// and the replica's commit thread hold raw tracer/histogram pointers
+  /// until they are destroyed below.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::TxnTracer> tracer_;
   /// Declared before the replica: the commit thread resolves receipts
   /// through it until the replica is destroyed.
   std::unique_ptr<CompletionRouter> completion_;

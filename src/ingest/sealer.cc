@@ -6,16 +6,19 @@
 
 #include "common/clock.h"
 #include "consensus/orderer.h"
+#include "obs/trace.h"
 
 namespace harmony {
 
 BlockSealer::BlockSealer(SealerOptions opts, Mempool* pool, Orderer* orderer,
-                         IngestStats* stats, DeliverFn deliver)
+                         IngestStats* stats, DeliverFn deliver,
+                         obs::TxnTracer* tracer)
     : opts_(opts),
       pool_(pool),
       orderer_(orderer),
       stats_(stats),
-      deliver_(std::move(deliver)) {}
+      deliver_(std::move(deliver)),
+      tracer_(tracer) {}
 
 BlockSealer::~BlockSealer() { Stop(); }
 
@@ -68,6 +71,8 @@ size_t BlockSealer::SealOnce(SealCause cause) {
 }
 
 size_t BlockSealer::SealLocked(SealCause cause) {
+  const bool tracing = tracer_ != nullptr && tracer_->enabled();
+  const uint64_t seal_start = tracing ? NowMicros() : 0;
   std::vector<TxnRequest> txns;
   txns.reserve(opts_.block_size);
   Mempool::LaneTakeCounts lanes;
@@ -75,7 +80,24 @@ size_t BlockSealer::SealLocked(SealCause cause) {
   if (txns.empty()) return 0;
   const size_t n = txns.size();
 
+  if (tracing) {
+    // One clock read covers the whole batch: stamp the lane-dequeue clock
+    // (carried into the sealed block for commit-lag attribution) and close
+    // each txn's admit -> dequeue queue-wait interval.
+    const uint64_t dequeue = NowMicros();
+    for (TxnRequest& t : txns) {
+      t.trace.dequeue_us = dequeue;
+      if (t.trace.admit_us != 0 && dequeue >= t.trace.admit_us) {
+        tracer_->queue_wait->Record(dequeue - t.trace.admit_us);
+      }
+    }
+  }
+
   Block block = orderer_->SealBlock(std::move(txns), NowMicros());
+  if (tracing) {
+    tracer_->block_seal->Record(NowMicros() - seal_start);
+    tracer_->blocks_traced->Add(1);
+  }
   if (stats_ != nullptr) {
     stats_->sealed_blocks.fetch_add(1, std::memory_order_relaxed);
     stats_->sealed_txns.fetch_add(n, std::memory_order_relaxed);

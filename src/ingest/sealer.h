@@ -15,6 +15,10 @@ namespace harmony {
 
 class Orderer;
 
+namespace obs {
+class TxnTracer;
+}
+
 /// Sealing policy.
 struct SealerOptions {
   size_t block_size = 25;  ///< seal as soon as this many txns are pending
@@ -49,8 +53,12 @@ class BlockSealer {
  public:
   using DeliverFn = std::function<Status(Block)>;
 
+  /// `tracer` (optional) enables txn-lifecycle tracing: each TakeBatch
+  /// stamps the taken txns' dequeue clocks, records their queue-wait
+  /// histogram entries, and records the seal duration per block.
   BlockSealer(SealerOptions opts, Mempool* pool, Orderer* orderer,
-              IngestStats* stats, DeliverFn deliver);
+              IngestStats* stats, DeliverFn deliver,
+              obs::TxnTracer* tracer = nullptr);
   ~BlockSealer();
 
   BlockSealer(const BlockSealer&) = delete;
@@ -96,6 +104,7 @@ class BlockSealer {
   Orderer* orderer_;
   IngestStats* stats_;
   DeliverFn deliver_;
+  obs::TxnTracer* tracer_;
 
   std::mutex seal_mu_;  ///< serializes SealBlock + delivery (block order)
   uint64_t delivered_ = 0;  ///< blocks handed to deliver_; under seal_mu_

@@ -275,6 +275,36 @@ Result<WireStats> NetClient::Stats(uint64_t timeout_us) {
   return stats_reply_;
 }
 
+Result<obs::MetricsSnapshot> NetClient::Metrics(uint64_t timeout_us) {
+  // Ship buffered submits first so the snapshot reflects them.
+  FlushBatch();
+  // One METRICS exchange at a time: the reply carries no correlation id.
+  std::lock_guard<std::mutex> call_lk(metrics_call_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    metrics_ready_ = false;
+  }
+  if (Status s = WriteFrame(Opcode::kOpMetrics, {}); !s.ok()) {
+    BreakConnection(s);  // a half-written frame desynchronizes the stream
+    return s;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool got = cv_.wait_for(
+      lk, std::chrono::microseconds(timeout_us), [&] {
+        return broken_.load(std::memory_order_acquire) || metrics_ready_;
+      });
+  if (!got || !metrics_ready_) {
+    // The reply may still arrive; make sure the reader throws it away
+    // rather than handing it to the next Metrics() call as fresh. This is
+    // the METRICS counter on purpose — see the per-opcode note in client.h.
+    metrics_abandoned_++;
+    return broken_.load(std::memory_order_acquire) && !broken_why_.ok()
+               ? broken_why_
+               : Status::Busy("METRICS timed out");
+  }
+  return metrics_reply_;
+}
+
 Status NetClient::WriteFrame(Opcode op, std::string_view payload) {
   const std::string frame = EncodeFrame(op, payload);
   std::lock_guard<std::mutex> lk(write_mu_);
@@ -401,6 +431,24 @@ void NetClient::ReaderLoop() {
             }
             stats_reply_ = s;
             stats_ready_ = true;
+          }
+          cv_.notify_all();
+          break;
+        }
+        case Opcode::kOpMetrics: {
+          obs::MetricsSnapshot m;
+          if (!DecodeMetrics(frame.payload, &m)) {
+            BreakConnection(Status::Corruption("bad METRICS payload"));
+            return;
+          }
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (metrics_abandoned_ > 0) {
+              metrics_abandoned_--;  // the reply to a timed-out request
+              break;
+            }
+            metrics_reply_ = std::move(m);
+            metrics_ready_ = true;
           }
           cv_.notify_all();
           break;

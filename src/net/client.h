@@ -80,6 +80,12 @@ class NetClient {
   /// Fetches the server's STATS snapshot for this connection's session.
   Result<WireStats> Stats(uint64_t timeout_us);
 
+  /// Fetches the server's metrics registry snapshot (STATS v2: per-stage
+  /// histograms, slow-txn ring — docs/OBSERVABILITY.md). A v1 server does
+  /// not know the METRICS opcode and closes with ERROR{corrupt}; that
+  /// surfaces here as the connection-loss status, never as a hang.
+  Result<obs::MetricsSnapshot> Metrics(uint64_t timeout_us);
+
   /// Local aggregate receipt counters (inflight included), mirroring
   /// Session::stats() for the remote session.
   const SessionStats& stats() const { return *stats_; }
@@ -124,8 +130,9 @@ class NetClient {
 
   std::mutex write_mu_;       ///< serializes whole-frame socket writes
   std::mutex stats_call_mu_;  ///< one STATS exchange at a time (no corr. id)
+  std::mutex metrics_call_mu_;  ///< likewise for METRICS
 
-  std::mutex mu_;  ///< pending map + sync/stats rendezvous
+  std::mutex mu_;  ///< pending map + sync/stats/metrics rendezvous
   std::condition_variable cv_;
   struct PendingEntry {
     std::shared_ptr<PendingTxn> entry;
@@ -134,12 +141,19 @@ class NetClient {
   std::unordered_map<uint64_t, PendingEntry> pending_;  ///< by client_seq
   std::unordered_set<uint64_t> acked_syncs_;
   bool stats_ready_ = false;
-  /// STATS requests whose caller gave up (timeout): replies arrive in
-  /// request order on the one TCP stream, so the reader discards this many
-  /// before delivering one — a retry after a timeout cannot be satisfied
-  /// by the previous request's stale snapshot.
+  bool metrics_ready_ = false;
+  /// Requests whose caller gave up (timeout): replies arrive in request
+  /// order on the one TCP stream, so the reader discards this many before
+  /// delivering one — a retry after a timeout cannot be satisfied by the
+  /// previous request's stale snapshot. Tracked *per opcode*: STATS and
+  /// METRICS replies interleave in their own per-opcode request order, so
+  /// an abandoned STATS must never eat a fresh METRICS reply (or vice
+  /// versa) — one shared counter would do exactly that when a caller mixes
+  /// the v1 and v2 stats calls on one connection.
   uint32_t stats_abandoned_ = 0;
+  uint32_t metrics_abandoned_ = 0;
   WireStats stats_reply_;
+  obs::MetricsSnapshot metrics_reply_;
   Status broken_why_;
 };
 

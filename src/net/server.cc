@@ -313,6 +313,9 @@ void NetServer::AcceptReady() {
     conn->wq_cap = opts_.max_write_queue_bytes;
     conn->reasm = FrameReassembler(opts_.max_frame_payload);
     conn->session = db_->OpenSession();
+    if (db_->tracer()->enabled()) {
+      conn->flush_hist = db_->tracer()->wire_flush;
+    }
     stats_->accepted.fetch_add(1, std::memory_order_relaxed);
 
     Reactor& r = *reactors_[target];
@@ -494,6 +497,16 @@ bool NetServer::Dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
       EnqueueLocked(*conn, Opcode::kOpStats, payload);
       return true;
     }
+    case Opcode::kOpMetrics: {
+      // STATS v2: ship the whole metrics registry snapshot (per-stage
+      // histograms, slow-txn ring). Gauges are refreshed by CollectMetrics.
+      if (!frame.payload.empty()) return false;
+      std::string payload;
+      EncodeMetrics(db_->CollectMetrics(), &payload);
+      std::lock_guard<std::mutex> lk(conn->mu);
+      EnqueueLocked(*conn, Opcode::kOpMetrics, payload);
+      return true;
+    }
     case Opcode::kOpReceipt:
     case Opcode::kOpBatchReceipt:
     case Opcode::kOpError:
@@ -521,6 +534,7 @@ void NetServer::SealOverloadedLocked(Conn& conn) {
   std::string eframe = EncodeFrame(Opcode::kOpError, epayload);
   conn.out_bytes += eframe.size();
   conn.outq.push_back(std::move(eframe));
+  conn.outq_stamps.push_back(conn.flush_hist != nullptr ? NowMicros() : 0);
 }
 
 bool NetServer::EnqueueLocked(Conn& conn, Opcode op,
@@ -534,6 +548,7 @@ bool NetServer::EnqueueLocked(Conn& conn, Opcode op,
   }
   conn.out_bytes += frame.size();
   conn.outq.push_back(std::move(frame));
+  conn.outq_stamps.push_back(conn.flush_hist != nullptr ? NowMicros() : 0);
   conn.srv_stats->frames_out.fetch_add(1, std::memory_order_relaxed);
   return !conn.want_write;
 }
@@ -673,6 +688,8 @@ void NetServer::FlushConn(Reactor& r, const std::shared_ptr<Conn>& conn) {
     // Coalesce: whatever receipts accumulated since the last flush leave
     // as BATCH_RECEIPT frame(s) now.
     PackBatchLocked(*conn);
+    uint64_t oldest_sent_stamp = 0;  // frames drain FIFO: first pop = oldest
+    size_t sent_frames = 0;
     while (!conn->outq.empty()) {
       const std::string& front = conn->outq.front();
       // MSG_NOSIGNAL: a peer that vanished mid-flush must surface as EPIPE
@@ -686,6 +703,11 @@ void NetServer::FlushConn(Reactor& r, const std::shared_ptr<Conn>& conn) {
           conn->out_bytes -= front.size();
           conn->out_off = 0;
           conn->outq.pop_front();
+          if (const uint64_t stamp = conn->outq_stamps.front(); stamp != 0) {
+            if (oldest_sent_stamp == 0) oldest_sent_stamp = stamp;
+            sent_frames++;
+          }
+          conn->outq_stamps.pop_front();
         }
         continue;
       }
@@ -693,6 +715,15 @@ void NetServer::FlushConn(Reactor& r, const std::shared_ptr<Conn>& conn) {
       if (n < 0 && errno == EINTR) continue;
       close = true;  // broken pipe etc.
       break;
+    }
+    if (sent_frames > 0 && conn->flush_hist != nullptr) {
+      // One clock read per flush: record the oldest drained frame's
+      // enqueue -> socket-write latency (the worst of this batch — later
+      // frames waited strictly less).
+      const uint64_t now = NowMicros();
+      conn->flush_hist->Record(now > oldest_sent_stamp
+                                   ? now - oldest_sent_stamp
+                                   : 0);
     }
     if (!close && conn->outq.empty() && conn->close_after_flush) close = true;
     if (!close) {

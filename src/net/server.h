@@ -119,9 +119,17 @@ class NetServer {
     /// on receipts coalesce into BATCH_RECEIPT frames packed at flush time.
     std::atomic<bool> batch_mode{false};
 
+    /// The server's net.flush_us histogram when txn tracing is on, else
+    /// null. Set at accept, read under mu (raw pointer into the fronted
+    /// HarmonyBC's registry, which outlives the server).
+    obs::LatencyHistogram* flush_hist = nullptr;
+
     // Write side — shared between the owning reactor and receipt callbacks.
     std::mutex mu;
     std::deque<std::string> outq;
+    /// Enqueue timestamps, in lockstep with outq (0 = tracing off): each
+    /// fully-sent frame records enqueue -> socket write as net.flush_us.
+    std::deque<uint64_t> outq_stamps;
     size_t out_bytes = 0;
     size_t out_off = 0;  ///< partial-write offset into outq.front()
     /// Coalescing buffer (batch mode): length-prefixed receipt entries

@@ -23,6 +23,8 @@ const char* OpcodeName(Opcode op) {
       return "BATCH_SUBMIT";
     case Opcode::kOpBatchReceipt:
       return "BATCH_RECEIPT";
+    case Opcode::kOpMetrics:
+      return "METRICS";
   }
   return "?";
 }
@@ -243,6 +245,92 @@ bool DecodeStats(std::string_view payload, WireStats* out) {
   return r.remaining() == 0;
 }
 
+void EncodeMetrics(const obs::MetricsSnapshot& m, std::string* out) {
+  codec::AppendU32(out, static_cast<uint32_t>(m.counters.size()));
+  for (const auto& c : m.counters) {
+    codec::AppendBytes(out, c.name);
+    codec::AppendU64(out, c.value);
+  }
+  codec::AppendU32(out, static_cast<uint32_t>(m.gauges.size()));
+  for (const auto& g : m.gauges) {
+    codec::AppendBytes(out, g.name);
+    codec::AppendU64(out, static_cast<uint64_t>(g.value));
+  }
+  codec::AppendU32(out, static_cast<uint32_t>(m.histograms.size()));
+  for (const auto& h : m.histograms) {
+    codec::AppendBytes(out, h.name);
+    codec::AppendU64(out, h.count);
+    codec::AppendU64(out, h.sum);
+    codec::AppendU64(out, h.max);
+    codec::AppendU32(out, static_cast<uint32_t>(h.buckets.size()));
+    for (const auto& [idx, cnt] : h.buckets) {
+      codec::AppendU32(out, idx);
+      codec::AppendU64(out, cnt);
+    }
+  }
+  codec::AppendU32(out, static_cast<uint32_t>(m.slow_txns.size()));
+  for (const auto& t : m.slow_txns) {
+    codec::AppendU64(out, t.client_id);
+    codec::AppendU64(out, t.client_seq);
+    codec::AppendU64(out, t.block_id);
+    codec::AppendU64(out, t.queue_wait_us);
+    codec::AppendU64(out, t.commit_lag_us);
+    codec::AppendU64(out, t.total_us);
+    codec::AppendU32(out, t.retries);
+  }
+}
+
+bool DecodeMetrics(std::string_view payload, obs::MetricsSnapshot* out) {
+  codec::Reader r(payload);
+  // Every section: a count that must be plausible against the remaining
+  // bytes *before* it drives any loop or reserve.
+  auto read_count = [&](uint32_t* n, uint64_t min_entry_bytes) {
+    if (!r.ReadU32(n)) return false;
+    if (*n > kMaxMetricsEntries) return false;
+    return static_cast<uint64_t>(*n) * min_entry_bytes <= r.remaining();
+  };
+  uint32_t n = 0;
+  if (!read_count(&n, 12)) return false;  // name len + u64
+  out->counters.resize(n);
+  for (auto& c : out->counters) {
+    if (!r.ReadBytes(&c.name) || !r.ReadU64(&c.value)) return false;
+  }
+  if (!read_count(&n, 12)) return false;
+  out->gauges.resize(n);
+  for (auto& g : out->gauges) {
+    uint64_t v = 0;
+    if (!r.ReadBytes(&g.name) || !r.ReadU64(&v)) return false;
+    g.value = static_cast<int64_t>(v);
+  }
+  if (!read_count(&n, 32)) return false;  // name + count/sum/max + n_buckets
+  out->histograms.resize(n);
+  for (auto& h : out->histograms) {
+    uint32_t nb = 0;
+    if (!r.ReadBytes(&h.name) || !r.ReadU64(&h.count) ||
+        !r.ReadU64(&h.sum) || !r.ReadU64(&h.max) || !r.ReadU32(&nb)) {
+      return false;
+    }
+    if (nb > obs::LatencyHistogram::kBuckets) return false;
+    if (static_cast<uint64_t>(nb) * 12 > r.remaining()) return false;
+    h.buckets.resize(nb);
+    for (auto& [idx, cnt] : h.buckets) {
+      if (!r.ReadU32(&idx) || !r.ReadU64(&cnt)) return false;
+      if (idx >= obs::LatencyHistogram::kBuckets) return false;
+    }
+  }
+  if (!read_count(&n, 52)) return false;  // 6 x u64 + u32
+  out->slow_txns.resize(n);
+  for (auto& t : out->slow_txns) {
+    if (!r.ReadU64(&t.client_id) || !r.ReadU64(&t.client_seq) ||
+        !r.ReadU64(&t.block_id) || !r.ReadU64(&t.queue_wait_us) ||
+        !r.ReadU64(&t.commit_lag_us) || !r.ReadU64(&t.total_us) ||
+        !r.ReadU32(&t.retries)) {
+      return false;
+    }
+  }
+  return r.remaining() == 0;
+}
+
 Status FrameReassembler::Next(Frame* out) {
   // Compact the consumed prefix once it dominates the buffer, so a
   // long-lived connection does not accrete every frame it ever read.
@@ -271,7 +359,7 @@ Status FrameReassembler::Next(Frame* out) {
   }
   if (flags != 0) return Status::Corruption("reserved flags set");
   if (opcode < static_cast<uint8_t>(Opcode::kOpSubmit) ||
-      opcode > static_cast<uint8_t>(Opcode::kOpBatchReceipt)) {
+      opcode > static_cast<uint8_t>(Opcode::kOpMetrics)) {
     return Status::Corruption("unknown opcode " + std::to_string(opcode));
   }
   // A batch opcode promises v2 semantics; a v1-stamped frame carrying one

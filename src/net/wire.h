@@ -8,6 +8,7 @@
 #include "common/codec.h"
 #include "common/status.h"
 #include "core/completion.h"
+#include "obs/metrics.h"
 #include "txn/procedure.h"
 
 namespace harmony {
@@ -68,6 +69,10 @@ enum class Opcode : uint8_t {
   kOpBatchSubmit = 6,   ///< C -> S: u32 count + count x EncodeTxn
   kOpBatchReceipt = 7,  ///< S -> C: u32 count + count x length-prefixed
                         ///<         receipt entries (coalesced per flush)
+  kOpMetrics = 8,       ///< C -> S: empty; S -> C: EncodeMetrics — the
+                        ///<         STATS v2 payload: the server's metrics
+                        ///<         registry snapshot (per-stage histograms,
+                        ///<         slow-txn ring; docs/OBSERVABILITY.md)
 };
 
 const char* OpcodeName(Opcode op);
@@ -151,6 +156,16 @@ bool DecodeSync(std::string_view payload, uint64_t* token);
 
 void EncodeStats(const WireStats& s, std::string* out);
 bool DecodeStats(std::string_view payload, WireStats* out);
+
+/// METRICS (STATS v2): a whole obs::MetricsSnapshot. The flat v1 STATS
+/// payload stays frozen — v1 peers keep decoding it — and the registry
+/// rides this separate v2 opcode instead of growing the v1 field list
+/// (named variable-length data cannot hide in trailing u64s). Decode
+/// rejects entry counts beyond kMaxMetricsEntries and bucket indexes
+/// beyond the histogram range before sizing anything.
+inline constexpr uint32_t kMaxMetricsEntries = 4096;
+void EncodeMetrics(const obs::MetricsSnapshot& m, std::string* out);
+bool DecodeMetrics(std::string_view payload, obs::MetricsSnapshot* out);
 
 /// BATCH_SUBMIT: decodes the whole payload or fails (count 0, count over
 /// kMaxBatchTxns, short/trailing bytes are all protocol errors).

@@ -1,0 +1,253 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace harmony {
+namespace obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the target sample among `count` recorded values.
+  const uint64_t rank = static_cast<uint64_t>(
+      p / 100.0 * static_cast<double>(count - 1) + 0.5);
+  uint64_t seen = 0;
+  for (const auto& [idx, c] : buckets) {
+    seen += c;
+    if (seen > rank) {
+      const uint64_t lo = LatencyHistogram::BucketLow(idx);
+      const uint64_t hi = idx + 1 < LatencyHistogram::kBuckets
+                              ? LatencyHistogram::BucketLow(idx + 1)
+                              : lo;
+      // Midpoint of the bucket, clamped to the observed max.
+      const double mid = static_cast<double>(lo) +
+                         static_cast<double>(hi - lo) / 2.0;
+      return max != 0 ? std::min(mid, static_cast<double>(max)) : mid;
+    }
+  }
+  return static_cast<double>(max);
+}
+
+LatencyHistogram::LatencyHistogram()
+    : stripes_(std::make_unique<Stripe[]>(kStripes)) {}
+
+size_t LatencyHistogram::StripeIndex() {
+  static thread_local const size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return idx & (kStripes - 1);
+}
+
+void LatencyHistogram::Record(uint64_t value_us) {
+  Stripe& s = stripes_[StripeIndex()];
+  // Bucket before count: Snap reads count before buckets, so a concurrent
+  // snapshot can only see sum(buckets) >= count, never the reverse.
+  s.buckets[BucketFor(value_us)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value_us, std::memory_order_relaxed);
+  uint64_t prev = s.max.load(std::memory_order_relaxed);
+  while (prev < value_us &&
+         !s.max.compare_exchange_weak(prev, value_us,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snap() const {
+  HistogramSnapshot out;
+  uint64_t merged[kBuckets] = {};
+  for (size_t i = 0; i < kStripes; i++) {
+    const Stripe& s = stripes_[i];
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    out.max = std::max(out.max, s.max.load(std::memory_order_relaxed));
+    for (uint32_t b = 0; b < kBuckets; b++) {
+      merged[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  for (uint32_t b = 0; b < kBuckets; b++) {
+    if (merged[b] != 0) out.buckets.emplace_back(b, merged[b]);
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = hists_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lk(mu_);
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.push_back({name, c->Value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.push_back({name, g->Value()});
+  }
+  out.histograms.reserve(hists_.size());
+  for (const auto& [name, h] : hists_) {
+    HistogramSnapshot snap = h->Snap();
+    snap.name = name;
+    out.histograms.push_back(std::move(snap));
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
+  return *reg;
+}
+
+std::string MetricsSnapshot::RenderTable() const {
+  std::string out;
+  char line[256];
+  auto emit = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    out += line;
+  };
+  if (!counters.empty() || !gauges.empty()) {
+    emit("%-28s %16s\n", "counter/gauge", "value");
+    for (const auto& c : counters) {
+      emit("%-28s %16llu\n", c.name.c_str(),
+           static_cast<unsigned long long>(c.value));
+    }
+    for (const auto& g : gauges) {
+      emit("%-28s %16lld\n", g.name.c_str(),
+           static_cast<long long>(g.value));
+    }
+    out += "\n";
+  }
+  if (!histograms.empty()) {
+    emit("%-22s %10s %10s %10s %10s %10s\n", "histogram (us)", "count",
+         "mean", "p50", "p99", "max");
+    for (const auto& h : histograms) {
+      emit("%-22s %10llu %10.1f %10.1f %10.1f %10llu\n", h.name.c_str(),
+           static_cast<unsigned long long>(h.count), h.Mean(),
+           h.Percentile(50), h.Percentile(99),
+           static_cast<unsigned long long>(h.max));
+    }
+  }
+  if (!slow_txns.empty()) {
+    out += "\n";
+    emit("%-10s %10s %8s %12s %12s %10s %7s\n", "slow txns", "client",
+         "seq", "queue_us", "lag_us", "total_us", "retries");
+    for (const auto& t : slow_txns) {
+      emit("%-10s %10llu %8llu %12llu %12llu %10llu %7u\n", "",
+           static_cast<unsigned long long>(t.client_id),
+           static_cast<unsigned long long>(t.client_seq),
+           static_cast<unsigned long long>(t.queue_wait_us),
+           static_cast<unsigned long long>(t.commit_lag_us),
+           static_cast<unsigned long long>(t.total_us), t.retries);
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::RenderJson() const {
+  std::string out = "{\"counters\":{";
+  char buf[160];
+  bool first = true;
+  for (const auto& c : counters) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", first ? "" : ",",
+                  JsonEscape(c.name).c_str(),
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : gauges) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%lld", first ? "" : ",",
+                  JsonEscape(g.name).c_str(), static_cast<long long>(g.value));
+    out += buf;
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%llu,\"sum\":%llu,\"max\":%llu,"
+                  "\"mean\":%.1f,\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f,"
+                  "\"buckets\":[",
+                  first ? "" : ",", JsonEscape(h.name).c_str(),
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum),
+                  static_cast<unsigned long long>(h.max), h.Mean(),
+                  h.Percentile(50), h.Percentile(90), h.Percentile(99));
+    out += buf;
+    for (size_t i = 0; i < h.buckets.size(); i++) {
+      std::snprintf(buf, sizeof(buf), "%s[%u,%llu]", i ? "," : "",
+                    h.buckets[i].first,
+                    static_cast<unsigned long long>(h.buckets[i].second));
+      out += buf;
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "},\"slow_txns\":[";
+  first = true;
+  for (const auto& t : slow_txns) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"client_id\":%llu,\"client_seq\":%llu,"
+                  "\"block_id\":%llu,\"queue_wait_us\":%llu,"
+                  "\"commit_lag_us\":%llu,\"total_us\":%llu,\"retries\":%u}",
+                  first ? "" : ",",
+                  static_cast<unsigned long long>(t.client_id),
+                  static_cast<unsigned long long>(t.client_seq),
+                  static_cast<unsigned long long>(t.block_id),
+                  static_cast<unsigned long long>(t.queue_wait_us),
+                  static_cast<unsigned long long>(t.commit_lag_us),
+                  static_cast<unsigned long long>(t.total_us), t.retries);
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace harmony

@@ -1,0 +1,69 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace harmony {
+namespace obs {
+
+TxnTracer::TxnTracer(MetricsRegistry* registry, bool enabled,
+                     size_t slow_capacity)
+    : registry_(registry),
+      enabled_(enabled),
+      slow_cap_(slow_capacity == 0 ? 1 : slow_capacity) {
+  queue_wait = registry->GetHistogram(kHistQueueWait);
+  commit_lag = registry->GetHistogram(kHistCommitLag);
+  resolve = registry->GetHistogram(kHistResolve);
+  block_seal = registry->GetHistogram(kHistBlockSeal);
+  block_execute = registry->GetHistogram(kHistBlockExecute);
+  block_commit = registry->GetHistogram(kHistBlockCommit);
+  wire_flush = registry->GetHistogram(kHistWireFlush);
+  txns_traced = registry->GetCounter(kCounterTxnsTraced);
+  blocks_traced = registry->GetCounter(kCounterBlocksTraced);
+  height = registry->GetGauge(kGaugeHeight);
+  pending_receipts = registry->GetGauge(kGaugePendingReceipts);
+  queue_depth = registry->GetGauge(kGaugeQueueDepth);
+  slow_.reserve(slow_cap_);
+}
+
+void TxnTracer::RecordSlow(const SlowTxnTrace& t) {
+  // Fast reject: once the ring is full, slow_floor_ caches the smallest
+  // resident total. A trace at or below it can never enter.
+  const uint64_t floor = slow_floor_.load(std::memory_order_relaxed);
+  if (floor != 0 && t.total_us <= floor) return;
+
+  std::lock_guard<std::mutex> lk(slow_mu_);
+  if (slow_.size() < slow_cap_) {
+    slow_.push_back(t);
+    if (slow_.size() == slow_cap_) {
+      uint64_t min = slow_[0].total_us;
+      for (const auto& e : slow_) min = std::min(min, e.total_us);
+      slow_floor_.store(min, std::memory_order_relaxed);
+    }
+    return;
+  }
+  size_t min_i = 0;
+  for (size_t i = 1; i < slow_.size(); i++) {
+    if (slow_[i].total_us < slow_[min_i].total_us) min_i = i;
+  }
+  if (t.total_us <= slow_[min_i].total_us) return;  // raced below floor
+  slow_[min_i] = t;
+  uint64_t min = slow_[0].total_us;
+  for (const auto& e : slow_) min = std::min(min, e.total_us);
+  slow_floor_.store(min, std::memory_order_relaxed);
+}
+
+std::vector<SlowTxnTrace> TxnTracer::SlowTxns() const {
+  std::vector<SlowTxnTrace> out;
+  {
+    std::lock_guard<std::mutex> lk(slow_mu_);
+    out = slow_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SlowTxnTrace& a, const SlowTxnTrace& b) {
+              return a.total_us > b.total_us;
+            });
+  return out;
+}
+
+}  // namespace obs
+}  // namespace harmony

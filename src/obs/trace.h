@@ -1,0 +1,93 @@
+#pragma once
+
+// Txn-lifecycle tracing: per-stage histograms and a slowest-N forensic
+// ring, fed by TraceClock stamps (obs/trace_clock.h) as a transaction
+// moves admit -> lane-dequeue -> seal -> execute -> commit ->
+// receipt-resolve -> wire-flush.
+//
+// Off by default (HarmonyBC::Options::enable_tracing). When off, the hot
+// paths skip the extra clock reads and histogram records; the stamps that
+// remain are plain stores of clock values already read for other purposes.
+// docs/OBSERVABILITY.md is the human-facing catalogue of the names below;
+// tools/check_docs.sh cross-checks the two.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace_clock.h"
+
+namespace harmony {
+namespace obs {
+
+// Stage histograms (all microseconds).
+inline constexpr char kHistQueueWait[] = "txn.queue_wait_us";
+inline constexpr char kHistCommitLag[] = "txn.commit_lag_us";
+inline constexpr char kHistResolve[] = "txn.resolve_us";
+inline constexpr char kHistBlockSeal[] = "block.seal_us";
+inline constexpr char kHistBlockExecute[] = "block.execute_us";
+inline constexpr char kHistBlockCommit[] = "block.commit_us";
+inline constexpr char kHistWireFlush[] = "net.flush_us";
+
+// Counters.
+inline constexpr char kCounterTxnsTraced[] = "txn.traced";
+inline constexpr char kCounterBlocksTraced[] = "block.traced";
+
+// Gauges (sampled at snapshot time by HarmonyBC::CollectMetrics).
+inline constexpr char kGaugeHeight[] = "chain.height";
+inline constexpr char kGaugePendingReceipts[] = "chain.pending_receipts";
+inline constexpr char kGaugeQueueDepth[] = "chain.queue_depth";
+
+/// Shared tracing context: pre-resolved instrument handles plus the
+/// slow-txn ring. One per HarmonyBC instance, handed by pointer to the
+/// sealer, replica, completion router, and net server. The handles are
+/// always valid (instruments exist even when tracing is off, so snapshot
+/// schemas are stable); recorders gate on enabled() to skip the work.
+class TxnTracer {
+ public:
+  TxnTracer(MetricsRegistry* registry, bool enabled,
+            size_t slow_capacity = kDefaultSlowCapacity);
+
+  bool enabled() const { return enabled_; }
+  MetricsRegistry* registry() const { return registry_; }
+
+  // Stage instruments (never null).
+  LatencyHistogram* queue_wait;     ///< admit -> lane dequeue, per txn
+  LatencyHistogram* commit_lag;     ///< lane dequeue -> resolution, per txn
+  LatencyHistogram* resolve;        ///< admit -> resolution, per txn
+  LatencyHistogram* block_seal;     ///< TakeBatch + SealBlock, per block
+  LatencyHistogram* block_execute;  ///< DCC Simulate, per block
+  LatencyHistogram* block_commit;   ///< DCC Commit, per block
+  LatencyHistogram* wire_flush;     ///< receipt enqueue -> socket write
+  Counter* txns_traced;
+  Counter* blocks_traced;
+  Gauge* height;
+  Gauge* pending_receipts;
+  Gauge* queue_depth;
+
+  /// Offer a resolved txn to the slowest-N ring. Min-replace: once the
+  /// ring is full, only traces slower than the current minimum enter; a
+  /// relaxed pre-check on the cached minimum keeps the common case (fast
+  /// txn, full ring) lock-free.
+  void RecordSlow(const SlowTxnTrace& t);
+
+  /// The ring's contents, slowest first.
+  std::vector<SlowTxnTrace> SlowTxns() const;
+
+  size_t slow_capacity() const { return slow_cap_; }
+
+  static constexpr size_t kDefaultSlowCapacity = 32;
+
+ private:
+  MetricsRegistry* registry_;
+  bool enabled_;
+  size_t slow_cap_;
+
+  mutable std::mutex slow_mu_;
+  std::vector<SlowTxnTrace> slow_;       // unordered; sorted on read
+  std::atomic<uint64_t> slow_floor_{0};  // min total_us once full, else 0
+};
+
+}  // namespace obs
+}  // namespace harmony

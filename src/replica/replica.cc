@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/clock.h"
+#include "obs/trace.h"
 
 namespace harmony {
 
@@ -109,11 +110,24 @@ Status Replica::SubmitBlock(Block block) {
     std::lock_guard<std::mutex> lk(mu_);
     last_submitted_ = id;
   }
+  // Stage tracing: decided here, where replaying_ is stable (set and
+  // cleared by the thread driving the replay).
+  obs::TxnTracer* tracer =
+      (opts_.tracer != nullptr && opts_.tracer->enabled() && !replaying_)
+          ? opts_.tracer
+          : nullptr;
   if (!protocol_->supports_inter_block()) {
     // Serial pipeline: simulate + commit inline, in block order.
+    uint64_t t0 = tracer != nullptr ? NowMicros() : 0;
     HARMONY_RETURN_NOT_OK(protocol_->Simulate(block.batch));
+    if (tracer != nullptr) {
+      const uint64_t t1 = NowMicros();
+      tracer->block_execute->Record(t1 - t0);
+      t0 = t1;
+    }
     BlockResult result;
     HARMONY_RETURN_NOT_OK(protocol_->Commit(block.batch, &result));
+    if (tracer != nullptr) tracer->block_commit->Record(NowMicros() - t0);
     HARMONY_RETURN_NOT_OK(AfterCommit(block, result));
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -154,12 +168,22 @@ Status Replica::ExecuteBlockPipelined(Block block) {
   const bool persist_inflight = opts_.persist_blocks && !replaying_;
   auto inflight = std::make_shared<InFlight>();
   inflight->block = std::move(block);
+  inflight->tracer =
+      (opts_.tracer != nullptr && opts_.tracer->enabled() && !replaying_)
+          ? opts_.tracer
+          : nullptr;
   inflight->sim_thread = std::thread([this, inflight, persist_inflight] {
     if (persist_inflight) {
       inflight->sim_status = block_store_->Append(inflight->block);
       if (!inflight->sim_status.ok()) return;
     }
+    // The log append above overlaps simulation conceptually; only the
+    // Simulate itself counts as the execute stage.
+    const uint64_t t0 = inflight->tracer != nullptr ? NowMicros() : 0;
     inflight->sim_status = protocol_->Simulate(inflight->block.batch);
+    if (inflight->tracer != nullptr) {
+      inflight->tracer->block_execute->Record(NowMicros() - t0);
+    }
   });
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -185,7 +209,11 @@ void Replica::CommitWorker() {
     if (item->sim_thread.joinable()) item->sim_thread.join();
     Status s = item->sim_status;
     BlockResult result;
+    const uint64_t t0 = item->tracer != nullptr ? NowMicros() : 0;
     if (s.ok()) s = protocol_->Commit(item->block.batch, &result);
+    if (s.ok() && item->tracer != nullptr) {
+      item->tracer->block_commit->Record(NowMicros() - t0);
+    }
     if (s.ok()) {
       // Callbacks and checkpointing complete before the block counts as
       // committed: Drain() then implies every callback has fired, and the

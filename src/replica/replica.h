@@ -17,6 +17,10 @@
 
 namespace harmony {
 
+namespace obs {
+class TxnTracer;
+}
+
 /// Node configuration.
 struct ReplicaOptions {
   std::string dir;                ///< working directory (files live here)
@@ -36,6 +40,9 @@ struct ReplicaOptions {
   /// Codec for the block log's sealed-txn sections (log v4; per-block raw
   /// fallback when a section does not shrink).
   Compression block_compression = Compression::kHlz;
+  /// Optional txn-lifecycle tracer: records per-block execute (Simulate)
+  /// and commit durations. Replayed blocks (Recover) are not recorded.
+  obs::TxnTracer* tracer = nullptr;
 };
 
 /// Invoked (on the commit thread, in block order) after each block commits.
@@ -130,6 +137,9 @@ class Replica {
     Block block;
     Status sim_status;
     std::thread sim_thread;  ///< joined by the commit worker
+    /// Non-null when this block's stages should be recorded (tracing on and
+    /// not a replay) — decided at submit time, where replaying_ is stable.
+    obs::TxnTracer* tracer = nullptr;
   };
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/trace_clock.h"
 
 namespace harmony {
 
@@ -75,6 +76,9 @@ struct TxnRequest {
   /// otherwise it is ordering metadata only (carried through the codec so
   /// replicas could meter it). No monetary semantics are enforced here.
   uint64_t fee = 0;
+  /// Lifecycle stamps for txn tracing (docs/OBSERVABILITY.md). In-process
+  /// only: the block codec never serializes it, decode leaves it zeroed.
+  obs::TraceClock trace;
 };
 
 }  // namespace harmony

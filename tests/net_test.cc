@@ -16,6 +16,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "tests/test_util.h"
 #include "txn/txn_context.h"
 
@@ -406,6 +407,61 @@ TEST(NetServer, LoopbackSubmitReceiptSyncStats) {
   EXPECT_EQ(client->stats().submitted.load(), 2u);
   EXPECT_EQ(client->stats().committed.load(), 1u);
   EXPECT_EQ(client->stats().inflight.load(), 0u);
+}
+
+TEST(NetServer, MetricsOpcodeAndPerOpcodeAbandonedReplies) {
+  TempDir dir("net-metrics");
+  HarmonyBC::Options o = FastOpts(dir.path());
+  o.enable_tracing = true;
+  Harness h(dir.path(), o);
+  // Coalescing client with a far-off delay bound: submits buffer locally
+  // until the next Sync/Stats/Metrics flushes them, which lets the test
+  // queue real dispatch work ahead of a STATS reply.
+  auto client = h.Client(/*batch_max_txns=*/1024,
+                         /*batch_max_delay_us=*/60'000'000);
+
+  // Commit one txn so the stage histograms carry data (Sync flushes it).
+  TxnTicket first = client->Submit(TransferReq(0, 1, 5));
+  ASSERT_TRUE(client->Sync(kWaitUs));
+  TxnReceipt r;
+  ASSERT_TRUE(first.WaitFor(kWaitUs, &r));
+  EXPECT_EQ(r.outcome, ReceiptOutcome::kCommitted);
+  ASSERT_OK(h.db->Sync());
+
+  // Force an abandoned STATS reply: buffer a batch of submits, then issue
+  // a zero-timeout STATS. Stats() flushes the batch first and the reactor
+  // dispatches frames in order, so the reply queues behind the whole
+  // batch's decode+submit work and cannot beat a 0us wait. (Retried for
+  // robustness; a successful call consumes its own reply harmlessly.)
+  bool abandoned = false;
+  for (int i = 0; i < 20 && !abandoned; i++) {
+    for (int j = 0; j < 256; j++) {
+      TxnRequest req;
+      req.proc_id = 2;
+      req.args.ints = {j % 64, 1};
+      client->Submit(std::move(req));
+    }
+    abandoned = !client->Stats(/*timeout_us=*/0).ok();
+  }
+  ASSERT_TRUE(abandoned);
+
+  // An abandoned STATS must not eat the reply of a *different* opcode:
+  // abandoned counts are per opcode, so METRICS resolves with a fresh
+  // snapshot even while a stale STATS reply is still owed on the stream.
+  auto metrics = client->Metrics(kWaitUs);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  bool saw_resolve = false;
+  for (const auto& hist : metrics->histograms) {
+    if (hist.name == obs::kHistResolve && hist.count > 0) saw_resolve = true;
+  }
+  EXPECT_TRUE(saw_resolve);
+  EXPECT_FALSE(metrics->slow_txns.empty());
+
+  // And the next STATS is fresh too: the reader discarded exactly the
+  // stale STATS replies, nothing else.
+  auto stats = client->Stats(kWaitUs);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->sess_submitted, 257u);  // the transfer + one batch
 }
 
 TEST(NetServer, CallbackModeDeliversOnReaderThread) {

@@ -1,0 +1,376 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/harmonybc.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
+
+namespace harmony {
+namespace {
+
+using obs::LatencyHistogram;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::SlowTxnTrace;
+using obs::TxnTracer;
+
+constexpr uint64_t kWaitUs = 30'000'000;
+
+Status Increment(TxnContext& ctx, const ProcArgs& a) {
+  ctx.AddField(static_cast<Key>(a.at(0)), 0, a.at(1));
+  return Status::OK();
+}
+
+// ----------------------------------------------------- bucket math ----------
+
+TEST(LatencyHistogramTest, BucketMappingIsMonotoneAndInvertible) {
+  // Exact unit buckets below 2*kSub.
+  for (uint64_t v = 0; v < 2 * LatencyHistogram::kSub; v++) {
+    EXPECT_EQ(LatencyHistogram::BucketFor(v), v);
+    EXPECT_EQ(LatencyHistogram::BucketLow(static_cast<uint32_t>(v)), v);
+  }
+  // BucketLow is the smallest value mapping to its bucket, and BucketFor
+  // never decreases as v grows.
+  uint32_t prev = 0;
+  for (uint64_t v = 0; v < 100'000; v++) {
+    const uint32_t idx = LatencyHistogram::BucketFor(v);
+    EXPECT_GE(idx, prev);
+    EXPECT_LT(idx, LatencyHistogram::kBuckets);
+    EXPECT_LE(LatencyHistogram::BucketLow(idx), v);
+    prev = idx;
+  }
+  // Spot-check the top of the range.
+  for (uint64_t v :
+       {uint64_t{1} << 32, uint64_t{1} << 47, ~uint64_t{0} >> 1, ~uint64_t{0}}) {
+    const uint32_t idx = LatencyHistogram::BucketFor(v);
+    EXPECT_LT(idx, LatencyHistogram::kBuckets);
+    EXPECT_LE(LatencyHistogram::BucketLow(idx), v);
+    EXPECT_EQ(LatencyHistogram::BucketFor(LatencyHistogram::BucketLow(idx)),
+              idx);
+  }
+}
+
+TEST(LatencyHistogramTest, PercentileWithinRelativeErrorBound) {
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 10'000; v++) h.Record(v);
+  const obs::HistogramSnapshot s = h.Snap();
+  EXPECT_EQ(s.count, 10'000u);
+  EXPECT_EQ(s.max, 10'000u);
+  // 4 sub-buckets per octave -> <= 12.5% relative error per sample.
+  EXPECT_NEAR(s.Percentile(50), 5000.0, 5000.0 * 0.125);
+  EXPECT_NEAR(s.Percentile(99), 9900.0, 9900.0 * 0.125);
+  EXPECT_NEAR(s.Mean(), 5000.5, 0.1);
+}
+
+// ------------------------------------------ concurrent record vs snap -------
+
+TEST(LatencyHistogramTest, ConcurrentRecordAndSnapKeepInvariant) {
+  LatencyHistogram h;
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kPerThread = 20'000;
+  std::atomic<bool> stop{false};
+
+  std::thread snapper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const obs::HistogramSnapshot s = h.Snap();
+      uint64_t bucket_total = 0;
+      for (const auto& [idx, cnt] : s.buckets) {
+        EXPECT_LT(idx, LatencyHistogram::kBuckets);
+        bucket_total += cnt;
+      }
+      // Record bumps the bucket before the count and Snap reads the count
+      // before the buckets, so a snapshot may see a sample's bucket without
+      // its count — never the reverse.
+      EXPECT_GE(bucket_total, s.count);
+    }
+  });
+
+  std::vector<std::thread> recorders;
+  for (size_t t = 0; t < kThreads; t++) {
+    recorders.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        h.Record((i * (t + 1)) % 4096);
+      }
+    });
+  }
+  for (auto& t : recorders) t.join();
+  stop.store(true, std::memory_order_release);
+  snapper.join();
+
+  // Quiescent: the final snapshot is exact.
+  const obs::HistogramSnapshot s = h.Snap();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  uint64_t bucket_total = 0, expected_sum = 0;
+  for (const auto& [idx, cnt] : s.buckets) bucket_total += cnt;
+  EXPECT_EQ(bucket_total, s.count);
+  for (size_t t = 0; t < kThreads; t++) {
+    for (uint64_t i = 0; i < kPerThread; i++) expected_sum += (i * (t + 1)) % 4096;
+  }
+  EXPECT_EQ(s.sum, expected_sum);
+}
+
+TEST(MetricsRegistryTest, ConcurrentCountersAndSnapshot) {
+  MetricsRegistry reg;
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kPerThread = 50'000;
+  std::atomic<bool> stop{false};
+
+  std::thread snapper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)reg.Snapshot();
+    }
+  });
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; t++) {
+    workers.emplace_back([&] {
+      obs::Counter* c = reg.GetCounter("test.events");
+      obs::Gauge* g = reg.GetGauge("test.depth");
+      for (uint64_t i = 0; i < kPerThread; i++) {
+        c->Add(1);
+        g->Set(static_cast<int64_t>(i));
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  stop.store(true, std::memory_order_release);
+  snapper.join();
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].name, "test.events");
+  EXPECT_EQ(snap.counters[0].value, kThreads * kPerThread);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, static_cast<int64_t>(kPerThread - 1));
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("a");
+  EXPECT_EQ(reg.GetCounter("a"), c);
+  EXPECT_NE(reg.GetCounter("b"), c);
+  LatencyHistogram* h = reg.GetHistogram("h");
+  EXPECT_EQ(reg.GetHistogram("h"), h);
+}
+
+// ----------------------------------------------------- slow-txn ring --------
+
+TEST(TxnTracerTest, SlowRingMinReplaceEvictionOrder) {
+  MetricsRegistry reg;
+  TxnTracer tracer(&reg, /*enabled=*/true, /*slow_capacity=*/4);
+  for (uint64_t total : {10, 20, 5, 30, 40}) {
+    SlowTxnTrace t;
+    t.client_seq = total;  // tag so we can tell entries apart
+    t.total_us = total;
+    tracer.RecordSlow(t);
+  }
+  const std::vector<SlowTxnTrace> slow = tracer.SlowTxns();
+  ASSERT_EQ(slow.size(), 4u);
+  EXPECT_EQ(slow[0].total_us, 40u);
+  EXPECT_EQ(slow[1].total_us, 30u);
+  EXPECT_EQ(slow[2].total_us, 20u);
+  EXPECT_EQ(slow[3].total_us, 10u);  // 5 was evicted (never entered)
+
+  // A trace no slower than the current floor is rejected.
+  SlowTxnTrace still_fast;
+  still_fast.total_us = 10;
+  tracer.RecordSlow(still_fast);
+  EXPECT_EQ(tracer.SlowTxns().back().total_us, 10u);
+  SlowTxnTrace slower;
+  slower.total_us = 15;
+  tracer.RecordSlow(slower);
+  EXPECT_EQ(tracer.SlowTxns().back().total_us, 15u);
+}
+
+// ------------------------------------------- end-to-end stage stamps --------
+
+TEST(TracingTest, StageStampsAreMonotonicPerReceipt) {
+  TempDir dir("obs-stages");
+  HarmonyBC::Options o;
+  o.dir = dir.path();
+  o.disk = DiskModel::RamDisk();
+  o.block_size = 8;
+  o.threads = 4;
+  o.max_block_delay_us = 5'000;
+  o.enable_tracing = true;
+  auto db = HarmonyBC::Open(o);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  (*db)->RegisterProcedure(1, "inc", Increment);
+  for (Key k = 0; k < 8; k++) ASSERT_OK((*db)->Load(k, Value({0})));
+  ASSERT_OK((*db)->Recover().status());
+
+  auto session = (*db)->OpenSession();
+  std::vector<TxnTicket> tickets;
+  for (int i = 0; i < 64; i++) {
+    TxnRequest t;
+    t.proc_id = 1;
+    t.args.ints = {i % 8, 1};
+    tickets.push_back(session->Submit(std::move(t)));
+  }
+  for (auto& t : tickets) {
+    TxnReceipt r;
+    ASSERT_TRUE(t.WaitFor(kWaitUs, &r));
+    EXPECT_EQ(r.outcome, ReceiptOutcome::kCommitted);
+  }
+  ASSERT_OK((*db)->Sync());
+
+  const MetricsSnapshot snap = (*db)->CollectMetrics();
+  // Every committed txn went through the resolve histogram.
+  uint64_t resolved = 0, traced = 0;
+  for (const auto& h : snap.histograms) {
+    if (h.name == obs::kHistResolve) resolved = h.count;
+  }
+  for (const auto& c : snap.counters) {
+    if (c.name == obs::kCounterTxnsTraced) traced = c.value;
+  }
+  EXPECT_EQ(resolved, 64u);
+  EXPECT_EQ(traced, 64u);
+
+  // Slow-ring entries decompose exactly: queue_wait + commit_lag == total,
+  // i.e. the stage stamps are monotone admit <= dequeue <= resolve.
+  ASSERT_FALSE(snap.slow_txns.empty());
+  for (const SlowTxnTrace& t : snap.slow_txns) {
+    EXPECT_EQ(t.queue_wait_us + t.commit_lag_us, t.total_us);
+    EXPECT_GT(t.block_id, 0u);
+  }
+  // Slowest-first ordering.
+  for (size_t i = 1; i < snap.slow_txns.size(); i++) {
+    EXPECT_GE(snap.slow_txns[i - 1].total_us, snap.slow_txns[i].total_us);
+  }
+
+  // The gauges were refreshed by CollectMetrics.
+  for (const auto& g : snap.gauges) {
+    if (g.name == obs::kGaugeHeight) EXPECT_GT(g.value, 0);
+  }
+
+  // Renderers cover every section without crashing and emit valid-looking
+  // output (spot checks; the JSON shape is consumed by harmonyd --json).
+  const std::string json = snap.RenderJson();
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find(obs::kHistQueueWait), std::string::npos);
+  EXPECT_NE(json.find("\"slow_txns\""), std::string::npos);
+  const std::string table = snap.RenderTable();
+  EXPECT_NE(table.find(obs::kHistCommitLag), std::string::npos);
+}
+
+TEST(TracingTest, DisabledTracingRecordsNothing) {
+  TempDir dir("obs-off");
+  HarmonyBC::Options o;
+  o.dir = dir.path();
+  o.disk = DiskModel::RamDisk();
+  o.block_size = 4;
+  o.threads = 2;
+  o.max_block_delay_us = 2'000;
+  ASSERT_FALSE(o.enable_tracing);  // off by default
+  auto db = HarmonyBC::Open(o);
+  ASSERT_TRUE(db.ok());
+  (*db)->RegisterProcedure(1, "inc", Increment);
+  ASSERT_OK((*db)->Load(0, Value({0})));
+  ASSERT_OK((*db)->Recover().status());
+  auto session = (*db)->OpenSession();
+  TxnRequest t;
+  t.proc_id = 1;
+  t.args.ints = {0, 1};
+  TxnReceipt r;
+  ASSERT_TRUE(session->Submit(std::move(t)).WaitFor(kWaitUs, &r));
+  ASSERT_OK((*db)->Sync());
+
+  const MetricsSnapshot snap = (*db)->CollectMetrics();
+  // The schema is stable (instruments exist) but nothing was recorded.
+  for (const auto& h : snap.histograms) EXPECT_EQ(h.count, 0u) << h.name;
+  EXPECT_TRUE(snap.slow_txns.empty());
+}
+
+// ------------------------------------------------- wire round trip ----------
+
+TEST(WireMetricsTest, EncodeDecodeRoundTrip) {
+  MetricsRegistry reg;
+  reg.GetCounter("txn.traced")->Add(7);
+  reg.GetGauge("chain.height")->Set(-3);  // negative survives the u64 cast
+  LatencyHistogram* h = reg.GetHistogram("txn.resolve_us");
+  for (uint64_t v : {1, 5, 100, 100'000}) h->Record(v);
+  MetricsSnapshot snap = reg.Snapshot();
+  SlowTxnTrace t;
+  t.client_id = 9;
+  t.client_seq = 4;
+  t.block_id = 2;
+  t.queue_wait_us = 10;
+  t.commit_lag_us = 30;
+  t.total_us = 40;
+  t.retries = 1;
+  snap.slow_txns.push_back(t);
+
+  std::string payload;
+  net::EncodeMetrics(snap, &payload);
+  MetricsSnapshot back;
+  ASSERT_TRUE(net::DecodeMetrics(payload, &back));
+
+  ASSERT_EQ(back.counters.size(), 1u);
+  EXPECT_EQ(back.counters[0].name, "txn.traced");
+  EXPECT_EQ(back.counters[0].value, 7u);
+  ASSERT_EQ(back.gauges.size(), 1u);
+  EXPECT_EQ(back.gauges[0].value, -3);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  EXPECT_EQ(back.histograms[0].name, "txn.resolve_us");
+  EXPECT_EQ(back.histograms[0].count, 4u);
+  EXPECT_EQ(back.histograms[0].sum, 100'106u);
+  EXPECT_EQ(back.histograms[0].max, 100'000u);
+  EXPECT_EQ(back.histograms[0].buckets, snap.histograms[0].buckets);
+  ASSERT_EQ(back.slow_txns.size(), 1u);
+  EXPECT_EQ(back.slow_txns[0].client_id, 9u);
+  EXPECT_EQ(back.slow_txns[0].commit_lag_us, 30u);
+  EXPECT_EQ(back.slow_txns[0].retries, 1u);
+}
+
+TEST(WireMetricsTest, DecodeRejectsHostileInput) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Add(1);
+  reg.GetHistogram("h")->Record(5);
+  MetricsSnapshot snap = reg.Snapshot();
+  std::string payload;
+  net::EncodeMetrics(snap, &payload);
+
+  MetricsSnapshot out;
+  // Truncations at every boundary must fail cleanly, never crash or
+  // over-allocate.
+  for (size_t cut = 0; cut < payload.size(); cut++) {
+    EXPECT_FALSE(net::DecodeMetrics(payload.substr(0, cut), &out))
+        << "cut at " << cut;
+  }
+  // Trailing garbage is a protocol error too.
+  EXPECT_FALSE(net::DecodeMetrics(payload + "x", &out));
+  // An absurd entry count fails the plausibility check before any resize.
+  std::string bomb;
+  bomb.append("\xff\xff\xff\xff", 4);  // n_counters = 2^32-1
+  EXPECT_FALSE(net::DecodeMetrics(bomb, &out));
+}
+
+TEST(WireMetricsTest, StatsV1PayloadStaysFrozen) {
+  // The v1 STATS codec is byte-stable: METRICS rides its own opcode so v1
+  // peers keep decoding STATS exactly as before.
+  net::WireStats s;
+  s.sess_submitted = 11;
+  s.ing_admitted = 22;
+  s.height = 33;
+  std::string payload;
+  net::EncodeStats(s, &payload);
+  net::WireStats back;
+  ASSERT_TRUE(net::DecodeStats(payload, &back));
+  EXPECT_EQ(back.sess_submitted, 11u);
+  EXPECT_EQ(back.ing_admitted, 22u);
+  EXPECT_EQ(back.height, 33u);
+  // A METRICS payload is not a valid STATS payload.
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Add(1);
+  std::string mpayload;
+  net::EncodeMetrics(reg.Snapshot(), &mpayload);
+  net::WireStats bogus;
+  EXPECT_FALSE(net::DecodeStats(mpayload, &bogus));
+}
+
+}  // namespace
+}  // namespace harmony

@@ -17,6 +17,10 @@
 #   - opcode / format-version names (kOp<Name>, kLogV<N> — e.g.
 #     kOpBatchSubmit, kLogV4): each must still have a definition
 #     (`<token> =`) somewhere under src/.
+#   - metric names in docs/OBSERVABILITY.md (txn.queue_wait_us,
+#     chain.height, ...): each must appear as a string literal under
+#     src/obs/, so the documented catalogue cannot drift from the
+#     registered instruments.
 set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -70,7 +74,21 @@ for doc in "$root"/docs/*.md "$root"/README.md "$root"/bench/README.md; do
   done < <(grep -ohE '\bkOp[A-Za-z]+\b|\bkLogV[0-9]+\b' "$doc" | sort -u)
 done
 
+# Metric-name drift: docs/OBSERVABILITY.md catalogues the registry's
+# instruments by name; a documented metric with no literal definition in
+# src/obs/ is stale (renames must update the catalogue).
+obs_doc="$root/docs/OBSERVABILITY.md"
+if [[ -f "$obs_doc" ]]; then
+  while IFS= read -r tok; do
+    [[ -z "$tok" ]] && continue
+    if ! grep -rqF "\"$tok\"" "$root/src/obs"; then
+      echo "stale metric in docs/OBSERVABILITY.md: $tok (no literal in src/obs/)" >&2
+      status=1
+    fi
+  done < <(grep -ohE '\b(txn|block|ingest|net|chain)\.[a-z0-9_]+\b' "$obs_doc" | sort -u)
+fi
+
 if [[ $status -eq 0 ]]; then
-  echo "docs_check: all path references and opcode/format tokens resolve"
+  echo "docs_check: all path references, opcode/format tokens, and metric names resolve"
 fi
 exit $status

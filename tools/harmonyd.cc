@@ -16,6 +16,11 @@
 // Query a running daemon over the wire (the STATS frame):
 //
 //   ./build/harmonyd stats --host 127.0.0.1 --port 7450
+//
+// Or pull its full metrics registry snapshot (the METRICS frame — per-stage
+// latency histograms, slow-txn ring; docs/OBSERVABILITY.md):
+//
+//   ./build/harmonyd metrics --host 127.0.0.1 --port 7450 [--json]
 #include <chrono>
 #include <csignal>
 #include <filesystem>
@@ -69,6 +74,7 @@ struct Args {
   uint64_t max_inflight = 0;
   double rate = 0;
   bool in_memory = false;
+  bool json = false;
 };
 
 int Usage() {
@@ -77,7 +83,8 @@ int Usage() {
                "[--reactors N] [--threads N] [--block-size N] [--delay-us N] "
                "[--accounts N] [--balance N] [--max-inflight N] [--rate R] "
                "[--in-memory]\n"
-               "       harmonyd stats [--host A] [--port N]\n");
+               "       harmonyd stats [--host A] [--port N]\n"
+               "       harmonyd metrics [--host A] [--port N] [--json]\n");
   return 2;
 }
 
@@ -106,6 +113,7 @@ bool Parse(int argc, char** argv, Args* out) {
     else if (a == "--max-inflight") out->max_inflight = std::strtoull(next("--max-inflight"), nullptr, 10);
     else if (a == "--rate") out->rate = std::atof(next("--rate"));
     else if (a == "--in-memory") out->in_memory = true;
+    else if (a == "--json") out->json = true;
     else {
       std::fprintf(stderr, "unknown flag %s\n", a.c_str());
       return false;
@@ -135,6 +143,7 @@ int Serve(const Args& args) {
   o.max_inflight_per_session = args.max_inflight;
   o.admit_rate_per_client = args.rate;
   o.high_fee_threshold = 100;
+  o.enable_tracing = true;  // feeds `harmonyd metrics` (docs/OBSERVABILITY.md)
 
   auto db = HarmonyBC::Open(o);
   if (!db.ok()) {
@@ -242,6 +251,28 @@ int StatsCli(const Args& args) {
   return 0;
 }
 
+int MetricsCli(const Args& args) {
+  net::NetClientOptions co;
+  co.host = args.host;
+  co.port = args.port;
+  auto client = net::NetClient::Connect(co);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  auto metrics = (*client)->Metrics(/*timeout_us=*/5'000'000);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "metrics: %s\n",
+                 metrics.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out =
+      args.json ? metrics->RenderJson() : metrics->RenderTable();
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  if (args.json) std::fputc('\n', stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -249,5 +280,6 @@ int main(int argc, char** argv) {
   if (!Parse(argc, argv, &args)) return Usage();
   if (args.mode == "serve") return Serve(args);
   if (args.mode == "stats") return StatsCli(args);
+  if (args.mode == "metrics") return MetricsCli(args);
   return Usage();
 }
