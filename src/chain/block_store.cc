@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "common/codec.h"
+#include "testing/crash_point.h"
 
 namespace harmony {
 
@@ -51,6 +52,10 @@ BlockStore::~BlockStore() {
 }
 
 Status BlockStore::Open() {
+  // A crash between Migrate()'s temp write and its rename leaves the temp
+  // behind (the original log is intact and the migration simply redoes);
+  // drop the stale temp so interrupted migrations leave no debris.
+  ::unlink((path_ + ".migrate").c_str());
   fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd_ < 0) return Status::IOError("open block log");
 
@@ -135,9 +140,11 @@ Status BlockStore::Migrate(uint32_t from_version) {
   if (!ok) return Status::IOError("write migrated block log");
   ::close(fd_);
   fd_ = -1;
+  HARMONY_CRASH_POINT("chain.migrate.before_rename");
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
     return Status::IOError("rename migrated block log");
   }
+  HARMONY_CRASH_POINT("chain.migrate.after_rename");
   // Reopen: the file is v4 now, so this recursion terminates immediately.
   return Open();
 }
@@ -193,9 +200,21 @@ Status BlockStore::Append(const Block& b) {
     num_blocks_++;
     writes_in_flight_++;
   }
+  HARMONY_CRASH_POINT("chain.append.before_write");
+  if (testing::g_crash_points_armed.load(std::memory_order_relaxed)) {
+    double frac = 1.0;
+    if (testing::CrashPointTorn("chain.append.torn_write", &frac)) {
+      // Persist a prefix of the record, then die: the torn tail the open
+      // scan must detect and truncate.
+      const size_t n = static_cast<size_t>(frac * rec.size());
+      (void)::pwrite(fd_, rec.data(), n, static_cast<off_t>(off));
+      testing::CrashNow();
+    }
+  }
   const bool wrote =
       ::pwrite(fd_, rec.data(), rec.size(), static_cast<off_t>(off)) ==
       static_cast<ssize_t>(rec.size());
+  HARMONY_CRASH_POINT("chain.append.after_write");
   {
     std::lock_guard<std::mutex> lk(mu_);
     writes_in_flight_--;
@@ -273,10 +292,19 @@ Status CheckpointManifest::Write(BlockId block_id) const {
   ::fsync(::fileno(f));
   std::fclose(f);
   if (!ok) return Status::IOError("write manifest");
+  HARMONY_CRASH_POINT("chain.manifest.before_rename");
   if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
     return Status::IOError("rename manifest");
   }
   return Status::OK();
+}
+
+bool CheckpointManifest::Exists() const {
+  return ::access(path_.c_str(), F_OK) == 0;
+}
+
+void CheckpointManifest::RemoveStaleTemp() const {
+  ::unlink((path_ + ".tmp").c_str());
 }
 
 }  // namespace harmony

@@ -139,8 +139,19 @@ class CheckpointManifest {
   /// Returns the checkpointed block id, or 0 if no checkpoint exists.
   BlockId Read() const;
 
+  /// True when a manifest file exists. Distinguishes "checkpointed at
+  /// block 0" (a durable genesis checkpoint) from "never checkpointed" —
+  /// Read() returns 0 for both, but the storage layer's journal-epoch
+  /// commit rule needs the difference (see DiskBackend::Open).
+  bool Exists() const;
+
   /// Durably records a new checkpoint (write-temp + rename).
   Status Write(BlockId block_id) const;
+
+  /// Removes a stale write-temp left by a crash between Write()'s fwrite
+  /// and rename. Harmless litter (Write truncates it), but recovery paths
+  /// call this so torn checkpoints leave no debris behind.
+  void RemoveStaleTemp() const;
 
  private:
   std::string path_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "testing/fault.h"
 
 namespace harmony {
 
@@ -20,6 +21,9 @@ struct NetworkModel {
   uint64_t lan_one_way_us = 100;   ///< same-region one-way latency
   bool wan = false;                ///< nodes spread across 4 continents
   uint32_t nodes = 4;
+  /// Optional deterministic degradation plan (src/testing/fault.h):
+  /// partitioned delivery, uniform extra delay, seeded jitter. Not owned.
+  const testing::NetFaultPlan* fault = nullptr;
 
   /// One-way inter-region latency in microseconds (approximate public AWS
   /// figures: Ohio<->Stockholm ~55ms, Ohio<->Mumbai ~95ms, ...).
@@ -44,8 +48,9 @@ struct NetworkModel {
   uint64_t OneWayUs(NodeId a, NodeId b) const {
     if (a == b) return 0;
     const Region ra = RegionOf(a), rb = RegionOf(b);
-    if (ra == rb) return lan_one_way_us;
-    return RegionOneWayUs(ra, rb);
+    const uint64_t base =
+        ra == rb ? lan_one_way_us : RegionOneWayUs(ra, rb);
+    return fault != nullptr ? fault->AdjustOneWayUs(a, b, base) : base;
   }
 
   /// Wire time for `bytes` at the configured bandwidth.

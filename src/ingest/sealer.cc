@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "consensus/orderer.h"
 #include "obs/trace.h"
+#include "testing/crash_point.h"
 
 namespace harmony {
 
@@ -122,6 +123,7 @@ size_t BlockSealer::SealLocked(SealCause cause) {
 
   // Delivery is the pipeline handoff: SubmitBlock schedules the block's
   // simulation and returns, so the next block seals while this one runs.
+  HARMONY_CRASH_POINT("ingest.seal.before_deliver");
   Status s = deliver_(std::move(block));
   delivered_++;
   if (!s.ok()) {

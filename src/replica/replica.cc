@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "obs/trace.h"
+#include "testing/crash_point.h"
 
 namespace harmony {
 
@@ -24,12 +25,22 @@ Status Replica::Open() {
   // DccConfig::barrier_every).
   opts_.dcc_cfg.barrier_every = opts_.checkpoint_every;
 
+  // The manifest is read before storage opens: its block id is the proof of
+  // which checkpoint epoch committed, which decides whether a surviving
+  // rollback journal undoes a torn checkpoint (manifest behind the flush)
+  // or is simply retired (crash after the flush, before the journal's lazy
+  // retirement). See DiskBackend::Checkpoint.
+  manifest_ = std::make_unique<CheckpointManifest>(opts_.dir + "/" +
+                                                   opts_.name + ".ckpt");
+  manifest_->RemoveStaleTemp();
   if (opts_.in_memory) {
     backend_ = std::make_unique<MemoryBackend>();
   } else {
+    const uint64_t committed_epoch =
+        manifest_->Exists() ? manifest_->Read() + 1 : 0;
     auto disk = std::make_unique<DiskBackend>(opts_.dir, opts_.name, opts_.disk,
                                               opts_.pool_pages);
-    HARMONY_RETURN_NOT_OK(disk->Open());
+    HARMONY_RETURN_NOT_OK(disk->Open(committed_epoch));
     backend_ = std::move(disk);
   }
   store_ = std::make_unique<VersionedStore>(backend_.get());
@@ -40,8 +51,6 @@ Status Replica::Open() {
       opts_.dir + "/" + opts_.name + ".chain", opts_.disk.fsync_latency_us,
       opts_.block_compression);
   HARMONY_RETURN_NOT_OK(block_store_->Open());
-  manifest_ = std::make_unique<CheckpointManifest>(opts_.dir + "/" +
-                                                   opts_.name + ".ckpt");
   verifier_ = std::make_unique<ChainVerifier>(opts_.orderer_secret);
 
   if (protocol_->supports_inter_block()) {
@@ -233,8 +242,14 @@ void Replica::CommitWorker() {
 Status Replica::AfterCommit(const Block& block, const BlockResult& result) {
   const BlockId id = block.header.block_id;
   if (opts_.checkpoint_every != 0 && id % opts_.checkpoint_every == 0) {
-    HARMONY_RETURN_NOT_OK(backend_->Checkpoint());
+    // Epoch id+1 keeps the journal alive until the manifest write below
+    // lands; a crash between the two rolls the flush back instead of
+    // leaving state@id under a manifest that says an older block — which
+    // would double-apply the gap on replay.
+    HARMONY_RETURN_NOT_OK(backend_->Checkpoint(id + 1));
+    HARMONY_CRASH_POINT("replica.checkpoint.before_manifest");
     HARMONY_RETURN_NOT_OK(manifest_->Write(id));
+    HARMONY_CRASH_POINT("replica.checkpoint.after_manifest");
   }
   if (commit_cb_) commit_cb_(block, result);
   return Status::OK();
@@ -277,8 +292,9 @@ Result<Digest> Replica::StateDigest() {
 
 Status Replica::Checkpoint() {
   HARMONY_RETURN_NOT_OK(Drain());
-  HARMONY_RETURN_NOT_OK(backend_->Checkpoint());
-  return manifest_->Write(last_committed());
+  const BlockId id = last_committed();
+  HARMONY_RETURN_NOT_OK(backend_->Checkpoint(id + 1));
+  return manifest_->Write(id);
 }
 
 Status Replica::AuditChain() {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "testing/crash_point.h"
+
 namespace harmony {
 
 PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
@@ -148,6 +150,9 @@ Status BufferPool::FlushAll() {
   for (size_t i : dirty) {
     Frame& f = *frames_[i];
     HARMONY_RETURN_NOT_OK(disk_->WritePage(f.page_id, f.page));
+    // Between any two page write-backs the on-disk image mixes two
+    // checkpoints — the window the rollback journal exists for.
+    HARMONY_CRASH_POINT("storage.flush.mid");
     std::lock_guard<std::mutex> lk(mu_);
     f.dirty = false;
   }

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/clock.h"
+#include "testing/fault.h"
 
 namespace harmony {
 
@@ -48,6 +49,9 @@ DiskManager::IoSlot::~IoSlot() {
 
 Status DiskManager::ReadPage(PageId page_id, Page* out) {
   IoSlot slot(this);
+  if (model_.fault != nullptr) {
+    HARMONY_RETURN_NOT_OK(model_.fault->OnRead());
+  }
   SimulateDelayMicros(model_.read_latency_us);
   HARMONY_RETURN_NOT_OK(ReadPageRaw(page_id, out));
   stats_.page_reads.fetch_add(1, std::memory_order_relaxed);
@@ -67,8 +71,18 @@ Status DiskManager::ReadPageRaw(PageId page_id, Page* out) {
 
 Status DiskManager::WritePage(PageId page_id, const Page& page) {
   IoSlot slot(this);
-  SimulateDelayMicros(model_.write_latency_us);
   const off_t off = static_cast<off_t>(page_id) * kPageSize;
+  if (model_.fault != nullptr) {
+    size_t persist = 0;
+    Status s = model_.fault->OnWrite(kPageSize, &persist);
+    if (!s.ok()) {
+      // A short-write fault persists a prefix of the page before failing,
+      // modelling power-loss-like torn sectors for the journal to repair.
+      if (persist > 0) (void)::pwrite(fd_, page.data, persist, off);
+      return s;
+    }
+  }
+  SimulateDelayMicros(model_.write_latency_us);
   ssize_t n = ::pwrite(fd_, page.data, kPageSize, off);
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IOError(std::strerror(errno));
@@ -78,6 +92,9 @@ Status DiskManager::WritePage(PageId page_id, const Page& page) {
 }
 
 Status DiskManager::Sync() {
+  if (model_.fault != nullptr) {
+    HARMONY_RETURN_NOT_OK(model_.fault->OnSync());
+  }
   // Modelled flush only: the simulation never hard-kills the process, and a
   // host fsync would charge the host device's latency, not the model's.
   SimulateDelayMicros(model_.fsync_latency_us);

@@ -11,6 +11,10 @@
 
 namespace harmony {
 
+namespace testing {
+class FaultInjector;
+}
+
 /// Latency model for the underlying device. The paper's default cluster uses
 /// SATA/NVMe SSDs; Section 5.8 swaps the SSD for a RAMDisk. We reproduce both
 /// by injecting per-operation latency around real file I/O.
@@ -22,6 +26,10 @@ struct DiskModel {
   /// the rest wait. This is what makes block size (= concurrency degree)
   /// saturate instead of scaling forever (Section 5.2).
   uint32_t queue_depth = 16;
+  /// Optional deterministic fault injector (src/testing/fault.h): consulted
+  /// on every ReadPage/WritePage/Sync for delayed, failed, and short I/O.
+  /// Not owned; must outlive every DiskManager built from this model.
+  testing::FaultInjector* fault = nullptr;
 
   static DiskModel Ssd() { return DiskModel{}; }
   static DiskModel RamDisk() { return DiskModel{0, 0, 0, 0}; }

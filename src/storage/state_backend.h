@@ -37,7 +37,17 @@ class StateBackend {
 
   /// Durably persists current state (checkpoint). Crash-safe: a crash during
   /// checkpointing must leave the previous checkpoint recoverable.
-  virtual Status Checkpoint() = 0;
+  ///
+  /// `commit_epoch` ties the checkpoint to an external commit record (the
+  /// replica passes checkpointed-block-id + 1, matching the manifest it
+  /// writes *after* this returns): the rollback journal stays on disk,
+  /// stamped with the epoch, and the next Open() rolls the pages back
+  /// unless the caller proves the epoch committed. Without it, a crash
+  /// after the journal retired but before the manifest advanced would
+  /// replay already-applied blocks onto the new checkpoint (double-apply).
+  /// commit_epoch == 0 is standalone mode — no external commit record, the
+  /// journal retires as soon as the flush completes.
+  virtual Status Checkpoint(uint64_t commit_epoch = 0) = 0;
 
   virtual size_t size() const = 0;
 
@@ -63,14 +73,18 @@ class DiskBackend : public StateBackend {
               size_t pool_pages);
 
   /// Runs journal rollback if a previous checkpoint was interrupted, then
-  /// rebuilds the index. Must be called before use.
-  Status Open();
+  /// rebuilds the index. Must be called before use. `committed_epoch` is
+  /// the highest epoch the caller's commit record proves durable (the
+  /// replica passes manifest block id + 1; 0 = no commit record): a
+  /// complete journal stamped with a higher epoch is an uncommitted
+  /// checkpoint and is rolled back.
+  Status Open(uint64_t committed_epoch = 0);
 
   Status Get(Key key, std::string* out) override;
   Status Put(Key key, std::string_view value,
              std::optional<std::string>* old_value) override;
   Status Erase(Key key, std::optional<std::string>* old_value) override;
-  Status Checkpoint() override;
+  Status Checkpoint(uint64_t commit_epoch = 0) override;
   size_t size() const override { return table_->size(); }
   Status ScanAll(const std::function<void(Key, std::string_view)>& fn) override {
     return table_->ScanAll(fn);
@@ -85,8 +99,8 @@ class DiskBackend : public StateBackend {
   DiskManager* disk() { return disk_.get(); }
 
  private:
-  Status RollbackJournalIfNeeded();
-  Status WriteJournal();
+  Status RollbackJournalIfNeeded(uint64_t committed_epoch);
+  Status WriteJournal(uint64_t commit_epoch);
 
   std::string journal_path_;
   std::unique_ptr<DiskManager> disk_;
@@ -105,7 +119,7 @@ class MemoryBackend : public StateBackend {
   Status Put(Key key, std::string_view value,
              std::optional<std::string>* old_value) override;
   Status Erase(Key key, std::optional<std::string>* old_value) override;
-  Status Checkpoint() override { return Status::OK(); }
+  Status Checkpoint(uint64_t = 0) override { return Status::OK(); }
   size_t size() const override;
   Status ScanAll(const std::function<void(Key, std::string_view)>& fn) override;
 

@@ -1,0 +1,71 @@
+#include "testing/fault.h"
+
+#include <mutex>
+
+#include "common/clock.h"
+
+namespace harmony {
+namespace testing {
+
+bool FaultInjector::Roll(double p) {
+  if (p <= 0.0 || healed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<SpinLock> lk(mu_);
+  return rng_.Chance(p);
+}
+
+void FaultInjector::MaybeDelay() {
+  if (Roll(o_.delay_prob)) {
+    stats_.delayed_ops.fetch_add(1, std::memory_order_relaxed);
+    SimulateDelayMicros(o_.delay_us);
+  }
+}
+
+Status FaultInjector::OnRead() {
+  MaybeDelay();
+  if (Roll(o_.fail_prob)) {
+    stats_.failed_ops.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected read fault");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnWrite(size_t len, size_t* persist_bytes) {
+  MaybeDelay();
+  uint64_t w;
+  {
+    std::lock_guard<SpinLock> lk(mu_);
+    w = ++writes_;
+  }
+  if (o_.fail_writes_after != 0 && w > o_.fail_writes_after &&
+      !healed_.load(std::memory_order_relaxed)) {
+    stats_.failed_ops.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected write fault (device dropped out)");
+  }
+  if (Roll(o_.short_write_prob)) {
+    stats_.short_writes.fetch_add(1, std::memory_order_relaxed);
+    uint64_t cut;
+    {
+      std::lock_guard<SpinLock> lk(mu_);
+      cut = rng_.Uniform(len == 0 ? 1 : len);
+    }
+    *persist_bytes = static_cast<size_t>(cut);
+    return Status::IOError("injected short write");
+  }
+  if (Roll(o_.fail_prob)) {
+    stats_.failed_ops.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected write fault");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnSync() {
+  MaybeDelay();
+  if (Roll(o_.fail_prob)) {
+    stats_.failed_ops.fetch_add(1, std::memory_order_relaxed);
+    return Status::IOError("injected sync fault");
+  }
+  return Status::OK();
+}
+
+}  // namespace testing
+}  // namespace harmony

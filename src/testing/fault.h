@@ -1,0 +1,96 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/spin_lock.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace harmony {
+namespace testing {
+
+/// Counters for what the injector actually did (tests assert the degraded
+/// path was genuinely exercised, not silently skipped).
+struct FaultStats {
+  std::atomic<uint64_t> failed_ops{0};
+  std::atomic<uint64_t> delayed_ops{0};
+  std::atomic<uint64_t> short_writes{0};
+};
+
+/// Deterministic disk-fault injector, consulted by DiskManager on every
+/// page read / write / sync when DiskModel::fault points at one. All
+/// decisions come from a seeded Rng, so a failing run reproduces from the
+/// seed. Thread-safe (DiskManager I/O is concurrent up to queue_depth).
+class FaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    double fail_prob = 0;        ///< op returns IOError
+    double delay_prob = 0;       ///< op stalls an extra delay_us first
+    uint64_t delay_us = 1000;
+    double short_write_prob = 0; ///< page write persists a prefix, then fails
+    /// After this many successful writes every later write fails (0 = off)
+    /// — models a device dropping out mid-run.
+    uint64_t fail_writes_after = 0;
+  };
+
+  explicit FaultInjector(Options o) : o_(o), rng_(o.seed) {}
+
+  /// Consulted before a page read. OK = proceed.
+  Status OnRead();
+  /// Consulted before a page write. OK = proceed; IOError = fail the op.
+  /// On a short-write fault, `*persist_bytes` (of `len`) is set to the
+  /// prefix the caller must still persist before returning the error.
+  Status OnWrite(size_t len, size_t* persist_bytes);
+  /// Consulted before a sync/flush.
+  Status OnSync();
+
+  const FaultStats& stats() const { return stats_; }
+
+  /// Stops injecting anything (a test "heals" the device and verifies
+  /// recovery); counters are preserved. Safe against in-flight I/O.
+  void Heal() { healed_.store(true, std::memory_order_relaxed); }
+
+ private:
+  bool Roll(double p);
+  void MaybeDelay();
+
+  const Options o_;
+  std::atomic<bool> healed_{false};
+  SpinLock mu_;
+  Rng rng_;
+  uint64_t writes_ = 0;
+  FaultStats stats_;
+};
+
+/// Deterministic network-fault plan for the analytic NetworkModel: a
+/// two-sided partition (nodes below the boundary vs the rest) whose links
+/// cost an extra penalty, plus uniform extra delay and seeded per-link
+/// jitter. Pure function of (plan, a, b) — no hidden state — so cluster
+/// simulations stay reproducible.
+struct NetFaultPlan {
+  /// Nodes [0, partition_boundary) are split from the rest; 0 disables.
+  uint32_t partition_boundary = 0;
+  uint64_t partition_penalty_us = 500'000;
+  uint64_t extra_delay_us = 0;     ///< added to every non-local link
+  uint64_t jitter_max_us = 0;      ///< deterministic per-link jitter bound
+  uint64_t jitter_seed = 1;
+
+  uint64_t AdjustOneWayUs(NodeId a, NodeId b, uint64_t base_us) const {
+    if (a == b) return base_us;
+    uint64_t us = base_us + extra_delay_us;
+    if (partition_boundary != 0 &&
+        (a < partition_boundary) != (b < partition_boundary)) {
+      us += partition_penalty_us;
+    }
+    if (jitter_max_us != 0) {
+      us += Mix64(jitter_seed ^ (uint64_t{a} << 32) ^ b) % (jitter_max_us + 1);
+    }
+    return us;
+  }
+};
+
+}  // namespace testing
+}  // namespace harmony

@@ -1,0 +1,210 @@
+#include "testing/fuzz.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/codec.h"
+
+namespace harmony {
+namespace testing {
+
+size_t FuzzRng::SkewedSize(size_t max) {
+  if (max == 0) return 0;
+  switch (Index(4)) {
+    case 0:
+      return Index(std::min<size_t>(max, 4) + 1);
+    case 1:
+      return Index(std::min<size_t>(max, 64) + 1);
+    case 2:
+      return Index(std::min<size_t>(max, 1024) + 1);
+    default:
+      return Index(max + 1);
+  }
+}
+
+namespace {
+
+void PutU32At(std::string* d, size_t pos, uint32_t v) {
+  if (pos + 4 > d->size()) return;
+  std::memcpy(d->data() + pos, &v, 4);
+}
+
+/// A u32 value that lies about a length or count: boundary-adjacent sizes
+/// that tempt off-by-one reads, and huge values that tempt unchecked
+/// allocations (count bombs).
+uint32_t HostileU32(FuzzRng& rng, size_t container_size) {
+  switch (rng.Index(6)) {
+    case 0:
+      return 0;
+    case 1:
+      return static_cast<uint32_t>(container_size);
+    case 2:
+      return static_cast<uint32_t>(container_size) + 1;
+    case 3:
+      return static_cast<uint32_t>(container_size) - 1;  // wraps at 0
+    case 4:
+      return 0xFFFFFFFFu;
+    default:
+      return rng.U32() | (1u << rng.Index(32));
+  }
+}
+
+}  // namespace
+
+void Mutator::MutateOnce(FuzzRng& rng, std::string* data) const {
+  std::string& d = *data;
+  // Empty inputs can only grow.
+  const size_t op = d.empty() ? 5 + rng.Index(2) : rng.Index(10);
+  switch (op) {
+    case 0: {  // bit flip
+      const size_t i = rng.Index(d.size());
+      d[i] = static_cast<char>(d[i] ^ (1u << rng.Index(8)));
+      break;
+    }
+    case 1: {  // byte set
+      d[rng.Index(d.size())] = static_cast<char>(rng.Byte());
+      break;
+    }
+    case 2: {  // truncate
+      d.resize(rng.Index(d.size() + 1));
+      break;
+    }
+    case 3: {  // erase a chunk
+      const size_t i = rng.Index(d.size());
+      const size_t n = 1 + rng.SkewedSize(d.size() - i - 1);
+      d.erase(i, n);
+      break;
+    }
+    case 4: {  // duplicate a chunk in place
+      const size_t i = rng.Index(d.size());
+      const size_t n = 1 + rng.SkewedSize(std::min<size_t>(d.size() - i, 256) - 1);
+      d.insert(i, d.substr(i, n));
+      break;
+    }
+    case 5: {  // insert random bytes
+      d.insert(rng.Index(d.size() + 1), rng.Bytes(1 + rng.SkewedSize(255)));
+      break;
+    }
+    case 6: {  // splice from the corpus (or random bytes when empty)
+      std::string donor;
+      if (corpus_ != nullptr && !corpus_->empty()) {
+        donor = (*corpus_)[rng.Index(corpus_->size())];
+      }
+      if (donor.empty()) donor = rng.Bytes(1 + rng.SkewedSize(128));
+      const size_t di = rng.Index(donor.size());
+      const size_t dn = 1 + rng.SkewedSize(donor.size() - di - 1);
+      const size_t at = rng.Index(d.size() + 1);
+      if (rng.Chance(0.5) && at < d.size()) {
+        d.replace(at, std::min(dn, d.size() - at), donor.substr(di, dn));
+      } else {
+        d.insert(at, donor.substr(di, dn));
+      }
+      break;
+    }
+    case 7: {  // u32 length-field lie at a random aligned-ish position
+      if (d.size() >= 4) {
+        PutU32At(&d, rng.Index(d.size() - 3), HostileU32(rng, d.size()));
+      } else {
+        d[rng.Index(d.size())] = static_cast<char>(0xFF);
+      }
+      break;
+    }
+    case 8: {  // count bomb: huge u32 near the front, where counts live
+      if (d.size() >= 4) {
+        const size_t window = std::min<size_t>(d.size() - 3, 64);
+        PutU32At(&d, rng.Index(window),
+                 0x10000000u + static_cast<uint32_t>(rng.Index(0xF0000000u)));
+      }
+      break;
+    }
+    default: {  // zero run
+      const size_t i = rng.Index(d.size());
+      const size_t n = 1 + rng.SkewedSize(d.size() - i - 1);
+      std::fill(d.begin() + static_cast<ptrdiff_t>(i),
+                d.begin() + static_cast<ptrdiff_t>(i + n), '\0');
+      break;
+    }
+  }
+}
+
+void Mutator::Mutate(FuzzRng& rng, std::string* data) const {
+  const size_t rounds = 1 + rng.Index(4);
+  for (size_t i = 0; i < rounds; i++) MutateOnce(rng, data);
+}
+
+std::string ReproduceHint(std::string_view tool, std::string_view target,
+                          uint64_t seed, uint64_t case_index) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "reproduce: %.*s --target %.*s --seed %llu --case %llu",
+                static_cast<int>(tool.size()), tool.data(),
+                static_cast<int>(target.size()), target.data(),
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(case_index));
+  return buf;
+}
+
+bool ParseHexCorpus(std::string_view text, std::string* out) {
+  out->clear();
+  int hi = -1;
+  bool comment = false;
+  for (char c : text) {
+    if (c == '\n') {
+      comment = false;
+      continue;
+    }
+    if (comment) continue;
+    if (c == '#') {
+      comment = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') continue;
+    int v;
+    if (c >= '0' && c <= '9') v = c - '0';
+    else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') v = c - 'A' + 10;
+    else return false;
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out->push_back(static_cast<char>((hi << 4) | v));
+      hi = -1;
+    }
+  }
+  return hi < 0;  // odd nibble count is malformed
+}
+
+size_t LoadHexCorpusDir(const std::string& dir, std::vector<std::string>* out) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  size_t loaded = 0;
+  // Deterministic order regardless of directory-entry order.
+  std::vector<std::string> names;
+  while (struct dirent* e = ::readdir(d)) {
+    if (e->d_name[0] == '.') continue;
+    names.emplace_back(e->d_name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    FILE* f = std::fopen((dir + "/" + name).c_str(), "rb");
+    if (f == nullptr) continue;
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    std::string bytes;
+    if (ParseHexCorpus(text, &bytes) && !bytes.empty()) {
+      out->push_back(std::move(bytes));
+      loaded++;
+    }
+  }
+  return loaded;
+}
+
+}  // namespace testing
+}  // namespace harmony

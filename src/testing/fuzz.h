@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace harmony {
+namespace testing {
+
+/// Deterministic RNG for fuzz cases, wrapping the repo-wide xoshiro256**
+/// (common/rng.h). Every fuzz target and the torture runner derive all of
+/// their randomness from one of these seeded with a published case seed, so
+/// any failure reproduces from the seed alone — no corpus state, no time,
+/// no address-space layout leaks into the byte stream.
+class FuzzRng {
+ public:
+  explicit FuzzRng(uint64_t seed) : rng_(seed) {}
+
+  uint64_t U64() { return rng_.Next(); }
+  uint32_t U32() { return static_cast<uint32_t>(rng_.Next()); }
+  uint8_t Byte() { return static_cast<uint8_t>(rng_.Next()); }
+  /// Uniform in [0, n); n == 0 returns 0.
+  size_t Index(size_t n) { return n == 0 ? 0 : rng_.Uniform(n); }
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + rng_.Uniform(hi - lo + 1);
+  }
+  bool Chance(double p) { return rng_.Chance(p); }
+  std::string Bytes(size_t n) {
+    std::string s(n, '\0');
+    for (auto& c : s) c = static_cast<char>(Byte());
+    return s;
+  }
+  /// Size skewed toward small values (most interesting mutations are local)
+  /// with an occasional large outlier, capped at `max`.
+  size_t SkewedSize(size_t max);
+
+  Rng& raw() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+/// The per-iteration case seed: position-mixed so neighbouring iterations
+/// share no stream prefix. `fuzz_harness --seed S --case K` replays exactly
+/// iteration K of a `--seed S` run.
+inline uint64_t CaseSeed(uint64_t run_seed, uint64_t iter) {
+  return Mix64(run_seed ^ Mix64(iter + 0x9E3779B97F4A7C15ULL));
+}
+
+/// Structure-aware byte mutator shared by every fuzz target and the
+/// promoted tests/formats_test.cc loops. Operations (docs/TESTING.md):
+///   bit flips, byte sets, truncation, chunk erase / duplicate, random
+///   insertion, splice-from-corpus, u32 length-field lies (little-endian
+///   u32 rewritten to a boundary-adjacent or huge value), count bombs
+///   (u32 set to huge counts), and zero runs.
+/// All randomness comes from the FuzzRng, so a (seed, input) pair always
+/// produces the same mutant.
+class Mutator {
+ public:
+  /// `corpus` entries feed the splice operation; may be empty.
+  explicit Mutator(const std::vector<std::string>* corpus = nullptr)
+      : corpus_(corpus) {}
+
+  /// Applies 1–4 random mutations to `data` in place.
+  void Mutate(FuzzRng& rng, std::string* data) const;
+
+  /// Applies exactly one random mutation.
+  void MutateOnce(FuzzRng& rng, std::string* data) const;
+
+ private:
+  const std::vector<std::string>* corpus_;
+};
+
+/// One-line reproduction hint, printed by fuzz targets and the torture
+/// runner on any failure. Keep the format stable: docs/TESTING.md documents
+/// pasting it back as CLI flags.
+std::string ReproduceHint(std::string_view tool, std::string_view target,
+                          uint64_t seed, uint64_t case_index);
+
+/// Parses a corpus file: hex bytes (whitespace-separated or contiguous),
+/// '#' starts a comment until end of line. Returns false on malformed hex.
+bool ParseHexCorpus(std::string_view text, std::string* out);
+
+/// Loads every regular file in `dir` with ParseHexCorpus, appending to
+/// `out`. Unreadable or malformed files are skipped. Returns the number of
+/// entries loaded.
+size_t LoadHexCorpusDir(const std::string& dir, std::vector<std::string>* out);
+
+}  // namespace testing
+}  // namespace harmony

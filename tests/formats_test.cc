@@ -15,6 +15,7 @@
 #include "common/compress.h"
 #include "common/rng.h"
 #include "core/harmonybc.h"
+#include "testing/fuzz.h"
 #include "tests/test_util.h"
 #include "txn/txn_context.h"
 
@@ -80,29 +81,30 @@ TEST(Hlz, RejectsWrongRawLen) {
 }
 
 TEST(Hlz, GarbageNeverCrashes) {
-  // Deterministic pseudo-fuzz: random buffers and truncations of a valid
-  // stream must either round-trip or fail cleanly with Corruption.
+  // Deterministic pseudo-fuzz on the shared structure-aware mutator
+  // (src/testing/fuzz.h — the same engine fuzz_harness drives much deeper).
+  // Mutants of a valid stream must either round-trip or fail cleanly with
+  // Corruption; a "success" must at least produce the declared size.
   const std::string valid_src = Repetitive(8192);
   std::string valid;
   HlzCompress(valid_src, &valid);
+  const std::vector<std::string> corpus = {valid, RandomBytes(64, 3)};
+  const testing::Mutator mutator(&corpus);
   std::string out;
-  for (uint64_t seed = 1; seed <= 200; seed++) {
-    const std::string garbage = RandomBytes(seed * 7 % 512 + 1, seed);
-    (void)HlzDecompress(garbage, valid_src.size(), &out);
-    (void)HlzDecompress(garbage, garbage.size(), &out);
+  for (uint64_t iter = 0; iter < 400; iter++) {
+    testing::FuzzRng rng(testing::CaseSeed(/*run_seed=*/42, iter));
+    std::string mutant = valid;
+    mutator.Mutate(rng, &mutant);
+    const size_t claimed =
+        rng.Chance(0.5) ? valid_src.size() : rng.Index(valid_src.size() + 2);
+    if (HlzDecompress(mutant, claimed, &out).ok()) {
+      EXPECT_EQ(out.size(), claimed) << "iter " << iter;
+    }
   }
+  // Truncations of a valid stream can never satisfy the declared raw size.
   for (size_t cut = 0; cut < valid.size(); cut += 13) {
     EXPECT_FALSE(HlzDecompress(valid.substr(0, cut), valid_src.size(), &out)
                      .ok());
-  }
-  // Bit flips: any outcome is acceptable except a crash or an out-of-bounds
-  // read; a "success" must at least produce the declared size.
-  for (size_t i = 0; i < valid.size(); i += 3) {
-    std::string flipped = valid;
-    flipped[i] = static_cast<char>(flipped[i] ^ 0x5A);
-    if (HlzDecompress(flipped, valid_src.size(), &out).ok()) {
-      EXPECT_EQ(out.size(), valid_src.size());
-    }
   }
 }
 
@@ -229,6 +231,21 @@ uint32_t FileHeaderVersion(const std::string& path) {
   return header[1];
 }
 
+std::string ReadFileBytes(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  EXPECT_GE(fd, 0);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) out.append(buf, n);
+  ::close(fd);
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
 // ------------------------------------------------------------- migration --
 
 TEST(BlockStoreMigration, ReadsV1HeaderlessLog) {
@@ -337,6 +354,118 @@ TEST(BlockStoreMigration, V3ThenV4AppendsAndCompresses) {
     EXPECT_EQ(all[i].batch.txns.size(), 8u);
   }
   EXPECT_OK(ChainVerifier::VerifyChain(all, "secret"));
+}
+
+TEST(BlockStoreMigration, StaleMigrateTempIsCleanedUpOnOpen) {
+  // A crash between writing <log>.migrate and the rename leaves the temp
+  // behind. Open() must remove it — both when no migration is pending (the
+  // crash happened after the rename) and when one is (before the rename),
+  // where a stale half-written temp must not poison the fresh migration.
+  TempDir dir("stale-migrate");
+  const std::string path = dir.path() + "/chain.log";
+  BlockBuilder builder("secret");
+
+  // Case 1: healthy v4 log, orphaned temp beside it.
+  {
+    BlockStore store(path);
+    ASSERT_OK(store.Open());
+    ASSERT_OK(store.Append(builder.Seal(MakeBatch(1, 1, 4), 0)));
+  }
+  WriteFile(path + ".migrate", RandomBytes(512, 11));
+  {
+    BlockStore store(path);
+    ASSERT_OK(store.Open());
+    EXPECT_EQ(store.num_blocks(), 1u);
+    EXPECT_FALSE(FileExists(path + ".migrate"));
+  }
+
+  // Case 2: v2 log still awaiting migration, stale temp from a crashed
+  // earlier attempt sitting beside it.
+  const std::string path2 = dir.path() + "/chain2.log";
+  std::string file;
+  uint32_t header[2] = {0x4C434248u, kLogV2};
+  file.append(reinterpret_cast<const char*>(header), 8);
+  TxnBatch batch = MakeBatch(1, 1, 5);
+  for (auto& t : batch.txns) t.fee = 0;
+  Block b = builder.Seal(std::move(batch), 0);
+  AppendRecord(&file, EncodeBlockOld(b, EncodeTxnV2));
+  WriteFile(path2, file);
+  WriteFile(path2 + ".migrate", RandomBytes(256, 13));
+  {
+    BlockStore store(path2);
+    ASSERT_OK(store.Open());
+    EXPECT_EQ(store.num_blocks(), 1u);
+    EXPECT_EQ(FileHeaderVersion(path2), kLogV4);
+    EXPECT_FALSE(FileExists(path2 + ".migrate"));
+    Block last;
+    ASSERT_OK(store.ReadLast(&last));
+    EXPECT_EQ(last.header.block_hash, b.header.block_hash);
+  }
+}
+
+// Opens every byte-prefix of `full`: no prefix may crash the store, and any
+// prefix that opens must expose a (block-wise) prefix of the original chain
+// with a consistent count.
+void TruncationSweep(const std::string& dir, const std::string& full,
+                     const std::vector<Digest>& hashes) {
+  for (size_t cut = 0; cut <= full.size(); cut++) {
+    const std::string path = dir + "/trunc.log";
+    WriteFile(path, full.substr(0, cut));
+    BlockStore store(path);
+    if (!store.Open().ok()) continue;  // clean rejection is fine
+    std::vector<Block> all;
+    SCOPED_TRACE(cut);
+    ASSERT_OK(store.ReadAll(&all));
+    ASSERT_LE(all.size(), hashes.size());
+    EXPECT_EQ(store.num_blocks(), all.size());
+    Block last;
+    if (!all.empty()) {
+      ASSERT_OK(store.ReadLast(&last));
+      EXPECT_EQ(last.header.block_hash, all.back().header.block_hash);
+    }
+    for (size_t i = 0; i < all.size(); i++) {
+      EXPECT_EQ(all[i].header.block_hash, hashes[i]) << "cut " << cut;
+    }
+  }
+}
+
+TEST(BlockStoreTruncation, EveryByteOffsetOfV4Log) {
+  TempDir dir("trunc-v4");
+  const std::string path = dir.path() + "/chain.log";
+  BlockBuilder builder("secret");
+  std::vector<Digest> hashes;
+  {
+    BlockStore store(path);
+    ASSERT_OK(store.Open());
+    TxnId tid = 1;
+    for (BlockId i = 1; i <= 3; i++) {
+      Block b = builder.Seal(MakeBatch(i, tid, 8), 0);
+      tid += 8;
+      hashes.push_back(b.header.block_hash);
+      ASSERT_OK(store.Append(b));
+    }
+  }
+  TruncationSweep(dir.path(), ReadFileBytes(path), hashes);
+}
+
+TEST(BlockStoreTruncation, EveryByteOffsetOfV2LogThroughMigration) {
+  // The same sweep through the migrate-on-open path: prefixes of a v2 log.
+  TempDir dir("trunc-v2");
+  BlockBuilder builder("secret");
+  std::string file;
+  uint32_t header[2] = {0x4C434248u, kLogV2};
+  file.append(reinterpret_cast<const char*>(header), 8);
+  std::vector<Digest> hashes;
+  TxnId tid = 1;
+  for (BlockId i = 1; i <= 2; i++) {
+    TxnBatch batch = MakeBatch(i, tid, 5);
+    for (auto& t : batch.txns) t.fee = 0;
+    tid += 5;
+    Block b = builder.Seal(std::move(batch), 0);
+    hashes.push_back(b.header.block_hash);
+    AppendRecord(&file, EncodeBlockOld(b, EncodeTxnV2));
+  }
+  TruncationSweep(dir.path(), file, hashes);
 }
 
 TEST(BlockStoreV4, CorruptCompressedPayloadTruncatesWithoutCrash) {

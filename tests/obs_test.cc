@@ -8,6 +8,7 @@
 #include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "testing/fuzz.h"
 #include "tests/test_util.h"
 
 namespace harmony {
@@ -347,6 +348,45 @@ TEST(WireMetricsTest, DecodeRejectsHostileInput) {
   std::string bomb;
   bomb.append("\xff\xff\xff\xff", 4);  // n_counters = 2^32-1
   EXPECT_FALSE(net::DecodeMetrics(bomb, &out));
+}
+
+TEST(WireMetricsTest, MutatedPayloadsNeverCrashDecode) {
+  // kOpMetrics payloads under the shared structure-aware mutator
+  // (src/testing/fuzz.h): DecodeMetrics must reject or accept every mutant
+  // without crashing, and an accepted mutant must be internally consistent
+  // enough to re-encode. fuzz_harness --target metrics runs the same
+  // invariant orders of magnitude deeper.
+  MetricsRegistry reg;
+  reg.GetCounter("txn.traced")->Add(3);
+  reg.GetGauge("chain.height")->Set(12);
+  LatencyHistogram* h = reg.GetHistogram("txn.resolve_us");
+  for (uint64_t v : {2, 40, 9'000}) h->Record(v);
+  MetricsSnapshot snap = reg.Snapshot();
+  SlowTxnTrace t;
+  t.client_id = 1;
+  t.client_seq = 2;
+  t.total_us = 50;
+  snap.slow_txns.push_back(t);
+  std::string valid;
+  net::EncodeMetrics(snap, &valid);
+
+  const std::vector<std::string> corpus = {valid};
+  const testing::Mutator mutator(&corpus);
+  for (uint64_t iter = 0; iter < 500; iter++) {
+    testing::FuzzRng rng(testing::CaseSeed(/*run_seed=*/7, iter));
+    std::string mutant = valid;
+    mutator.Mutate(rng, &mutant);
+    MetricsSnapshot out;
+    if (net::DecodeMetrics(mutant, &out)) {
+      std::string reencoded;
+      net::EncodeMetrics(out, &reencoded);
+      EXPECT_FALSE(reencoded.empty()) << "iter " << iter;
+    }
+  }
+  // The unmutated payload always decodes.
+  MetricsSnapshot back;
+  ASSERT_TRUE(net::DecodeMetrics(valid, &back));
+  EXPECT_EQ(back.counters.size(), 1u);
 }
 
 TEST(WireMetricsTest, StatsV1PayloadStaysFrozen) {

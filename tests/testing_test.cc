@@ -1,0 +1,260 @@
+// The adversarial-robustness harness's own foundations (docs/TESTING.md):
+// deterministic fuzz RNG / mutator, corpus parsing, crash-point arming, and
+// the epoch-stamped rollback journal the torture runner's recovery
+// invariant leans on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/block_store.h"
+#include "storage/state_backend.h"
+#include "testing/crash_point.h"
+#include "testing/fuzz.h"
+#include "tests/test_util.h"
+
+namespace harmony {
+namespace {
+
+using testing::CaseSeed;
+using testing::FuzzRng;
+using testing::Mutator;
+
+// --------------------------------------------------------- fuzz library --
+
+TEST(FuzzRngTest, SameSeedSameStream) {
+  FuzzRng a(123), b(123);
+  for (int i = 0; i < 100; i++) {
+    ASSERT_EQ(a.U64(), b.U64());
+  }
+  FuzzRng c(124);
+  bool differs = false;
+  FuzzRng a2(123);
+  for (int i = 0; i < 100; i++) differs |= a2.U64() != c.U64();
+  EXPECT_TRUE(differs);
+}
+
+TEST(FuzzRngTest, CaseSeedsAreDeterministicAndSpread) {
+  // Replaying --seed S --case K must regenerate the exact case, and
+  // neighbouring iterations must not share a seed.
+  EXPECT_EQ(CaseSeed(1, 0), CaseSeed(1, 0));
+  std::vector<uint64_t> seeds;
+  for (uint64_t k = 0; k < 64; k++) seeds.push_back(CaseSeed(7, k));
+  for (size_t i = 0; i < seeds.size(); i++) {
+    for (size_t j = i + 1; j < seeds.size(); j++) {
+      EXPECT_NE(seeds[i], seeds[j]);
+    }
+  }
+  EXPECT_NE(CaseSeed(1, 5), CaseSeed(2, 5));
+}
+
+TEST(MutatorTest, SameSeedSameMutant) {
+  const std::vector<std::string> corpus = {"donor-bytes-0123456789"};
+  const Mutator mutator(&corpus);
+  const std::string input(200, 'x');
+  for (uint64_t seed = 1; seed <= 50; seed++) {
+    FuzzRng r1(seed), r2(seed);
+    std::string m1 = input, m2 = input;
+    mutator.Mutate(r1, &m1);
+    mutator.Mutate(r2, &m2);
+    EXPECT_EQ(m1, m2) << "seed " << seed;
+  }
+}
+
+TEST(MutatorTest, MutatesEmptyInputByGrowing) {
+  const Mutator mutator;
+  for (uint64_t seed = 1; seed <= 20; seed++) {
+    FuzzRng rng(seed);
+    std::string m;
+    mutator.MutateOnce(rng, &m);
+    EXPECT_FALSE(m.empty()) << "seed " << seed;
+  }
+}
+
+TEST(MutatorTest, EventuallyChangesInput) {
+  const Mutator mutator;
+  const std::string input = "stable-input-bytes";
+  size_t changed = 0;
+  for (uint64_t seed = 1; seed <= 40; seed++) {
+    FuzzRng rng(seed);
+    std::string m = input;
+    mutator.Mutate(rng, &m);
+    if (m != input) changed++;
+  }
+  EXPECT_GT(changed, 30u);  // near-identity mutants must be rare
+}
+
+TEST(ReproduceHintTest, FormatIsStable) {
+  // docs/TESTING.md tells users to paste this back as CLI flags verbatim.
+  EXPECT_EQ(testing::ReproduceHint("fuzz_harness", "hlz", 1, 42),
+            "reproduce: fuzz_harness --target hlz --seed 1 --case 42");
+}
+
+TEST(HexCorpusTest, ParsesHexCommentsAndWhitespace) {
+  std::string out;
+  ASSERT_TRUE(testing::ParseHexCorpus("48 42\n43 4c", &out));
+  EXPECT_EQ(out, "HBCL");
+  ASSERT_TRUE(testing::ParseHexCorpus("# header comment\n4842434c # tail",
+                                      &out));
+  EXPECT_EQ(out, "HBCL");
+  ASSERT_TRUE(testing::ParseHexCorpus("", &out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(testing::ParseHexCorpus("484", &out));   // odd nibble count
+  EXPECT_FALSE(testing::ParseHexCorpus("48zz", &out));  // non-hex
+}
+
+TEST(HexCorpusTest, LoadsDirectorySkippingMalformed) {
+  TempDir dir("corpus");
+  auto write = [&](const std::string& name, const std::string& text) {
+    FILE* f = std::fopen((dir.path() + "/" + name).c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  };
+  write("a.hex", "# valid\n01 02 03");
+  write("b.hex", "zz not hex");
+  write("c.hex", "ff");
+  std::vector<std::string> entries;
+  EXPECT_EQ(testing::LoadHexCorpusDir(dir.path(), &entries), 2u);
+  ASSERT_EQ(entries.size(), 2u);
+  // Sorted by name: a.hex then c.hex.
+  EXPECT_EQ(entries[0], std::string("\x01\x02\x03", 3));
+  EXPECT_EQ(entries[1], std::string("\xff", 1));
+}
+
+// --------------------------------------------------------- crash points --
+
+class CrashPointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { testing::DisarmCrashPoints(); }
+};
+
+TEST_F(CrashPointTest, FiresHandlerOnScheduledHitOnly) {
+  int fired = 0;
+  testing::ArmCrashPointForTest("unit.test.point", /*hit=*/2,
+                                [&] { fired++; });
+  HARMONY_CRASH_POINT("unit.test.point");
+  EXPECT_EQ(fired, 0);
+  HARMONY_CRASH_POINT("unit.test.point");
+  EXPECT_EQ(fired, 1);
+  HARMONY_CRASH_POINT("unit.test.point");  // past the target: no re-fire
+  EXPECT_EQ(fired, 1);
+  HARMONY_CRASH_POINT("unit.other.point");  // different point: not counted
+  EXPECT_EQ(testing::CrashPointHits("unit.test.point"), 3u);
+  EXPECT_EQ(testing::CrashPointHits("unit.other.point"), 0u);
+}
+
+TEST_F(CrashPointTest, DisarmedPointsCostNothingAndCountNothing) {
+  testing::DisarmCrashPoints();
+  HARMONY_CRASH_POINT("unit.test.point");
+  EXPECT_EQ(testing::CrashPointHits("unit.test.point"), 0u);
+}
+
+TEST_F(CrashPointTest, TornWriteReportsFraction) {
+  int killed = 0;
+  testing::ArmCrashPointForTest("unit.torn", /*hit=*/1, [&] { killed++; },
+                                /*frac=*/0.25);
+  double frac = 0;
+  // Wrong point never triggers.
+  EXPECT_FALSE(testing::CrashPointTorn("unit.other", &frac));
+  // The scheduled hit reports the armed fraction; the caller then persists
+  // that prefix and crashes.
+  ASSERT_TRUE(testing::CrashPointTorn("unit.torn", &frac));
+  EXPECT_DOUBLE_EQ(frac, 0.25);
+  testing::CrashNow();
+  EXPECT_EQ(killed, 1);
+}
+
+TEST_F(CrashPointTest, CompiledIntoAppendPath) {
+  // The hooks are in the real code paths, not just the catalogue: arming
+  // chain.append.after_write fires during a real BlockStore::Append.
+  TempDir dir("crash-append");
+  int fired = 0;
+  testing::ArmCrashPointForTest("chain.append.after_write", /*hit=*/1,
+                                [&] { fired++; });
+  BlockStore store(dir.path() + "/chain.log");
+  ASSERT_OK(store.Open());
+  BlockBuilder builder("secret");
+  TxnBatch batch;
+  batch.block_id = 1;
+  batch.first_tid = 1;
+  TxnRequest t;
+  t.proc_id = 1;
+  t.client_seq = 1;
+  batch.txns.push_back(std::move(t));
+  ASSERT_OK(store.Append(builder.Seal(std::move(batch), 0)));
+  EXPECT_EQ(fired, 1);
+}
+
+// --------------------------------------------- epoch-stamped journal ------
+
+// The rollback journal is stamped with the checkpoint's commit epoch
+// (checkpointed block id + 1); Open(committed_epoch) rolls a *complete*
+// journal back iff its epoch exceeds what the caller's commit record
+// proves durable. This is the property the torture runner's
+// replica.checkpoint.* schedules exercise end-to-end.
+TEST(EpochJournalTest, UncommittedCheckpointRollsBackCommittedSticks) {
+  TempDir dir("epoch-journal");
+  const auto reopen = [&](uint64_t committed_epoch) {
+    auto b = std::make_unique<DiskBackend>(dir.path(), "state",
+                                           DiskModel::RamDisk(), 16);
+    EXPECT_OK(b->Open(committed_epoch));
+    return b;
+  };
+  const auto get = [](DiskBackend* b, Key k) {
+    std::string v;
+    Status s = b->Get(k, &v);
+    return s.ok() ? v : "<" + s.ToString() + ">";
+  };
+  std::optional<std::string> old;
+
+  // Baseline: standalone checkpoint (epoch 0) — journal retires at once.
+  {
+    auto b = reopen(0);
+    ASSERT_OK(b->Put(1, "a", &old));
+    ASSERT_OK(b->Put(2, "b", &old));
+    ASSERT_OK(b->Checkpoint(/*commit_epoch=*/0));
+  }
+  // Epoch-stamped checkpoint 7 on top: journal stays on disk.
+  {
+    auto b = reopen(0);
+    ASSERT_OK(b->Put(1, "A2", &old));
+    ASSERT_OK(b->Put(3, "c", &old));
+    ASSERT_OK(b->Checkpoint(/*commit_epoch=*/7));
+  }
+  // Caller can only prove epoch 6: checkpoint 7 never committed (its
+  // manifest never landed), so Open must roll the pages back to baseline.
+  {
+    auto b = reopen(6);
+    EXPECT_EQ(get(b.get(), 1), "a");
+    EXPECT_EQ(get(b.get(), 2), "b");
+    std::string v;
+    EXPECT_TRUE(b->Get(3, &v).IsNotFound());
+  }
+  // Redo checkpoint 7; this time the commit record proves it: state sticks.
+  {
+    auto b = reopen(6);
+    ASSERT_OK(b->Put(1, "A2", &old));
+    ASSERT_OK(b->Put(3, "c", &old));
+    ASSERT_OK(b->Checkpoint(/*commit_epoch=*/7));
+  }
+  {
+    auto b = reopen(7);
+    EXPECT_EQ(get(b.get(), 1), "A2");
+    EXPECT_EQ(get(b.get(), 2), "b");
+    EXPECT_EQ(get(b.get(), 3), "c");
+  }
+  // A higher proven epoch keeps it too (journal from 7 <= proven 9).
+  {
+    auto b = reopen(9);
+    EXPECT_EQ(get(b.get(), 1), "A2");
+    EXPECT_EQ(get(b.get(), 3), "c");
+  }
+}
+
+}  // namespace
+}  // namespace harmony

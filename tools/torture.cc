@@ -1,0 +1,484 @@
+// Crash-recovery torture (docs/TESTING.md): SIGKILL a child mid-workload at
+// an injected crash point, then prove recovery is exact.
+//
+// Each schedule derives everything — the crash point, its hit count, the
+// torn-write fraction, the workload — from CaseSeed(run_seed, k), so
+//
+//   torture --seed S --schedule K
+//
+// replays schedule K of a `--seed S` run byte-for-byte. The parent arms the
+// crash point via the HARMONY_CRASH environment variable (src/testing/
+// crash_point.h) in the child's environment only, forks+execs itself in
+// child mode, and lets the child die wherever the schedule says. The child
+// is hard-killed (SIGKILL, no destructors), but completed pwrites survive
+// in the page cache — exactly the host-crash model the recovery design
+// assumes (docs/FORMATS.md "Failure semantics").
+//
+// Verification is digest equality against an independent replay: the parent
+// recovers the torn directory, then feeds the *recovered* chain to a fresh
+// in-memory reference replica and requires both StateDigests to match, plus
+// a full AuditChain. Any divergence — lost committed block, double-applied
+// checkpoint gap, torn record accepted — fails the schedule and prints the
+// repro line.
+//
+//   torture --schedules 200 --seed 1            # the CI smoke invocation
+//   torture --seed 1 --schedule 137             # replay one schedule
+//   torture --schedules 50 --seed 9 --keep      # keep the chain dirs
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/block_store.h"
+#include "common/codec.h"
+#include "core/harmonybc.h"
+#include "replica/replica.h"
+#include "testing/crash_point.h"
+#include "testing/fuzz.h"
+#include "txn/txn_context.h"
+#include "txn/value.h"
+
+namespace harmony {
+namespace {
+
+using testing::CaseSeed;
+using testing::FuzzRng;
+
+constexpr Key kAccounts = 16;
+constexpr int64_t kInitialBalance = 1000;
+
+// --------------------------------------------------------- shared pieces --
+
+Status Transfer(TxnContext& ctx, const ProcArgs& a) {
+  Value src;
+  HARMONY_RETURN_NOT_OK(ctx.GetExisting(static_cast<Key>(a.at(0)), &src));
+  if (src.field(0) < a.at(2)) return Status::Aborted("insufficient balance");
+  ctx.AddField(static_cast<Key>(a.at(0)), 0, -a.at(2));
+  ctx.AddField(static_cast<Key>(a.at(1)), 0, a.at(2));
+  return Status::OK();
+}
+
+Status Increment(TxnContext& ctx, const ProcArgs& a) {
+  ctx.AddField(static_cast<Key>(a.at(0)), 0, a.at(1));
+  return Status::OK();
+}
+
+HarmonyBC::Options DbOpts(const std::string& dir) {
+  HarmonyBC::Options o;
+  o.dir = dir;
+  o.disk = DiskModel::RamDisk();
+  o.pool_pages = 128;
+  o.threads = 2;
+  o.block_size = 4;
+  o.checkpoint_every = 3;     // checkpoint often: more windows to tear
+  o.max_block_delay_us = 100; // seal sub-size tails quickly
+  return o;
+}
+
+Result<std::unique_ptr<HarmonyBC>> BootDb(const std::string& dir) {
+  // Genesis rows are loaded only when no checkpoint exists yet: once a
+  // checkpoint is durable the on-disk state *is* the genesis-plus-replay
+  // baseline, and re-loading would overwrite checkpointed balances.
+  const bool fresh = !CheckpointManifest(dir + "/replica.ckpt").Exists();
+  auto db = HarmonyBC::Open(DbOpts(dir));
+  HARMONY_RETURN_NOT_OK(db.status());
+  (*db)->RegisterProcedure(1, "transfer", Transfer);
+  (*db)->RegisterProcedure(2, "increment", Increment);
+  if (fresh) {
+    for (Key k = 0; k < kAccounts; k++) {
+      HARMONY_RETURN_NOT_OK((*db)->Load(k, Value({kInitialBalance})));
+    }
+  }
+  HARMONY_RETURN_NOT_OK((*db)->Recover().status());
+  return db;
+}
+
+// ------------------------------------------------------------ child mode --
+
+/// Runs the seeded workload until the armed crash point kills the process
+/// (or to completion, when the schedule's point never fires — e.g. a
+/// migrate point on a schedule with nothing to migrate).
+int RunChild(const std::string& dir, uint64_t wseed, uint64_t txns) {
+  auto db = BootDb(dir);
+  if (!db.ok()) {
+    std::fprintf(stderr, "child boot: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(wseed);
+  for (uint64_t i = 0; i < txns; i++) {
+    TxnRequest t;
+    if (rng.Chance(0.7)) {
+      t.proc_id = 2;  // increment
+      t.args.ints = {static_cast<int64_t>(rng.Uniform(kAccounts)),
+                     rng.UniformRange(1, 9)};
+    } else {
+      t.proc_id = 1;  // transfer (may deterministically abort)
+      const int64_t from = static_cast<int64_t>(rng.Uniform(kAccounts));
+      const int64_t to = static_cast<int64_t>(rng.Uniform(kAccounts));
+      t.args.ints = {from, to, rng.UniformRange(1, 50)};
+    }
+    t.client_id = 1 + rng.Uniform(4);
+    t.client_seq = i + 1;
+    if (Status s = (*db)->Submit(std::move(t)); !s.ok()) {
+      std::fprintf(stderr, "child submit: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if ((i + 1) % 16 == 0) {
+      if (Status s = (*db)->Sync(); !s.ok()) {
+        std::fprintf(stderr, "child sync: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  if (Status s = (*db)->Sync(); !s.ok()) {
+    std::fprintf(stderr, "child final sync: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------- parent mode --
+
+/// Pre-builds a v3 block log so the child's Open() migrates it — the only
+/// way the chain.migrate.* crash points (and the v2->v4 read paths) are on
+/// a schedule's execution path.
+bool BuildMigrateChain(const std::string& dir, uint64_t seed,
+                       size_t n_blocks) {
+  std::string file;
+  codec::AppendU32(&file, 0x4C434248u);  // kLogMagic
+  codec::AppendU32(&file, kLogV3);
+  BlockBuilder builder("orderer-secret");
+  Rng rng(seed);
+  TxnId tid = 1;
+  for (size_t i = 0; i < n_blocks; i++) {
+    TxnBatch batch;
+    batch.block_id = static_cast<BlockId>(i + 1);
+    batch.first_tid = tid;
+    const size_t n = 1 + rng.Uniform(4);
+    for (size_t j = 0; j < n; j++) {
+      TxnRequest t;
+      t.proc_id = 2;
+      t.args.ints = {static_cast<int64_t>(rng.Uniform(kAccounts)),
+                     rng.UniformRange(1, 9)};
+      t.client_id = 1;
+      t.client_seq = tid + j;
+      batch.txns.push_back(std::move(t));
+    }
+    Block b = builder.Seal(std::move(batch), 1000 + i);
+    tid += b.header.txn_count;
+    const std::string payload = BlockCodec::Encode(b);
+    codec::AppendU32(&file, static_cast<uint32_t>(payload.size()));
+    file.append(payload);
+    codec::AppendU32(&file, Crc32(payload));
+  }
+  const std::string path = dir + "/replica.chain";
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(file.data(), 1, file.size(), f) == file.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::string DigestHex(const Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string s;
+  for (uint8_t b : d) {
+    s.push_back(kHex[b >> 4]);
+    s.push_back(kHex[b & 0xf]);
+  }
+  return s;
+}
+
+/// One schedule's crash plan, derived entirely from its seed.
+struct Schedule {
+  std::string point;
+  uint64_t hit = 1;
+  double frac = 1.0;     // torn-write prefix fraction
+  bool torn = false;
+  bool migrate = false;  // pre-build a v3 log first
+  uint64_t wseed = 0;    // child workload seed
+  uint64_t txns = 0;
+  size_t migrate_blocks = 0;
+
+  std::string EnvSpec() const {
+    char buf[128];
+    if (torn) {
+      std::snprintf(buf, sizeof(buf), "%s:%" PRIu64 ":%.3f", point.c_str(),
+                    hit, frac);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s:%" PRIu64, point.c_str(), hit);
+    }
+    return buf;
+  }
+};
+
+Schedule PlanSchedule(uint64_t run_seed, uint64_t k) {
+  FuzzRng rng(CaseSeed(run_seed, k));
+  Schedule s;
+  s.wseed = rng.U64();
+  s.txns = rng.Range(48, 120);
+  s.migrate = rng.Chance(0.2);
+  s.migrate_blocks = s.migrate ? 2 + rng.Index(6) : 0;
+
+  // Pick the crash point: migrate schedules aim at the migration rename
+  // half the time (the only schedules where those points are reachable);
+  // everything else draws uniformly from the non-migrate points.
+  if (s.migrate && rng.Chance(0.5)) {
+    s.point = rng.Chance(0.5) ? "chain.migrate.before_rename"
+                              : "chain.migrate.after_rename";
+    s.hit = 1;
+  } else {
+    std::vector<const char*> pool;
+    for (size_t i = 0; i < testing::kNumCrashPoints; i++) {
+      if (std::strncmp(testing::kCrashPointCatalogue[i], "chain.migrate.",
+                       14) != 0) {
+        pool.push_back(testing::kCrashPointCatalogue[i]);
+      }
+    }
+    s.point = pool[rng.Index(pool.size())];
+    s.hit = 1 + rng.Index(10);
+  }
+  if (s.point == "chain.append.torn_write") {
+    s.torn = true;
+    s.frac = 0.05 + 0.9 * (static_cast<double>(rng.Index(1000)) / 1000.0);
+  }
+  return s;
+}
+
+/// Recovers the schedule's directory and checks it against an independent
+/// replay of its own persisted chain. Returns false (with a diagnostic) on
+/// any divergence.
+bool VerifySchedule(const std::string& dir) {
+  auto db = BootDb(dir);
+  if (!db.ok()) {
+    std::fprintf(stderr, "recover failed: %s\n",
+                 db.status().ToString().c_str());
+    return false;
+  }
+  if (Status s = (*db)->AuditChain(); !s.ok()) {
+    std::fprintf(stderr, "audit failed: %s\n", s.ToString().c_str());
+    return false;
+  }
+  auto recovered = (*db)->StateDigest();
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "digest failed: %s\n",
+                 recovered.status().ToString().c_str());
+    return false;
+  }
+  std::vector<Block> blocks;
+  if (Status s = (*db)->replica()->block_store()->ReadAll(&blocks); !s.ok()) {
+    std::fprintf(stderr, "chain read failed: %s\n", s.ToString().c_str());
+    return false;
+  }
+
+  // Independent reference: a fresh in-memory replica replays the recovered
+  // chain from genesis. Deterministic execution makes its digest the ground
+  // truth for "what the state after these blocks must be".
+  ReplicaOptions ro;
+  ro.dir = dir;
+  ro.name = "ref";
+  ro.in_memory = true;
+  ro.threads = 2;
+  ro.persist_blocks = false;
+  // Must match the workload's checkpoint period: Replica::Open derives the
+  // DCC barrier period from it, and barrier placement changes which
+  // snapshot each block reads — a different period is a semantically
+  // different (still deterministic) execution, not a valid reference.
+  ro.checkpoint_every = DbOpts(dir).checkpoint_every;
+  Replica ref(ro);
+  if (!ref.Open().ok()) {
+    std::fprintf(stderr, "reference open failed\n");
+    return false;
+  }
+  ref.RegisterProcedure(1, "transfer", Transfer);
+  ref.RegisterProcedure(2, "increment", Increment);
+  for (Key k = 0; k < kAccounts; k++) {
+    if (!ref.LoadRow(k, Value({kInitialBalance})).ok()) return false;
+  }
+  for (Block& b : blocks) {
+    if (Status s = ref.SubmitBlock(std::move(b)); !s.ok()) {
+      std::fprintf(stderr, "reference replay failed: %s\n",
+                   s.ToString().c_str());
+      return false;
+    }
+  }
+  if (!ref.Drain().ok()) return false;
+  auto expect = ref.StateDigest();
+  if (!expect.ok()) return false;
+
+  if (DigestHex(*recovered) != DigestHex(*expect)) {
+    std::fprintf(stderr,
+                 "DIGEST MISMATCH after recovery\n  recovered: %s\n"
+                 "  reference: %s\n  chain blocks: %zu, height %" PRIu64 "\n",
+                 DigestHex(*recovered).c_str(), DigestHex(*expect).c_str(),
+                 blocks.size(),
+                 static_cast<uint64_t>((*db)->height()));
+    return false;
+  }
+  return true;
+}
+
+int RunSchedule(const std::string& exe, const std::string& base_dir,
+                uint64_t run_seed, uint64_t k, bool keep) {
+  const Schedule plan = PlanSchedule(run_seed, k);
+  const std::string dir = base_dir + "/s" + std::to_string(k);
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "mkdir %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  if (plan.migrate &&
+      !BuildMigrateChain(dir, plan.wseed ^ 0xABCDULL, plan.migrate_blocks)) {
+    std::fprintf(stderr, "cannot pre-build migrate chain\n");
+    return 1;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (pid == 0) {
+    // Child: arm the crash point in this environment only, then re-exec so
+    // the crash-point library's env hook sees it at static-init time.
+    ::setenv("HARMONY_CRASH", plan.EnvSpec().c_str(), 1);
+    const std::string wseed = std::to_string(plan.wseed);
+    const std::string txns = std::to_string(plan.txns);
+    ::execl(exe.c_str(), exe.c_str(), "--child", "--dir", dir.c_str(),
+            "--wseed", wseed.c_str(), "--txns", txns.c_str(),
+            static_cast<char*>(nullptr));
+    std::perror("execl");
+    ::_exit(127);
+  }
+
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) != pid) {
+    std::perror("waitpid");
+    return 1;
+  }
+  const bool killed =
+      WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL;
+  const bool completed = WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+  if (!killed && !completed) {
+    std::fprintf(stderr,
+                 "schedule %" PRIu64 " (%s): child failed (wstatus 0x%x)\n"
+                 "reproduce: torture --seed %" PRIu64 " --schedule %" PRIu64
+                 "\n",
+                 k, plan.EnvSpec().c_str(), wstatus, run_seed, k);
+    return 1;
+  }
+  if (!VerifySchedule(dir)) {
+    std::fprintf(stderr,
+                 "schedule %" PRIu64 " (%s, %s): recovery check FAILED\n"
+                 "reproduce: torture --seed %" PRIu64 " --schedule %" PRIu64
+                 "\n",
+                 k, plan.EnvSpec().c_str(), killed ? "killed" : "ran out",
+                 run_seed, k);
+    return 1;
+  }
+  if (!keep) std::filesystem::remove_all(dir, ec);
+  return 0;
+}
+
+int TortureMain(int argc, char** argv) {
+  std::string dir;
+  std::string child_dir;
+  uint64_t schedules = 200;
+  uint64_t seed = 1;
+  uint64_t only_schedule = 0;
+  bool have_only = false;
+  bool child = false;
+  bool keep = false;
+  uint64_t wseed = 0;
+  uint64_t txns = 0;
+
+  for (int i = 1; i < argc; i++) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--schedules") {
+      schedules = std::strtoull(next(), nullptr, 0);
+    } else if (a == "--seed") {
+      seed = std::strtoull(next(), nullptr, 0);
+    } else if (a == "--schedule") {
+      only_schedule = std::strtoull(next(), nullptr, 0);
+      have_only = true;
+    } else if (a == "--dir") {
+      dir = next();
+    } else if (a == "--keep") {
+      keep = true;
+    } else if (a == "--child") {
+      child = true;
+    } else if (a == "--wseed") {
+      wseed = std::strtoull(next(), nullptr, 0);
+    } else if (a == "--txns") {
+      txns = std::strtoull(next(), nullptr, 0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return 2;
+    }
+  }
+
+  if (child) {
+    if (dir.empty()) {
+      std::fprintf(stderr, "--child needs --dir\n");
+      return 2;
+    }
+    return RunChild(dir, wseed, txns);
+  }
+
+  char exe[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (n <= 0) {
+    std::perror("readlink /proc/self/exe");
+    return 1;
+  }
+  exe[n] = '\0';
+
+  bool own_dir = false;
+  if (dir.empty()) {
+    char tmpl[] = "/tmp/harmony_torture_XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+      std::perror("mkdtemp");
+      return 1;
+    }
+    dir = tmpl;
+    own_dir = true;
+  }
+
+  const uint64_t first = have_only ? only_schedule : 0;
+  const uint64_t last = have_only ? only_schedule + 1 : schedules;
+  for (uint64_t k = first; k < last; k++) {
+    const int rc = RunSchedule(exe, dir, seed, k, keep || have_only);
+    if (rc != 0) return rc;
+  }
+  if (own_dir && !keep && !have_only) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  std::printf("torture: %" PRIu64 " schedule(s) passed (seed %" PRIu64
+              ", digests verified against reference replay)\n",
+              last - first, seed);
+  return 0;
+}
+
+}  // namespace
+}  // namespace harmony
+
+int main(int argc, char** argv) { return harmony::TortureMain(argc, argv); }
