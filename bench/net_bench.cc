@@ -14,6 +14,7 @@
 //   ./build/net_bench [--conns 64] [--txns 2000] [--window 128]
 //                     [--batch 16] [--batch-delay-us 200]
 //                     [--port P]   # drive an external `harmonyd serve`
+//                     [--replicas N [--harmonyd PATH]]  # multi-process cluster
 //
 // The default run reports the wire path twice — one SUBMIT frame per txn
 // (wire v1 behaviour) and client-coalesced BATCH_SUBMIT frames (wire v2,
@@ -21,15 +22,28 @@
 // With --port the bench skips the in-process server and in-process baseline
 // and targets a running daemon instead (it must have procedure 2 =
 // increment registered and the keys loaded, as `harmonyd serve` does).
+//
+// With --replicas N the bench instead spawns a real N-process cluster
+// (one `harmonyd serve --leader N --quorum-ack` plus N-1 `--join`
+// followers, docs/REPLICATION.md), drives the leader open-loop with the
+// same exactly-once receipt ledger, SIGKILLs one follower mid-run and
+// rejoins it, and reports aggregate committed txn/s plus the
+// commit-visible-on-follower lag (first time a block's height shows up in
+// a follower's STATS vs the leader's) as p50/p99. The run fails unless
+// every receipt resolves exactly once and every node shuts down with the
+// same `state_digest=` line.
 #include <unistd.h>
 
 #include <atomic>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "bench/cluster_util.h"
 #include "bench/harness.h"
 #include "common/clock.h"
 #include "common/histogram.h"
@@ -229,6 +243,225 @@ void PrintResult(const char* label, size_t conns, const RunResult& r,
             std::to_string(r.lost) + "/" + std::to_string(r.duplicated)});
 }
 
+// ---------------------------------------------------------------------------
+// --replicas N: real multi-process cluster (docs/REPLICATION.md). Process
+// spawning / banner parsing / digest helpers live in bench/cluster_util.h.
+// ---------------------------------------------------------------------------
+
+int RunCluster(size_t replicas, const std::string& harmonyd_flag,
+               size_t conns, size_t txns, size_t window) {
+  const size_t n_nodes = std::max<size_t>(replicas, 2);
+  const std::string harmonyd =
+      harmonyd_flag.empty() ? DefaultHarmonydPath() : harmonyd_flag;
+  if (!std::filesystem::exists(harmonyd)) {
+    std::fprintf(stderr,
+                 "cluster: harmonyd binary not found at %s "
+                 "(build it, or pass --harmonyd PATH)\n",
+                 harmonyd.c_str());
+    return 1;
+  }
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("harmony-cluster-bench-" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+
+  // Leader first (followers need its port), then the followers. On-disk
+  // chains (not --in-memory): the kill/rejoin leg below depends on the
+  // killed follower recovering from its own log.
+  SpinLock nodes_mu;  // guards pid/port across the disruptor + monitor
+  std::vector<NodeProc> nodes(n_nodes);
+  nodes[0].name = "leader";
+  nodes[0].dir = root + "/leader";
+  nodes[0].log = root + "/leader.log";
+  nodes[0].role_flags = {"--leader", std::to_string(n_nodes), "--quorum-ack"};
+  SpawnNode(harmonyd, &nodes[0]);
+  nodes[0].port = WaitForServePort(nodes[0], 0, 15.0);
+  const std::string leader_addr =
+      "127.0.0.1:" + std::to_string(nodes[0].port);
+  for (size_t i = 1; i < n_nodes; i++) {
+    nodes[i].name = "follower-" + std::to_string(i);
+    nodes[i].dir = root + "/" + nodes[i].name;
+    nodes[i].log = root + "/" + nodes[i].name + ".log";
+    nodes[i].role_flags = {"--join", leader_addr, "--node", nodes[i].name};
+    SpawnNode(harmonyd, &nodes[i]);
+    nodes[i].port = WaitForServePort(nodes[i], 0, 15.0);
+  }
+
+  // Replication-lag monitor: polls every node's STATS and records, per
+  // block height, the first time it was seen at the leader and at each
+  // follower; the difference is the commit-visible-on-follower lag. A
+  // follower that dies (the disruptor's SIGKILL) just drops its client and
+  // reconnects to the respawned port.
+  std::atomic<bool> mon_stop{false};
+  Histogram lag_us;
+  std::thread monitor([&] {
+    Timer t;
+    std::map<uint64_t, double> lead_seen;  // height -> first-seen, us
+    std::vector<std::unique_ptr<net::NetClient>> clients(n_nodes);
+    std::vector<uint16_t> client_port(n_nodes, 0);
+    std::vector<uint64_t> last_h(n_nodes, 0);
+    while (!mon_stop.load(std::memory_order_acquire)) {
+      for (size_t i = 0; i < n_nodes; i++) {
+        uint16_t port;
+        {
+          std::lock_guard<SpinLock> lk(nodes_mu);
+          port = nodes[i].port;
+        }
+        if (clients[i] == nullptr || client_port[i] != port) {
+          net::NetClientOptions co;
+          co.port = port;
+          auto c = net::NetClient::Connect(co);
+          clients[i] = c.ok() ? std::move(*c) : nullptr;
+          client_port[i] = port;
+          if (clients[i] == nullptr) continue;
+        }
+        auto stats = clients[i]->Stats(/*timeout_us=*/500'000);
+        if (!stats.ok()) {
+          clients[i] = nullptr;  // node down or mid-restart; redial
+          continue;
+        }
+        const double now_us = t.ElapsedSeconds() * 1e6;
+        for (uint64_t h = last_h[i] + 1; h <= stats->height; h++) {
+          if (i == 0) {
+            lead_seen[h] = now_us;
+          } else {
+            auto it = lead_seen.find(h);
+            if (it != lead_seen.end()) lag_us.Add(now_us - it->second);
+          }
+        }
+        last_h[i] = std::max(last_h[i], stats->height);
+      }
+      ::usleep(2'000);
+    }
+  });
+
+  // Disruptor: SIGKILL the last follower mid-run, then respawn it on the
+  // same chain directory — it must recover, re-join, and catch up while
+  // the load keeps running (quorum still holds via the other followers
+  // when N >= 3; with N == 2 receipts stall until the rejoin, which the
+  // ledger tolerates: gated, not lost).
+  std::thread disruptor([&] {
+    ::usleep(400'000);
+    NodeProc* victim = &nodes[n_nodes - 1];
+    pid_t pid;
+    {
+      std::lock_guard<SpinLock> lk(nodes_mu);
+      pid = victim->pid;
+    }
+    ::kill(pid, SIGKILL);
+    WaitExit(pid, 5.0);
+    ::usleep(300'000);
+    const size_t log_off = ReadFile(victim->log).size();
+    SpawnNode(harmonyd, victim);
+    const uint16_t port = WaitForServePort(*victim, log_off, 15.0);
+    std::lock_guard<SpinLock> lk(nodes_mu);
+    victim->port = port;
+  });
+
+  const RunResult r = RunWire(nodes[0].port, conns, txns, window,
+                              /*batch=*/16, /*batch_delay_us=*/200);
+  disruptor.join();
+
+  // Let every follower reach the leader's final height before comparing
+  // digests — replication is async, the load finishing only means the
+  // leader committed everything. The leader's height() can itself still be
+  // advancing for a beat after the last receipt resolves, so require it to
+  // read stable across two polls AND every follower to have reached it.
+  bool caught_up = false;
+  {
+    Timer t;
+    uint64_t leader_tip = NodeHeight(nodes[0].port);
+    while (t.ElapsedSeconds() < 60.0) {
+      ::usleep(20'000);
+      const uint64_t now_tip = NodeHeight(nodes[0].port);
+      if (now_tip != leader_tip) {
+        leader_tip = now_tip;
+        continue;
+      }
+      bool all = true;
+      for (size_t i = 1; i < n_nodes; i++)
+        all = all && NodeHeight(nodes[i].port) >= leader_tip;
+      if (all) {
+        caught_up = true;
+        break;
+      }
+    }
+    if (!caught_up)
+      std::fprintf(stderr, "cluster: followers stuck below leader tip %llu\n",
+                   static_cast<unsigned long long>(leader_tip));
+  }
+  mon_stop.store(true, std::memory_order_release);
+  monitor.join();
+
+  // Graceful stop (followers first, leader last) so each node drains and
+  // prints its `state_digest=` fingerprint.
+  for (size_t i = n_nodes; i-- > 0;) {
+    ::kill(nodes[i].pid, SIGTERM);
+  }
+  bool clean_exit = true;
+  for (size_t i = 0; i < n_nodes; i++) {
+    const int rc = WaitExit(nodes[i].pid, 30.0);
+    if (rc != 0) {
+      std::fprintf(stderr, "cluster: %s exited %d (log %s)\n",
+                   nodes[i].name.c_str(), rc, nodes[i].log.c_str());
+      clean_exit = false;
+    }
+  }
+
+  const std::string leader_digest = LastDigestLine(nodes[0].log);
+  bool digests_match = clean_exit && !leader_digest.empty();
+  for (size_t i = 1; i < n_nodes && digests_match; i++) {
+    if (LastDigestLine(nodes[i].log) != leader_digest) digests_match = false;
+  }
+
+  const uint64_t total = static_cast<uint64_t>(conns) * txns;
+  PrintHeader(
+      "Cluster replication: " + std::to_string(n_nodes) +
+          "-process leader+followers over wire-v2 REPLICATE/ACK "
+          "(quorum-ack receipts), one follower SIGKILLed and rejoined "
+          "mid-run; lag = block committed at leader -> visible on follower",
+      {"nodes", "conns", "ktxn/s", "p50 ms", "p99 ms", "lag p50 ms",
+       "lag p99 ms", "cmt/rej/drop", "lost/dup", "digests"});
+  PrintRow({std::to_string(n_nodes), std::to_string(conns),
+            Fmt(r.wall_s > 0
+                    ? static_cast<double>(r.committed) / r.wall_s / 1e3
+                    : 0),
+            Fmt(r.latency_us.Percentile(50) / 1e3, 2),
+            Fmt(r.latency_us.Percentile(99) / 1e3, 2),
+            Fmt(lag_us.Percentile(50) / 1e3, 2),
+            Fmt(lag_us.Percentile(99) / 1e3, 2),
+            std::to_string(r.committed) + "/" + std::to_string(r.rejected) +
+                "/" + std::to_string(r.dropped),
+            std::to_string(r.lost) + "/" + std::to_string(r.duplicated),
+            digests_match ? "identical" : "MISMATCH"});
+
+  if (r.lost != 0 || r.duplicated != 0) {
+    std::fprintf(stderr,
+                 "FAIL: cluster receipt accounting broken (lost=%llu "
+                 "dup=%llu)\n",
+                 static_cast<unsigned long long>(r.lost),
+                 static_cast<unsigned long long>(r.duplicated));
+    return 1;
+  }
+  if (r.committed == 0) {
+    std::fprintf(stderr, "FAIL: cluster committed nothing\n");
+    return 1;
+  }
+  if (!caught_up || !digests_match) {
+    std::fprintf(stderr,
+                 "FAIL: cluster state divergence (caught_up=%d "
+                 "digests_match=%d); logs under %s\n",
+                 caught_up ? 1 : 0, digests_match ? 1 : 0, root.c_str());
+    return 1;
+  }
+  std::printf("cluster: %zu nodes, %s\n  %s\n", n_nodes,
+              "all digests identical", leader_digest.c_str());
+  std::filesystem::remove_all(root);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -241,6 +474,8 @@ int main(int argc, char** argv) {
   size_t batch = 16;
   uint64_t batch_delay_us = 200;
   uint16_t external_port = 0;
+  size_t replicas = 0;
+  std::string harmonyd_path;
   for (int i = 1; i < argc; i++) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) std::exit(2);
@@ -252,9 +487,12 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--batch")) batch = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--batch-delay-us")) batch_delay_us = std::strtoul(next(), nullptr, 10);
     else if (!std::strcmp(argv[i], "--port")) external_port = static_cast<uint16_t>(std::atoi(next()));
+    else if (!std::strcmp(argv[i], "--replicas")) replicas = std::strtoul(next(), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--harmonyd")) harmonyd_path = next();
     else if (!std::strcmp(argv[i], "--json-out")) SetJsonOut(next());
     else { std::fprintf(stderr, "unknown flag %s\n", argv[i]); return 2; }
   }
+  if (replicas > 0) return RunCluster(replicas, harmonyd_path, conns, txns, window);
   const uint64_t total = static_cast<uint64_t>(conns) * txns;
 
   PrintHeader(

@@ -230,6 +230,19 @@ Status BlockStore::Append(const Block& b) {
   return Status::OK();
 }
 
+Status BlockStore::ResetTail(BlockId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (num_blocks_ != 0) {
+    if (last_block_id_ >= id) return Status::OK();
+    return Status::InvalidArgument(
+        "ResetTail(" + std::to_string(id) + ") over a log ending at " +
+        std::to_string(last_block_id_));
+  }
+  last_block_id_ = id;
+  order_cv_.notify_all();
+  return Status::OK();
+}
+
 Status BlockStore::ReadBlocksAfter(BlockId after_block,
                                    std::vector<Block>* out) {
   out->clear();

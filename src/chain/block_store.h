@@ -82,6 +82,14 @@ class BlockStore {
   /// Reads every block with id > after_block (recovery replay source).
   Status ReadBlocksAfter(BlockId after_block, std::vector<Block>* out);
 
+  /// Re-bases an *empty* log so the next Append may be block id+1 — the
+  /// snapshot-install path (src/repl/follower.cc): a follower that installs
+  /// state as of block `id` has no records below it and never will. A log
+  /// that already holds blocks through `id` is a no-op; a non-empty log
+  /// behind `id` is InvalidArgument (appending past a gap would wedge the
+  /// strict-ordering wait forever and hide missing records).
+  Status ResetTail(BlockId id);
+
   /// Reads the whole chain (audit).
   Status ReadAll(std::vector<Block>* out) { return ReadBlocksAfter(0, out); }
 

@@ -45,6 +45,8 @@ class Reader {
     pos_ += len;
     return true;
   }
+  /// Fixed-width raw copy (e.g. 32-byte digests embedded without a length).
+  bool ReadFixed(void* v, size_t n) { return ReadRaw(v, n); }
   size_t remaining() const { return buf_.size() - pos_; }
 
  private:

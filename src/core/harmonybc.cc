@@ -60,18 +60,46 @@ Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
         // aborts would re-seal transactions whose retries are already in
         // the chain — a double apply.
         if (raw->recovering_.load(std::memory_order_acquire)) return;
+        // Replication first (docs/REPLICATION.md): the leader fans the block
+        // out to followers, a follower acks it back — in both cases the
+        // block is already committed locally when the hook sees it.
+        std::function<void(const Block&)> hook;
+        std::function<void(BlockId, std::function<void()>)> gate;
+        {
+          std::lock_guard<std::mutex> lk(raw->repl_mu_);
+          hook = raw->committed_hook_;
+          gate = raw->commit_gate_;
+        }
+        if (hook) hook(blk);
+        // A follower's transactions were settled by the leader: it holds no
+        // client receipts for them, and requeueing its CC aborts would seal
+        // a second, divergent chain — the leader's retries arrive as later
+        // replicated blocks.
+        if (raw->opts_.follower_mode) return;
         IngestStats* stats = raw->admission_->stats();
         const uint64_t now = NowMicros();
         bool enqueued = false;
+        // Under a commit gate, committed/logic-aborted receipts wait for the
+        // cluster durability decision; retries and drops are leader-local
+        // and resolve inline either way.
+        std::vector<std::pair<size_t, bool>> deferred;  // (txn idx, committed)
         for (size_t i = 0; i < res.outcomes.size(); i++) {
           const TxnRequest& t = blk.batch.txns[i];
           switch (res.outcomes[i]) {
             case TxnOutcome::kCommitted:
+              if (gate) {
+                deferred.emplace_back(i, true);
+                break;
+              }
               raw->completion_->Resolve(t, ReceiptOutcome::kCommitted,
                                         Status::OK(), blk.header.block_id,
                                         now);
               break;
             case TxnOutcome::kLogicAborted:
+              if (gate) {
+                deferred.emplace_back(i, false);
+                break;
+              }
               raw->completion_->Resolve(
                   t, ReceiptOutcome::kLogicAborted,
                   Status::Aborted("procedure aborted"), blk.header.block_id,
@@ -103,6 +131,31 @@ Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
               }
               break;
           }
+        }
+        if (gate && !deferred.empty()) {
+          // The closure must not capture blk (the commit pipeline recycles
+          // it); copy the settled requests out. The gate may run `resolve`
+          // inline (leader_only, or the watermark already covers this
+          // block) or hold it until enough follower acks arrive.
+          std::vector<std::pair<TxnRequest, bool>> settled;
+          settled.reserve(deferred.size());
+          for (const auto& [i, committed] : deferred) {
+            settled.emplace_back(blk.batch.txns[i], committed);
+          }
+          const BlockId id = blk.header.block_id;
+          gate(id, [raw, id, settled = std::move(settled)]() {
+            const uint64_t rnow = NowMicros();
+            for (const auto& [t, committed] : settled) {
+              if (committed) {
+                raw->completion_->Resolve(t, ReceiptOutcome::kCommitted,
+                                          Status::OK(), id, rnow);
+              } else {
+                raw->completion_->Resolve(t, ReceiptOutcome::kLogicAborted,
+                                          Status::Aborted("procedure aborted"),
+                                          id, rnow);
+              }
+            }
+          });
         }
         // Without this wake a retry landing in an otherwise idle pool would
         // sit until the next Submit or Sync instead of sealing on deadline.
@@ -136,6 +189,21 @@ HarmonyBC::~HarmonyBC() {
   if (completion_ != nullptr) {
     completion_->FailAll(Status::Aborted("HarmonyBC closed"), NowMicros());
   }
+}
+
+void HarmonyBC::SetCommittedBlockHook(std::function<void(const Block&)> hook) {
+  std::lock_guard<std::mutex> lk(repl_mu_);
+  committed_hook_ = std::move(hook);
+}
+
+void HarmonyBC::SetCommitGate(
+    std::function<void(BlockId, std::function<void()>)> gate) {
+  std::lock_guard<std::mutex> lk(repl_mu_);
+  commit_gate_ = std::move(gate);
+}
+
+void HarmonyBC::FailPendingReceipts(const Status& why) {
+  completion_->FailAll(why, NowMicros());
 }
 
 std::unique_ptr<Session> HarmonyBC::OpenSession(uint64_t client_id) {

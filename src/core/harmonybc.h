@@ -1,7 +1,9 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -102,6 +104,13 @@ class HarmonyBC {
     /// Busy rejection (the network frontend maps it to ERROR{busy}).
     /// 0 = unlimited. The slot frees when the receipt resolves.
     uint64_t max_inflight_per_session = 0;
+    /// Follower mode (src/repl/follower.cc): this node's blocks arrive
+    /// replicated from a leader rather than from a local sealer, so the
+    /// commit callback must not resolve receipts or requeue CC aborts —
+    /// the leader's retries arrive in later replicated blocks, and
+    /// requeueing locally would seal a divergent chain. The committed-block
+    /// hook (ack path) still fires.
+    bool follower_mode = false;
     /// Txn-lifecycle tracing (docs/OBSERVABILITY.md): per-stage latency
     /// histograms (queue wait, seal, execute, commit, commit lag, resolve)
     /// plus a slowest-N txn ring, all readable via CollectMetrics(). Off by
@@ -182,6 +191,7 @@ class HarmonyBC {
     return mempool_->size() + mempool_->retry_size();
   }
   BlockId height() const { return replica_->last_committed(); }
+  const Options& options() const { return opts_; }
   Replica* replica() { return replica_.get(); }
   Mempool* mempool() { return mempool_.get(); }
   /// This instance's metrics registry (always non-null; see
@@ -192,6 +202,31 @@ class HarmonyBC {
   /// ring attached — what `harmonyd metrics` and the wire METRICS frame
   /// serve. Safe from any thread.
   obs::MetricsSnapshot CollectMetrics();
+
+  // --- replication hooks (src/repl/; docs/REPLICATION.md) ---------------
+
+  /// Invoked on the commit thread, in block order, after each non-replay
+  /// block commits locally. Leaders fan the block out to followers from
+  /// here (the block is durable locally before any follower sees it);
+  /// followers ack from here (the block is applied before the ack leaves).
+  /// Pass nullptr to clear. Clear before destroying whatever the hook
+  /// captures, then drain — a copy taken by an in-flight commit may still
+  /// run once after the clear.
+  void SetCommittedBlockHook(std::function<void(const Block&)> hook);
+
+  /// Durability gate for client receipts: when set, committed/logic-aborted
+  /// resolutions for a block are handed to `gate(block_id, resolve)` instead
+  /// of running inline, and fire when the gate invokes `resolve` (the
+  /// leader's quorum-ack path; see repl::Replicator::GateCommit). CC-abort
+  /// retries and drops are leader-local and always resolve inline. Pass
+  /// nullptr to restore inline resolution (leader_only durability).
+  void SetCommitGate(
+      std::function<void(BlockId, std::function<void()>)> gate);
+
+  /// Fails every unresolved receipt (teardown path: after clearing the
+  /// commit gate and dropping the replicator's pending closures, tickets
+  /// gated on acks that will never arrive must not hang client Wait()s).
+  void FailPendingReceipts(const Status& why);
 
  private:
   friend class Session;
@@ -232,6 +267,11 @@ class HarmonyBC {
   std::unique_ptr<Session> default_session_;
   std::atomic<uint64_t> next_client_id_{0};
   std::atomic<uint64_t> dropped_{0};
+  /// Guards the two replication hooks; the commit callback copies them
+  /// under this lock per block (blocks are coarse — the cost is noise).
+  mutable std::mutex repl_mu_;
+  std::function<void(const Block&)> committed_hook_;
+  std::function<void(BlockId, std::function<void()>)> commit_gate_;
   /// True while Recover() replays the chain: replayed blocks' outcomes were
   /// settled in a previous run, so the commit callback must not requeue
   /// their CC aborts (double-apply) or count their drops.

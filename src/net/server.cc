@@ -13,6 +13,7 @@
 
 #include "chain/block.h"
 #include "common/clock.h"
+#include "repl/replicator.h"
 
 namespace harmony {
 namespace net {
@@ -393,6 +394,23 @@ void NetServer::HandleReadable(Reactor& r, const std::shared_ptr<Conn>& conn) {
 }
 
 bool NetServer::Dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
+  // Follower frontend: this node's chain is written by its leader, not by
+  // clients. A deliberate, connection-terminal redirect — not a protocol
+  // violation — so a client that dialed the wrong node learns where to go.
+  if (!opts_.redirect_addr.empty() &&
+      (frame.opcode == Opcode::kOpSubmit ||
+       frame.opcode == Opcode::kOpBatchSubmit)) {
+    WireError e;
+    e.code = Status::Code::kNotSupported;
+    e.client_seq = 0;
+    e.message = "not leader; redirect to " + opts_.redirect_addr;
+    std::string payload;
+    EncodeError(e, &payload);
+    std::lock_guard<std::mutex> lk(conn->mu);
+    EnqueueLocked(*conn, Opcode::kOpError, payload);
+    conn->close_after_flush = true;
+    return true;
+  }
   switch (frame.opcode) {
     case Opcode::kOpSubmit: {
       TxnRequest req;
@@ -507,6 +525,52 @@ bool NetServer::Dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
       EnqueueLocked(*conn, Opcode::kOpMetrics, payload);
       return true;
     }
+    case Opcode::kOpReplJoin: {
+      // A follower announcing itself (docs/REPLICATION.md). Only meaningful
+      // on a leader that wired a replicator in.
+      if (replicator_ == nullptr) return false;
+      WireReplJoin join;
+      if (!DecodeReplJoin(frame.payload, &join)) return false;
+      conn->is_repl_peer = true;
+      conn->peer_node = join.node;
+      // The replicator sends through this closure; it mirrors PushFrame but
+      // stays valid without the NetServer (weak conn + shared owner), and
+      // reports the connection's death so the replicator stops pumping.
+      std::weak_ptr<Conn> weak = conn;
+      auto send = [weak](Opcode op, std::string_view payload) -> bool {
+        std::shared_ptr<Conn> c = weak.lock();
+        if (!c) return false;
+        std::shared_ptr<Reactor> owner = c->owner;
+        bool wake;
+        {
+          std::lock_guard<std::mutex> lk(c->mu);
+          if (c->closed || c->overloaded) return false;
+          wake = EnqueueLocked(*c, op, payload);
+        }
+        if (wake) {
+          {
+            std::lock_guard<std::mutex> lk(owner->mu);
+            owner->dirty.push_back(c);
+          }
+          Wake(*owner);
+        }
+        return true;
+      };
+      // May build a snapshot (drain + state scan) on this reactor thread —
+      // a join-time cost borne once per fresh follower, not per frame.
+      replicator_->AddPeer(join.node, join.last_block_id, std::move(send));
+      return true;
+    }
+    case Opcode::kOpReplicateAck: {
+      if (replicator_ == nullptr || !conn->is_repl_peer) return false;
+      BlockId acked = 0;
+      if (!DecodeReplAck(frame.payload, &acked)) return false;
+      replicator_->OnAck(conn->peer_node, acked);
+      return true;
+    }
+    case Opcode::kOpReplicate:
+    case Opcode::kOpReplSnapshot:
+      return false;  // leader-to-follower opcodes; never valid inbound
     case Opcode::kOpReceipt:
     case Opcode::kOpBatchReceipt:
     case Opcode::kOpError:
@@ -751,6 +815,10 @@ void NetServer::CloseConn(Reactor& r, const std::shared_ptr<Conn>& conn) {
     conn->closed = true;
     ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
     ::close(conn->fd);
+  }
+  // is_repl_peer is owned by this (the owning) reactor; no conn->mu needed.
+  if (conn->is_repl_peer && replicator_ != nullptr) {
+    replicator_->RemovePeer(conn->peer_node);
   }
   stats_->closed.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(r.mu);

@@ -15,6 +15,11 @@
 #include "net/wire.h"
 
 namespace harmony {
+
+namespace repl {
+class Replicator;
+}
+
 namespace net {
 
 struct NetServerOptions {
@@ -33,6 +38,11 @@ struct NetServerOptions {
   /// Stop() waits this long for in-flight receipts to resolve and flush
   /// before tearing connections down.
   uint64_t drain_timeout_us = 10'000'000;
+  /// Non-empty = this node is a replication follower fronting no ingress:
+  /// SUBMIT/BATCH_SUBMIT are answered with a connection-terminal
+  /// ERROR{not_supported, "not leader; redirect to <addr>"} so clients
+  /// re-dial the leader (docs/REPLICATION.md).
+  std::string redirect_addr;
 };
 
 /// Whole-server counters (relaxed; monotonic).
@@ -90,6 +100,12 @@ class NetServer {
   Status Start();
   void Stop();
 
+  /// Wires the leader's replicator in (before Start): REPL_JOIN frames
+  /// register their connection as a replication peer, REPLICATE_ACK frames
+  /// feed its ack tracking, and peer close unregisters. Without one, every
+  /// replication opcode is a protocol violation.
+  void SetReplicator(repl::Replicator* r) { replicator_ = r; }
+
   /// Bound port (after Start); useful with port = 0.
   uint16_t port() const { return port_; }
 
@@ -118,6 +134,10 @@ class NetServer {
     /// Set (once) when the client sends its first BATCH_SUBMIT: from then
     /// on receipts coalesce into BATCH_RECEIPT frames packed at flush time.
     std::atomic<bool> batch_mode{false};
+    /// Set when the connection sent REPL_JOIN (owning reactor only): acks
+    /// route to the replicator and close unregisters the peer.
+    bool is_repl_peer = false;
+    std::string peer_node;
 
     /// The server's net.flush_us histogram when txn tracing is on, else
     /// null. Set at accept, read under mu (raw pointer into the fronted
@@ -189,6 +209,7 @@ class NetServer {
 
   HarmonyBC* db_;
   NetServerOptions opts_;
+  repl::Replicator* replicator_ = nullptr;
   std::shared_ptr<NetServerStats> stats_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;

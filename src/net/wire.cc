@@ -25,6 +25,14 @@ const char* OpcodeName(Opcode op) {
       return "BATCH_RECEIPT";
     case Opcode::kOpMetrics:
       return "METRICS";
+    case Opcode::kOpReplJoin:
+      return "REPL_JOIN";
+    case Opcode::kOpReplicate:
+      return "REPLICATE";
+    case Opcode::kOpReplicateAck:
+      return "REPLICATE_ACK";
+    case Opcode::kOpReplSnapshot:
+      return "REPL_SNAPSHOT";
   }
   return "?";
 }
@@ -163,6 +171,73 @@ bool DecodeBatchReceipt(std::string_view payload,
   for (uint32_t i = 0; i < count; i++) {
     if (!r.ReadBytes(&entry)) return false;
     if (!DecodeReceipt(entry, &(*out)[i])) return false;
+  }
+  return r.remaining() == 0;
+}
+
+void EncodeReplJoin(const WireReplJoin& j, std::string* out) {
+  codec::AppendBytes(out, j.node);
+  codec::AppendU64(out, j.last_block_id);
+}
+
+bool DecodeReplJoin(std::string_view payload, WireReplJoin* out) {
+  codec::Reader r(payload);
+  if (!r.ReadBytes(&out->node)) return false;
+  if (out->node.size() > kMaxReplNodeName) return false;
+  if (!r.ReadU64(&out->last_block_id)) return false;
+  return r.remaining() == 0;
+}
+
+void EncodeReplicate(const Block& b, std::string* out) {
+  codec::AppendU64(out, b.header.block_id);
+  codec::AppendBytes(out, BlockCodec::Encode(b));
+}
+
+bool DecodeReplicate(std::string_view payload, Block* out) {
+  codec::Reader r(payload);
+  uint64_t id = 0;
+  std::string record;
+  if (!r.ReadU64(&id) || !r.ReadBytes(&record)) return false;
+  if (r.remaining() != 0) return false;
+  if (!BlockCodec::Decode(record, out, kLogV3).ok()) return false;
+  // The outer id exists so the leader/follower can account for the frame
+  // without re-decoding; a disagreement means the frame lies about itself.
+  return out->header.block_id == id;
+}
+
+void EncodeReplAck(BlockId id, std::string* out) {
+  codec::AppendU64(out, id);
+}
+
+bool DecodeReplAck(std::string_view payload, BlockId* id) {
+  codec::Reader r(payload);
+  return r.ReadU64(id) && r.remaining() == 0;
+}
+
+void EncodeSnapshot(const WireSnapshot& s, std::string* out) {
+  codec::AppendU64(out, s.base_block);
+  out->append(reinterpret_cast<const char*>(s.tip_hash.data()),
+              s.tip_hash.size());
+  codec::AppendU64(out, s.leader_tip);
+  codec::AppendU32(out, static_cast<uint32_t>(s.rows.size()));
+  for (const auto& [key, value] : s.rows) {
+    codec::AppendU64(out, key);
+    codec::AppendBytes(out, value);
+  }
+}
+
+bool DecodeSnapshot(std::string_view payload, WireSnapshot* out) {
+  codec::Reader r(payload);
+  if (!r.ReadU64(&out->base_block)) return false;
+  if (!r.ReadFixed(out->tip_hash.data(), out->tip_hash.size())) return false;
+  uint32_t count = 0;
+  if (!r.ReadU64(&out->leader_tip) || !r.ReadU32(&count)) return false;
+  if (count > kMaxSnapshotRows) return false;
+  // Each row is at least u64 key + u32 value length = 12 bytes.
+  if (static_cast<uint64_t>(count) * 12 > r.remaining()) return false;
+  out->rows.resize(count);
+  for (auto& [key, value] : out->rows) {
+    if (!r.ReadU64(&key) || !r.ReadBytes(&value)) return false;
   }
   return r.remaining() == 0;
 }
@@ -359,7 +434,7 @@ Status FrameReassembler::Next(Frame* out) {
   }
   if (flags != 0) return Status::Corruption("reserved flags set");
   if (opcode < static_cast<uint8_t>(Opcode::kOpSubmit) ||
-      opcode > static_cast<uint8_t>(Opcode::kOpMetrics)) {
+      opcode > static_cast<uint8_t>(Opcode::kOpReplSnapshot)) {
     return Status::Corruption("unknown opcode " + std::to_string(opcode));
   }
   // A batch opcode promises v2 semantics; a v1-stamped frame carrying one

@@ -6,12 +6,17 @@
 #include <vector>
 
 #include "common/codec.h"
+#include "common/sha256.h"
 #include "common/status.h"
+#include "common/types.h"
 #include "core/completion.h"
 #include "obs/metrics.h"
 #include "txn/procedure.h"
 
 namespace harmony {
+
+struct Block;  // chain/block.h (REPLICATE frames carry whole blocks)
+
 namespace net {
 
 /// HarmonyBC wire protocol v2 — a versioned, length-prefixed binary frame
@@ -73,6 +78,17 @@ enum class Opcode : uint8_t {
                         ///<         STATS v2 payload: the server's metrics
                         ///<         registry snapshot (per-stage histograms,
                         ///<         slow-txn ring; docs/OBSERVABILITY.md)
+  // --- replication (docs/REPLICATION.md; follower dials the leader) ---
+  kOpReplJoin = 9,      ///< F -> L: WireReplJoin — marks the connection as
+                        ///<         a replication peer and reports the
+                        ///<         follower's durable chain tip
+  kOpReplicate = 10,    ///< L -> F: WireReplicate — one sealed block (the
+                        ///<         exact v3 record bytes the log persists)
+  kOpReplicateAck = 11, ///< F -> L: u64 block id, cumulative — "everything
+                        ///<         through this id is applied here"
+  kOpReplSnapshot = 12, ///< L -> F: WireSnapshot — state rows at a
+                        ///<         checkpointed base block, for followers
+                        ///<         too far behind the log-tail window
 };
 
 const char* OpcodeName(Opcode op);
@@ -183,6 +199,48 @@ void AppendBatchReceiptEntry(const TxnReceipt& r, std::string* out);
 std::string SealBatchPayload(uint32_t count, std::string_view entries);
 bool DecodeBatchReceipt(std::string_view payload,
                         std::vector<TxnReceipt>* out);
+
+// --- replication payloads (src/repl/, docs/REPLICATION.md) ------------------
+
+/// JOIN: the follower's first frame on a replication link. `node` names the
+/// follower (diagnostics only); `last_block_id` is its durable chain tip, so
+/// the leader can resume the stream (or send a snapshot) from the right
+/// place.
+struct WireReplJoin {
+  std::string node;
+  BlockId last_block_id = 0;
+};
+inline constexpr uint32_t kMaxReplNodeName = 256;
+void EncodeReplJoin(const WireReplJoin& j, std::string* out);
+bool DecodeReplJoin(std::string_view payload, WireReplJoin* out);
+
+/// REPLICATE: `u64 block_id` + length-prefixed v3 record bytes
+/// (BlockCodec::Encode — the wire ships the exact bytes the block log
+/// persists, like SUBMIT does for txns). Decode parses the record and
+/// rejects an outer id that disagrees with the decoded header, so a frame
+/// that passes the codec is internally consistent before the follower
+/// touches it.
+void EncodeReplicate(const Block& b, std::string* out);
+bool DecodeReplicate(std::string_view payload, Block* out);
+
+/// REPLICATE_ACK: u64 block id, cumulative.
+void EncodeReplAck(BlockId id, std::string* out);
+bool DecodeReplAck(std::string_view payload, BlockId* id);
+
+/// SNAPSHOT: the leader's state rows as of checkpointed block `base_block`
+/// (whose block hash is `tip_hash` — the follower anchors its chain
+/// verifier there), plus the leader's current tip for progress reporting.
+/// Single frame: a snapshot that cannot fit the 2 MiB frame cap is not
+/// sent (the leader streams the log tail instead).
+struct WireSnapshot {
+  BlockId base_block = 0;
+  Digest tip_hash{};
+  BlockId leader_tip = 0;
+  std::vector<std::pair<Key, std::string>> rows;
+};
+inline constexpr uint32_t kMaxSnapshotRows = 65536;
+void EncodeSnapshot(const WireSnapshot& s, std::string* out);
+bool DecodeSnapshot(std::string_view payload, WireSnapshot* out);
 
 /// Incremental frame reassembly over a byte stream: Feed() whatever the
 /// socket produced, then drain complete frames with Next() until it

@@ -1,0 +1,88 @@
+#include "repl/peer_link.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace harmony {
+namespace repl {
+
+Result<std::unique_ptr<PeerLink>> PeerLink::Dial(const std::string& host,
+                                                 uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad leader address " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IOError("connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto link = std::unique_ptr<PeerLink>(new PeerLink());
+  link->fd_ = fd;
+  return link;
+}
+
+PeerLink::~PeerLink() {
+  Close();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PeerLink::Send(net::Opcode op, std::string_view payload) {
+  if (closed()) return Status::IOError("link closed");
+  const std::string frame = net::EncodeFrame(op, payload);
+  std::lock_guard<std::mutex> lk(write_mu_);
+  size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PeerLink::Recv(net::Frame* out) {
+  char buf[64 << 10];
+  for (;;) {
+    const Status st = reasm_.Next(out);
+    if (st.ok()) return st;
+    if (!st.IsNotFound()) return st;  // Corruption: stream unrecoverable
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      reasm_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IOError("leader closed the link");
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+void PeerLink::Close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  // shutdown (not close) so a Recv blocked in recv() wakes with 0/error
+  // while the fd number stays ours until the destructor.
+  ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace repl
+}  // namespace harmony

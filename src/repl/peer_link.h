@@ -1,0 +1,54 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace harmony {
+namespace repl {
+
+/// A follower's framed TCP link to its leader: blocking connect, whole-frame
+/// writes under a mutex, and a blocking Recv that drives a FrameReassembler
+/// — the same framing discipline as net::NetClient, without the
+/// submit/ticket machinery (replication streams blocks, not transactions).
+///
+/// Thread model: one thread calls Recv (the follower's apply loop); Send is
+/// safe from any thread (the ack path runs on the replica's commit thread).
+/// Close() is safe from any thread and unblocks a Recv in progress.
+class PeerLink {
+ public:
+  static Result<std::unique_ptr<PeerLink>> Dial(const std::string& host,
+                                                uint16_t port);
+  ~PeerLink();
+
+  PeerLink(const PeerLink&) = delete;
+  PeerLink& operator=(const PeerLink&) = delete;
+
+  /// Frames and writes one whole message (EINTR-looped, MSG_NOSIGNAL).
+  Status Send(net::Opcode op, std::string_view payload);
+
+  /// Blocks until one complete, CRC-verified frame arrives. IOError on
+  /// socket loss or Close(); Corruption on an unrecoverable stream.
+  Status Recv(net::Frame* out);
+
+  /// Shuts the socket down (both directions); in-flight Recv/Send fail.
+  void Close();
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  PeerLink() = default;
+
+  int fd_ = -1;
+  std::atomic<bool> closed_{false};
+  std::mutex write_mu_;
+  net::FrameReassembler reasm_;
+};
+
+}  // namespace repl
+}  // namespace harmony

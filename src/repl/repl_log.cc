@@ -1,0 +1,69 @@
+#include "repl/repl_log.h"
+
+#include "chain/block.h"
+#include "net/wire.h"
+
+namespace harmony {
+namespace repl {
+
+ReplicationLog::ReplicationLog(BlockStore* store, size_t window_blocks)
+    : store_(store), window_(window_blocks == 0 ? 1 : window_blocks) {
+  tip_ = store_->last_block_id();
+}
+
+void ReplicationLog::Append(const Block& b) {
+  std::string payload;
+  net::EncodeReplicate(b, &payload);
+  std::lock_guard<std::mutex> lk(mu_);
+  // Replays/duplicates (a Recover re-commit racing attach) must not fork
+  // the window's contiguity; the store already holds them.
+  if (b.header.block_id <= tip_ && tip_ != 0) return;
+  if (!entries_.empty() && entries_.back().first + 1 != b.header.block_id) {
+    // Gap (first Append after a store-seeded tip): drop the stale window,
+    // the store covers everything below.
+    entries_.clear();
+  }
+  entries_.emplace_back(b.header.block_id, std::move(payload));
+  while (entries_.size() > window_) entries_.pop_front();
+  tip_ = b.header.block_id;
+}
+
+Status ReplicationLog::Fetch(
+    BlockId after, size_t max_count,
+    std::vector<std::pair<BlockId, std::string>>* out) {
+  out->clear();
+  if (max_count == 0) return Status::OK();
+  BlockId window_front = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (after >= tip_) return Status::OK();
+    if (!entries_.empty()) window_front = entries_.front().first;
+    if (window_front != 0 && after + 1 >= window_front) {
+      for (const auto& [id, payload] : entries_) {
+        if (id <= after) continue;
+        out->emplace_back(id, payload);
+        if (out->size() >= max_count) break;
+      }
+      return Status::OK();
+    }
+  }
+  // Cold path: the follower is behind the window — read (and re-encode)
+  // from the persistent log. No lock held across the I/O.
+  std::vector<Block> blocks;
+  HARMONY_RETURN_NOT_OK(store_->ReadBlocksAfter(after, &blocks));
+  for (const Block& b : blocks) {
+    std::string payload;
+    net::EncodeReplicate(b, &payload);
+    out->emplace_back(b.header.block_id, std::move(payload));
+    if (out->size() >= max_count) break;
+  }
+  return Status::OK();
+}
+
+BlockId ReplicationLog::tip() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tip_;
+}
+
+}  // namespace repl
+}  // namespace harmony

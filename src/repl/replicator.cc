@@ -1,0 +1,207 @@
+#include "repl/replicator.h"
+
+#include <algorithm>
+
+#include "chain/block.h"
+#include "core/harmonybc.h"
+#include "testing/crash_point.h"
+
+namespace harmony {
+namespace repl {
+
+Replicator::Replicator(HarmonyBC* db, ReplicatorOptions opts)
+    : db_(db),
+      opts_(opts),
+      log_(db->replica()->block_store(), opts.log_window) {}
+
+Replicator::~Replicator() { Detach(); }
+
+void Replicator::Attach() {
+  db_->SetCommittedBlockHook([this](const Block& b) { OnCommitted(b); });
+  if (opts_.durability == Durability::kQuorumAck) {
+    db_->SetCommitGate([this](BlockId id, std::function<void()> resolve) {
+      GateCommit(id, std::move(resolve));
+    });
+  }
+}
+
+void Replicator::Detach() {
+  db_->SetCommittedBlockHook(nullptr);
+  db_->SetCommitGate(nullptr);
+  DropPending();
+}
+
+void Replicator::AddPeer(const std::string& node, BlockId peer_tip,
+                         SendFn send) {
+  bool want_snapshot = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    Peer& p = peers_[node];
+    if (p.node_id == 0) p.node_id = next_node_id_++;
+    p.acked = peer_tip;
+    p.sent = peer_tip;
+    p.send = std::move(send);
+    want_snapshot =
+        peer_tip == 0 && log_.tip() > opts_.snapshot_after;
+  }
+  if (want_snapshot) {
+    net::WireSnapshot snap;
+    if (BuildSnapshot(&snap).ok()) {
+      std::string payload;
+      net::EncodeSnapshot(snap, &payload);
+      if (payload.size() <= net::kMaxFramePayload) {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = peers_.find(node);
+        // The peer may have dropped (or re-joined at a new tip) while the
+        // snapshot was building; only a still-fresh peer gets it.
+        if (it != peers_.end() && it->second.sent == 0 &&
+            it->second.send(net::Opcode::kOpReplSnapshot, payload)) {
+          it->second.sent = snap.base_block;
+          snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // Oversized snapshot: fall through, the log tail covers it.
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = peers_.find(node);
+  if (it != peers_.end()) PumpLocked(it->second);
+}
+
+void Replicator::RemovePeer(const std::string& node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  peers_.erase(node);
+  // The watermark stays: blocks a departed follower acked are still applied
+  // on its disk; monotonicity is what the gated receipts relied on.
+}
+
+void Replicator::OnAck(const std::string& node, BlockId acked) {
+  std::vector<std::function<void()>> due;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = peers_.find(node);
+    if (it == peers_.end()) return;
+    Peer& p = it->second;
+    if (acked > p.acked) p.acked = acked;
+    if (acked > p.sent) p.sent = acked;  // snapshot install acks past sent
+    AdvanceWatermarkLocked(&due);
+    PumpLocked(p);
+  }
+  for (auto& resolve : due) resolve();
+}
+
+void Replicator::OnCommitted(const Block& b) {
+  HARMONY_CRASH_POINT("repl.leader.before_fanout");
+  log_.Append(b);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [node, p] : peers_) PumpLocked(p);
+}
+
+void Replicator::GateCommit(BlockId id, std::function<void()> resolve) {
+  const size_t quorum = opts_.cluster_size / 2 + 1;
+  const size_t follower_acks_needed = quorum - 1;  // the leader is one vote
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (opts_.durability == Durability::kQuorumAck &&
+        follower_acks_needed > 0 && id > quorum_wm_) {
+      pending_[id].push_back(std::move(resolve));
+      return;
+    }
+  }
+  resolve();
+}
+
+void Replicator::DropPending() {
+  std::lock_guard<std::mutex> lk(mu_);
+  pending_.clear();
+}
+
+void Replicator::PumpAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [node, p] : peers_) PumpLocked(p);
+}
+
+BlockId Replicator::quorum_watermark() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return quorum_wm_;
+}
+
+size_t Replicator::num_peers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return peers_.size();
+}
+
+void Replicator::PumpLocked(Peer& p) {
+  if (!p.send) return;
+  const testing::NetFaultPlan* plan =
+      fault_plan_.load(std::memory_order_acquire);
+  if (plan != nullptr && plan->Partitioned(/*leader=*/0, p.node_id)) return;
+  const BlockId tip = log_.tip();
+  while (p.sent < tip && p.sent - p.acked < opts_.send_window) {
+    const size_t room = opts_.send_window - (p.sent - p.acked);
+    std::vector<std::pair<BlockId, std::string>> batch;
+    // Store reads under mu_ stall fan-out, not commits' durability — the
+    // commit thread only enters here after the block is locally durable.
+    if (!log_.Fetch(p.sent, room, &batch).ok() || batch.empty()) return;
+    for (auto& [id, payload] : batch) {
+      if (!p.send(net::Opcode::kOpReplicate, payload)) {
+        p.send = nullptr;  // connection gone; RemovePeer follows from close
+        return;
+      }
+      p.sent = id;
+    }
+  }
+}
+
+void Replicator::AdvanceWatermarkLocked(
+    std::vector<std::function<void()>>* due) {
+  const size_t quorum = opts_.cluster_size / 2 + 1;
+  const size_t k = quorum - 1;  // follower acks needed per block
+  if (k == 0) return;           // nothing ever gates
+  std::vector<BlockId> acks;
+  acks.reserve(peers_.size());
+  for (const auto& [node, p] : peers_) acks.push_back(p.acked);
+  if (acks.size() < k) return;
+  std::sort(acks.begin(), acks.end(), std::greater<BlockId>());
+  const BlockId candidate = acks[k - 1];  // k-th highest cumulative ack
+  if (candidate <= quorum_wm_) return;
+  quorum_wm_ = candidate;
+  while (!pending_.empty() && pending_.begin()->first <= quorum_wm_) {
+    for (auto& resolve : pending_.begin()->second) {
+      due->push_back(std::move(resolve));
+    }
+    pending_.erase(pending_.begin());
+  }
+}
+
+Status Replicator::BuildSnapshot(net::WireSnapshot* out) {
+  Replica* rep = db_->replica();
+  // Stability protocol: drain / scan / drain. If the committed tip is the
+  // same on both sides of the scan, no commit wrote the backend during it
+  // (a commit in flight during the scan finishes inside the second Drain
+  // and bumps the tip, which we would see). Bounded retries; a leader too
+  // busy to hold still just streams the log tail instead.
+  for (int attempt = 0; attempt < 5; attempt++) {
+    HARMONY_RETURN_NOT_OK(rep->Drain());
+    const BlockId before = rep->last_committed();
+    if (before == 0) return Status::NotFound("nothing to snapshot");
+    out->rows.clear();
+    HARMONY_RETURN_NOT_OK(rep->ScanState(&out->rows));
+    HARMONY_RETURN_NOT_OK(rep->Drain());
+    if (rep->last_committed() != before) continue;
+    if (out->rows.size() > net::kMaxSnapshotRows) {
+      return Status::NotSupported("state too large for a snapshot frame");
+    }
+    Block tip_block;
+    HARMONY_RETURN_NOT_OK(rep->block_store()->ReadLast(&tip_block));
+    if (tip_block.header.block_id != before) continue;
+    out->base_block = before;
+    out->tip_hash = tip_block.header.block_hash;
+    out->leader_tip = log_.tip();
+    return Status::OK();
+  }
+  return Status::Busy("leader too busy for a stable snapshot");
+}
+
+}  // namespace repl
+}  // namespace harmony

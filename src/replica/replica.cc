@@ -1,7 +1,10 @@
 #include "replica/replica.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "common/clock.h"
 #include "obs/trace.h"
@@ -71,22 +74,43 @@ void Replica::RegisterProcedure(uint32_t proc_id, std::string name,
 Result<BlockId> Replica::Recover() {
   const BlockId checkpointed = manifest_->Read();
   HARMONY_RETURN_NOT_OK(ReplayFrom(checkpointed));
-  return block_store_->last_block_id();
+  // A snapshot-installed follower can be checkpointed past its (possibly
+  // empty) block log — the records below the snapshot base never existed
+  // here. The recovered tip is whichever is further along.
+  return std::max(block_store_->last_block_id(), checkpointed);
 }
 
 Status Replica::ReplayFrom(BlockId checkpointed) {
   std::vector<Block> blocks;
   HARMONY_RETURN_NOT_OK(block_store_->ReadAll(&blocks));
   // Audit the whole chain before trusting it, then fast-forward the live
-  // verifier to the chain tip.
+  // verifier to the chain tip. A log whose first record is past block 1
+  // belongs to a snapshot-installed follower: the records below the base
+  // were never shipped, so the audit anchors at the first record's stated
+  // predecessor (every surviving record is still signature-checked).
   ChainVerifier v(opts_.orderer_secret);
+  if (!blocks.empty() && blocks.front().header.block_id > 1) {
+    v.Reset(blocks.front().header.prev_hash);
+  }
   for (const Block& b : blocks) {
     HARMONY_RETURN_NOT_OK(v.Verify(b));
   }
   if (!blocks.empty()) {
     verifier_->Reset(blocks.back().header.block_hash);
+  } else if (checkpointed != 0) {
+    // Snapshot installed, no blocks appended since: the persisted anchor is
+    // the only record of what the next block must chain from.
+    Digest anchor{};
+    if (ReadAnchor(&anchor)) verifier_->Reset(anchor);
+  }
+  if (checkpointed > block_store_->last_block_id()) {
+    // Re-base the (empty) log so the next append at checkpointed+1 is legal.
+    HARMONY_RETURN_NOT_OK(block_store_->ResetTail(checkpointed));
+  }
+  {
     std::lock_guard<std::mutex> lk(mu_);
-    last_committed_ = checkpointed;
+    last_committed_ = std::max(last_committed_, checkpointed);
+    last_submitted_ = std::max(last_submitted_, checkpointed);
   }
   replaying_ = true;
   for (Block& b : blocks) {
@@ -100,6 +124,81 @@ Status Replica::ReplayFrom(BlockId checkpointed) {
   Status s = Drain();
   replaying_ = false;
   return s;
+}
+
+std::string Replica::AnchorPath() const {
+  return opts_.dir + "/" + opts_.name + ".anchor";
+}
+
+Status Replica::WriteAnchor(const Digest& d) const {
+  const std::string tmp = AnchorPath() + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("open anchor tmp");
+  const uint32_t crc = Crc32(d.data(), d.size());
+  const bool ok = std::fwrite(d.data(), d.size(), 1, f) == 1 &&
+                  std::fwrite(&crc, 4, 1, f) == 1;
+  std::fflush(f);
+  ::fsync(::fileno(f));
+  std::fclose(f);
+  if (!ok) return Status::IOError("write anchor");
+  if (std::rename(tmp.c_str(), AnchorPath().c_str()) != 0) {
+    return Status::IOError("rename anchor");
+  }
+  return Status::OK();
+}
+
+bool Replica::ReadAnchor(Digest* out) const {
+  FILE* f = std::fopen(AnchorPath().c_str(), "rb");
+  if (f == nullptr) return false;
+  uint32_t crc = 0;
+  const bool ok = std::fread(out->data(), out->size(), 1, f) == 1 &&
+                  std::fread(&crc, 4, 1, f) == 1 &&
+                  Crc32(out->data(), out->size()) == crc;
+  std::fclose(f);
+  return ok;
+}
+
+Status Replica::InstallSnapshot(
+    BlockId base, const Digest& tip_hash,
+    const std::vector<std::pair<Key, std::string>>& rows) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (last_submitted_ != 0 || last_committed_ != 0) {
+      return Status::InvalidArgument("InstallSnapshot on a non-fresh replica");
+    }
+  }
+  // The snapshot is the leader's *complete* state. A fresh follower may have
+  // loaded its genesis rows already (all nodes boot from the same genesis
+  // config); drop them first so keys the leader has since erased don't
+  // survive as stale residue and skew the state digest.
+  std::vector<Key> existing;
+  HARMONY_RETURN_NOT_OK(backend_->ScanAll(
+      [&](Key k, std::string_view) { existing.push_back(k); }));
+  for (Key k : existing) {
+    HARMONY_RETURN_NOT_OK(backend_->Erase(k, nullptr));
+  }
+  for (const auto& [k, v] : rows) {
+    HARMONY_RETURN_NOT_OK(backend_->Put(k, v, nullptr));
+  }
+  HARMONY_RETURN_NOT_OK(block_store_->ResetTail(base));
+  verifier_->Reset(tip_hash);
+  HARMONY_RETURN_NOT_OK(WriteAnchor(tip_hash));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    last_committed_ = base;
+    last_submitted_ = base;
+  }
+  // Make the installed state durable under a manifest at `base`: a restart
+  // then replays only blocks after the snapshot, exactly like a checkpoint.
+  HARMONY_RETURN_NOT_OK(backend_->Checkpoint(base + 1));
+  return manifest_->Write(base);
+}
+
+Status Replica::ScanState(std::vector<std::pair<Key, std::string>>* out) {
+  out->clear();
+  return backend_->ScanAll([&](Key k, std::string_view v) {
+    out->emplace_back(k, std::string(v));
+  });
 }
 
 Status Replica::SubmitBlock(Block block) {

@@ -94,6 +94,19 @@ class Replica {
 
   void SetCommitCallback(CommitCallback cb) { commit_cb_ = std::move(cb); }
 
+  /// Installs a leader state snapshot (src/repl/follower.cc): loads the raw
+  /// backend rows, re-bases the (empty) block log and the chain verifier at
+  /// block `base` (whose block hash is `tip_hash`), and checkpoints so a
+  /// restart replays only blocks after the snapshot. The caller must not
+  /// have submitted any block yet.
+  Status InstallSnapshot(BlockId base, const Digest& tip_hash,
+                         const std::vector<std::pair<Key, std::string>>& rows);
+
+  /// Copies every backend row (key + encoded value bytes) — the snapshot
+  /// source on the leader. Not a consistent cut by itself; see
+  /// repl::Replicator::BuildSnapshot for the stability protocol.
+  Status ScanState(std::vector<std::pair<Key, std::string>>* out);
+
   /// Latest committed value of a key (read-your-writes after Drain()).
   Status Query(Key key, std::optional<Value>* out);
 
@@ -120,6 +133,12 @@ class Replica {
   void CommitWorker();
   Status AfterCommit(const Block& block, const BlockResult& result);
   Status ReplayFrom(BlockId checkpointed);
+  /// The chain-verifier anchor a snapshot install persists: with no block
+  /// records below the snapshot base, the tip hash must survive restarts
+  /// somewhere, or the next replicated block could not be chain-checked.
+  std::string AnchorPath() const;
+  Status WriteAnchor(const Digest& d) const;
+  bool ReadAnchor(Digest* out) const;
 
   ReplicaOptions opts_;
   std::unique_ptr<StateBackend> backend_;

@@ -39,6 +39,9 @@ inline constexpr const char* kCrashPointCatalogue[] = {
     "storage.checkpoint.after_journal",    // journal durable, pages unflushed
     "storage.flush.mid",            // BufferPool::FlushAll, partial flush
     "ingest.seal.before_deliver",   // block sealed, never delivered
+    "repl.leader.before_fanout",    // block committed locally, not yet shipped
+    "repl.follower.before_apply",   // REPLICATE decoded, block not yet applied
+    "repl.follower.before_ack",     // block applied, ack not yet sent
 };
 inline constexpr size_t kNumCrashPoints =
     sizeof(kCrashPointCatalogue) / sizeof(kCrashPointCatalogue[0]);

@@ -78,11 +78,18 @@ struct NetFaultPlan {
   uint64_t jitter_max_us = 0;      ///< deterministic per-link jitter bound
   uint64_t jitter_seed = 1;
 
+  /// True when the plan's partition separates a and b — the boolean the
+  /// real networked replicator needs (src/repl/replicator.cc suppresses
+  /// sends across the cut entirely; a live TCP link has no "penalty" knob).
+  bool Partitioned(NodeId a, NodeId b) const {
+    return partition_boundary != 0 &&
+           (a < partition_boundary) != (b < partition_boundary);
+  }
+
   uint64_t AdjustOneWayUs(NodeId a, NodeId b, uint64_t base_us) const {
     if (a == b) return base_us;
     uint64_t us = base_us + extra_delay_us;
-    if (partition_boundary != 0 &&
-        (a < partition_boundary) != (b < partition_boundary)) {
+    if (Partitioned(a, b)) {
       us += partition_penalty_us;
     }
     if (jitter_max_us != 0) {

@@ -302,7 +302,7 @@ void CaseWireReassembler(FuzzRng& rng, Ctx& ctx) {
   const size_t n_frames = 1 + rng.Index(3);
   for (size_t i = 0; i < n_frames; i++) {
     net::Frame f;
-    f.opcode = static_cast<net::Opcode>(1 + rng.Index(8));
+    f.opcode = static_cast<net::Opcode>(1 + rng.Index(12));
     f.payload = rng.Bytes(rng.SkewedSize(2048));
     stream += net::EncodeFrame(f.opcode, f.payload);
     built.push_back(std::move(f));
@@ -525,6 +525,203 @@ void CaseLogOpen(FuzzRng& rng, Ctx& ctx) {
   ::unlink((path + ".migrate").c_str());
 }
 
+net::WireSnapshot MakeWireSnapshot(FuzzRng& rng) {
+  net::WireSnapshot s;
+  s.base_block = rng.Range(1, 1 << 20);
+  s.leader_tip = s.base_block + rng.Index(1 << 10);
+  for (size_t i = 0; i < 32; i++) {
+    s.tip_hash[i] = static_cast<uint8_t>(rng.Index(256));
+  }
+  const size_t n = rng.Index(32);
+  for (size_t i = 0; i < n; i++) {
+    s.rows.emplace_back(rng.U64(), rng.Bytes(rng.SkewedSize(128)));
+  }
+  return s;
+}
+
+/// Replication payload codecs (JOIN / REPLICATE / ACK / SNAPSHOT): mutated
+/// and unmutated. These payloads cross process boundaries from a peer that
+/// may be arbitrarily broken, so the decoders carry the same no-crash
+/// contract as the client-facing ones — plus REPLICATE's outer-id/header
+/// consistency check.
+void CaseReplPayload(FuzzRng& rng, Ctx& ctx) {
+  const size_t kind = rng.Index(4);
+  std::string payload;
+  Block blk;
+  switch (kind) {
+    case 0: {
+      net::WireReplJoin j;
+      j.node = rng.Bytes(rng.Index(net::kMaxReplNodeName));
+      j.last_block_id = rng.U64();
+      net::EncodeReplJoin(j, &payload);
+      break;
+    }
+    case 1: {
+      BlockBuilder builder("fuzz-secret");
+      blk = MakeBlock(rng, builder, static_cast<BlockId>(rng.Range(1, 1 << 20)),
+                      1);
+      net::EncodeReplicate(blk, &payload);
+      break;
+    }
+    case 2:
+      net::EncodeReplAck(rng.U64(), &payload);
+      break;
+    default:
+      net::EncodeSnapshot(MakeWireSnapshot(rng), &payload);
+      break;
+  }
+
+  const bool mutated = rng.Chance(0.9);
+  if (mutated) ctx.mut.Mutate(rng, &payload);
+
+  switch (kind) {
+    case 0: {
+      net::WireReplJoin j;
+      const bool ok = net::DecodeReplJoin(payload, &j);
+      if (!mutated) FUZZ_CHECK(ok, "valid REPL_JOIN payload rejected");
+      if (ok) {
+        FUZZ_CHECK(j.node.size() <= net::kMaxReplNodeName,
+                   "REPL_JOIN accepted an oversized node name");
+      }
+      break;
+    }
+    case 1: {
+      Block d;
+      const bool ok = net::DecodeReplicate(payload, &d);
+      if (!mutated) {
+        FUZZ_CHECK(ok, "valid REPLICATE payload rejected");
+        FUZZ_CHECK(d.header.block_id == blk.header.block_id &&
+                       d.header.block_hash == blk.header.block_hash,
+                   "valid REPLICATE decoded differently");
+      }
+      break;
+    }
+    case 2: {
+      BlockId id = 0;
+      const bool ok = net::DecodeReplAck(payload, &id);
+      if (!mutated) FUZZ_CHECK(ok, "valid REPLICATE_ACK payload rejected");
+      break;
+    }
+    default: {
+      net::WireSnapshot s;
+      const bool ok = net::DecodeSnapshot(payload, &s);
+      if (!mutated) FUZZ_CHECK(ok, "valid REPL_SNAPSHOT payload rejected");
+      if (ok) {
+        FUZZ_CHECK(s.rows.size() <= net::kMaxSnapshotRows,
+                   "REPL_SNAPSHOT accepted too many rows");
+      }
+      break;
+    }
+  }
+}
+
+/// A whole replication session's byte stream (JOIN, then interleaved
+/// REPLICATE / SNAPSHOT / ACK frames) through the FrameReassembler in
+/// random chunk sizes — what PeerLink::Recv and the leader's reactor
+/// actually see from a hostile or corrupted peer. Unmutated streams must
+/// reassemble every frame AND payload-decode them.
+void CaseReplReassembler(FuzzRng& rng, Ctx& ctx) {
+  std::string stream;
+  std::vector<std::pair<net::Opcode, std::string>> built;
+  auto add = [&](net::Opcode op, std::string payload) {
+    stream += net::EncodeFrame(op, payload);
+    built.emplace_back(op, std::move(payload));
+  };
+
+  net::WireReplJoin join;
+  join.node = "fuzz-follower";
+  join.last_block_id = rng.Index(1 << 20);
+  std::string jp;
+  net::EncodeReplJoin(join, &jp);
+  add(net::Opcode::kOpReplJoin, std::move(jp));
+
+  BlockBuilder builder("fuzz-secret");
+  TxnId tid = 1;
+  BlockId id = join.last_block_id + 1;
+  const size_t n = 1 + rng.Index(4);
+  for (size_t i = 0; i < n; i++) {
+    if (rng.Chance(0.2)) {
+      std::string sp;
+      net::EncodeSnapshot(MakeWireSnapshot(rng), &sp);
+      add(net::Opcode::kOpReplSnapshot, std::move(sp));
+    } else if (rng.Chance(0.3)) {
+      std::string ap;
+      net::EncodeReplAck(rng.Index(1 << 20), &ap);
+      add(net::Opcode::kOpReplicateAck, std::move(ap));
+    } else {
+      Block b = MakeBlock(rng, builder, id++, tid);
+      tid += b.header.txn_count;
+      std::string rp;
+      net::EncodeReplicate(b, &rp);
+      add(net::Opcode::kOpReplicate, std::move(rp));
+    }
+  }
+
+  const bool mutated = rng.Chance(0.85);
+  if (mutated) ctx.mut.Mutate(rng, &stream);
+
+  net::FrameReassembler r;
+  std::vector<net::Frame> got;
+  bool corrupted = false;
+  size_t fed = 0;
+  while (true) {
+    net::Frame f;
+    Status s = r.Next(&f);
+    if (s.ok()) {
+      got.push_back(std::move(f));
+      continue;
+    }
+    if (s.IsCorruption()) {
+      corrupted = true;
+      break;
+    }
+    if (fed >= stream.size()) break;
+    const size_t chunk =
+        std::min(stream.size() - fed, 1 + rng.SkewedSize(stream.size()));
+    r.Feed(stream.data() + fed, chunk);
+    fed += chunk;
+  }
+
+  // Whatever reassembled — even from a mutated stream — goes through the
+  // payload decoders, like a real session would. No decoder may crash.
+  for (const net::Frame& f : got) {
+    switch (f.opcode) {
+      case net::Opcode::kOpReplJoin: {
+        net::WireReplJoin j;
+        (void)net::DecodeReplJoin(f.payload, &j);
+        break;
+      }
+      case net::Opcode::kOpReplicate: {
+        Block b;
+        (void)net::DecodeReplicate(f.payload, &b);
+        break;
+      }
+      case net::Opcode::kOpReplicateAck: {
+        BlockId a = 0;
+        (void)net::DecodeReplAck(f.payload, &a);
+        break;
+      }
+      case net::Opcode::kOpReplSnapshot: {
+        net::WireSnapshot s;
+        (void)net::DecodeSnapshot(f.payload, &s);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  if (!mutated) {
+    FUZZ_CHECK(!corrupted, "valid repl stream reported Corruption");
+    FUZZ_CHECK(got.size() == built.size(), "valid repl stream lost frames");
+    for (size_t i = 0; i < got.size(); i++) {
+      FUZZ_CHECK(got[i].opcode == built[i].first &&
+                     got[i].payload == built[i].second,
+                 "valid repl frame decoded differently");
+    }
+  }
+}
+
 /// kOpMetrics snapshot codec at scale (richer snapshots than wire_payload's
 /// occasional case 5).
 void CaseMetrics(FuzzRng& rng, Ctx& ctx) {
@@ -562,6 +759,10 @@ const Target kTargets[] = {
     {"log_open", CaseLogOpen,
      "BlockStore::Open + ReadAll on mutated log files"},
     {"metrics", CaseMetrics, "kOpMetrics snapshot codec round-trips"},
+    {"repl_payload", CaseReplPayload,
+     "replication payload codecs: JOIN/REPLICATE/ACK/SNAPSHOT (src/repl/)"},
+    {"repl_reassembler", CaseReplReassembler,
+     "whole replication-session streams through reassembly + decode"},
 };
 
 // --------------------------------------------------------------- corpus --
@@ -621,6 +822,30 @@ int WriteCorpus(const std::string& dir) {
               &hlz);
   entries.push_back({"hlz_stream.hex", "# HLZ stream of a repetitive source",
                      hlz});
+
+  net::WireReplJoin join;
+  join.node = "corpus-follower";
+  join.last_block_id = 41;
+  std::string join_payload;
+  net::EncodeReplJoin(join, &join_payload);
+  entries.push_back(
+      {"repl_join_frame.hex",
+       "# one complete REPL_JOIN frame (wire v2 header + payload)",
+       net::EncodeFrame(net::Opcode::kOpReplJoin, join_payload)});
+
+  std::string repl_payload;
+  net::EncodeReplicate(b, &repl_payload);
+  entries.push_back({"repl_replicate.hex",
+                     "# REPLICATE payload: u64 block id + v3 record bytes",
+                     repl_payload});
+
+  FuzzRng srng(45);
+  std::string snap_payload;
+  net::EncodeSnapshot(MakeWireSnapshot(srng), &snap_payload);
+  entries.push_back(
+      {"repl_snapshot.hex",
+       "# REPL_SNAPSHOT payload: base + tip hash + leader tip + rows",
+       snap_payload});
 
   for (const Entry& e : entries) {
     const std::string path = dir + "/" + e.file;

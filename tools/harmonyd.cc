@@ -11,7 +11,28 @@
 //
 //   Registered procedures: 1 = transfer(from, to, amount),
 //   2 = increment(key, delta), 3 = noop. SIGINT/SIGTERM drain receipts
-//   through the completion watermark before exiting (see NetServer::Stop).
+//   through the completion watermark before exiting (see NetServer::Stop),
+//   then print `state_digest=<hex> height=<n>` — the cluster-consistency
+//   fingerprint scripts compare across nodes.
+//
+// Replication roles (docs/REPLICATION.md):
+//
+//   --leader N        lead an N-node cluster: fan committed blocks out to
+//                     followers that join, track their acks
+//   --quorum-ack      gate client receipts on a majority of the cluster
+//                     having applied the block (default: leader-only)
+//   --join HOST:PORT  run as a follower of that leader: apply its block
+//                     stream, ack, redirect clients to it
+//   --node NAME       this follower's name in REPL_JOIN (default
+//                     follower-<port>)
+//
+// Drive a leader with a replicated workload (cluster smoke / bench):
+//
+//   ./build/harmonyd load --host 127.0.0.1 --port 7450
+//       [--conns 4] [--txns 2000] [--accounts 1024]
+//   Submits increment transactions over `--conns` connections with an
+//   exactly-once receipt ledger; exits non-zero on lost or duplicated
+//   receipts (or if nothing committed).
 //
 // Query a running daemon over the wire (the STATS frame):
 //
@@ -21,6 +42,7 @@
 // latency histograms, slow-txn ring; docs/OBSERVABILITY.md):
 //
 //   ./build/harmonyd metrics --host 127.0.0.1 --port 7450 [--json]
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <filesystem>
@@ -29,10 +51,13 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/harmonybc.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "repl/follower.h"
+#include "repl/replicator.h"
 #include "txn/txn_context.h"
 #include "txn/value.h"
 
@@ -75,6 +100,14 @@ struct Args {
   double rate = 0;
   bool in_memory = false;
   bool json = false;
+  // Replication.
+  size_t leader_cluster = 0;  ///< > 0: lead a cluster of this size
+  bool quorum_ack = false;
+  std::string join;           ///< HOST:PORT of the leader (follower role)
+  std::string node;
+  // Load driver.
+  size_t conns = 4;
+  uint64_t txns = 2000;
 };
 
 int Usage() {
@@ -83,6 +116,10 @@ int Usage() {
                "[--reactors N] [--threads N] [--block-size N] [--delay-us N] "
                "[--accounts N] [--balance N] [--max-inflight N] [--rate R] "
                "[--in-memory]\n"
+               "                [--leader N [--quorum-ack] | "
+               "--join HOST:PORT [--node NAME]]\n"
+               "       harmonyd load [--host A] [--port N] [--conns N] "
+               "[--txns N] [--accounts N]\n"
                "       harmonyd stats [--host A] [--port N]\n"
                "       harmonyd metrics [--host A] [--port N] [--json]\n");
   return 2;
@@ -114,6 +151,12 @@ bool Parse(int argc, char** argv, Args* out) {
     else if (a == "--rate") out->rate = std::atof(next("--rate"));
     else if (a == "--in-memory") out->in_memory = true;
     else if (a == "--json") out->json = true;
+    else if (a == "--leader") out->leader_cluster = std::strtoul(next("--leader"), nullptr, 10);
+    else if (a == "--quorum-ack") out->quorum_ack = true;
+    else if (a == "--join") out->join = next("--join");
+    else if (a == "--node") out->node = next("--node");
+    else if (a == "--conns") out->conns = std::strtoul(next("--conns"), nullptr, 10);
+    else if (a == "--txns") out->txns = std::strtoull(next("--txns"), nullptr, 10);
     else {
       std::fprintf(stderr, "unknown flag %s\n", a.c_str());
       return false;
@@ -122,8 +165,45 @@ bool Parse(int argc, char** argv, Args* out) {
   return true;
 }
 
+bool SplitHostPort(const std::string& addr, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= addr.size()) return false;
+  *host = addr.substr(0, colon);
+  *port = static_cast<uint16_t>(std::atoi(addr.c_str() + colon + 1));
+  return *port != 0 && !host->empty();
+}
+
+void PrintDigestLine(HarmonyBC* db) {
+  auto digest = db->StateDigest();
+  if (!digest.ok()) {
+    std::fprintf(stderr, "state_digest: %s\n",
+                 digest.status().ToString().c_str());
+    return;
+  }
+  char hex[65];
+  for (size_t i = 0; i < digest->size(); i++) {
+    std::snprintf(hex + 2 * i, 3, "%02x", (*digest)[i]);
+  }
+  std::printf("state_digest=%s height=%llu\n", hex,
+              static_cast<unsigned long long>(db->height()));
+  std::fflush(stdout);
+}
+
 int Serve(const Args& args) {
   if (args.dir.empty()) return Usage();
+  if (args.leader_cluster > 0 && !args.join.empty()) {
+    std::fprintf(stderr, "--leader and --join are mutually exclusive\n");
+    return 2;
+  }
+  std::string leader_host;
+  uint16_t leader_port = 0;
+  const bool is_follower = !args.join.empty();
+  if (is_follower && !SplitHostPort(args.join, &leader_host, &leader_port)) {
+    std::fprintf(stderr, "--join wants HOST:PORT, got %s\n",
+                 args.join.c_str());
+    return 2;
+  }
   std::error_code ec;
   std::filesystem::create_directories(args.dir, ec);
   if (ec) {
@@ -131,6 +211,11 @@ int Serve(const Args& args) {
                  ec.message().c_str());
     return 1;
   }
+  // Genesis loads only on first boot: a restart recovers state from its own
+  // checkpoint + log, and re-loading would clobber the evolved rows.
+  std::error_code empty_ec;
+  const bool first_boot =
+      args.in_memory || std::filesystem::is_empty(args.dir, empty_ec);
 
   HarmonyBC::Options o;
   o.dir = args.dir;
@@ -144,6 +229,7 @@ int Serve(const Args& args) {
   o.admit_rate_per_client = args.rate;
   o.high_fee_threshold = 100;
   o.enable_tracing = true;  // feeds `harmonyd metrics` (docs/OBSERVABILITY.md)
+  o.follower_mode = is_follower;
 
   auto db = HarmonyBC::Open(o);
   if (!db.ok()) {
@@ -154,9 +240,15 @@ int Serve(const Args& args) {
   (*db)->RegisterProcedure(1, "transfer", Transfer);
   (*db)->RegisterProcedure(2, "increment", Increment);
   (*db)->RegisterProcedure(3, "noop", Noop);
-  for (uint64_t k = 0; k < args.accounts; k++) {
-    // Load is a no-op error after the first boot; ignore it then.
-    (void)(*db)->Load(k, Value({args.balance}));
+  // Every cluster node boots from the same genesis (--accounts/--balance
+  // must match across the cluster, like registered procedures): a follower
+  // that joined early replays the leader's blocks over identical base state,
+  // and one that joins late gets the leader's full state via snapshot, which
+  // replaces these rows wholesale.
+  if (first_boot) {
+    for (uint64_t k = 0; k < args.accounts; k++) {
+      (void)(*db)->Load(k, Value({args.balance}));
+    }
   }
   auto tip = (*db)->Recover();
   if (!tip.ok()) {
@@ -168,14 +260,47 @@ int Serve(const Args& args) {
   so.bind_addr = args.bind;
   so.port = args.port;
   so.reactor_threads = args.reactors;
+  if (is_follower) so.redirect_addr = args.join;
+
+  std::unique_ptr<repl::Replicator> replicator;
+  if (args.leader_cluster > 0) {
+    repl::ReplicatorOptions ro;
+    ro.cluster_size = args.leader_cluster;
+    ro.durability = args.quorum_ack ? repl::Durability::kQuorumAck
+                                    : repl::Durability::kLeaderOnly;
+    replicator = std::make_unique<repl::Replicator>(db->get(), ro);
+    replicator->Attach();
+  }
+
   net::NetServer server(db->get(), so);
+  if (replicator != nullptr) server.SetReplicator(replicator.get());
   if (Status s = server.Start(); !s.ok()) {
     std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("harmonyd: serving %s on %s:%u (chain tip %llu, %zu reactors)\n",
-              args.dir.c_str(), args.bind.c_str(), server.port(),
-              static_cast<unsigned long long>(*tip), args.reactors);
+
+  std::unique_ptr<repl::Follower> follower;
+  if (is_follower) {
+    repl::FollowerOptions fo;
+    fo.node = args.node.empty()
+                  ? "follower-" + std::to_string(server.port())
+                  : args.node;
+    fo.leader_host = leader_host;
+    fo.leader_port = leader_port;
+    follower = std::make_unique<repl::Follower>(db->get(), fo);
+    if (Status s = follower->Start(); !s.ok()) {
+      std::fprintf(stderr, "follower: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  const char* role = is_follower ? "follower"
+                     : replicator != nullptr ? "leader"
+                                             : "standalone";
+  std::printf(
+      "harmonyd: serving %s on %s:%u (chain tip %llu, %zu reactors, %s)\n",
+      args.dir.c_str(), args.bind.c_str(), server.port(),
+      static_cast<unsigned long long>(*tip), args.reactors, role);
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);
@@ -185,6 +310,14 @@ int Serve(const Args& args) {
   }
 
   std::printf("harmonyd: draining...\n");
+  if (follower != nullptr) follower->Stop();
+  if (replicator != nullptr) {
+    // Stop() parks reads, so follower acks stop arriving: receipts still
+    // gated on quorum would hang the drain. Drop the gate and fail them
+    // first — the standard "fate unknown at shutdown" contract.
+    replicator->Detach();
+    (*db)->FailPendingReceipts(Status::Aborted("leader shutting down"));
+  }
   server.Stop();
   const net::NetServerStats& ns = server.stats();
   const IngestStats& is = (*db)->ingest_stats();
@@ -204,6 +337,103 @@ int Serve(const Args& args) {
       static_cast<unsigned long long>(is.admitted.load()),
       static_cast<unsigned long long>(is.sealed_blocks.load()),
       static_cast<unsigned long long>((*db)->height()));
+  if (replicator != nullptr) {
+    std::printf("harmonyd: repl watermark=%llu snapshots_sent=%llu\n",
+                static_cast<unsigned long long>(
+                    replicator->quorum_watermark()),
+                static_cast<unsigned long long>(
+                    replicator->snapshots_sent()));
+  }
+  if (follower != nullptr) {
+    std::printf(
+        "harmonyd: repl applied=%llu reconnects=%llu snapshots=%llu\n",
+        static_cast<unsigned long long>(follower->last_applied()),
+        static_cast<unsigned long long>(follower->reconnects()),
+        static_cast<unsigned long long>(follower->snapshots_installed()));
+  }
+  PrintDigestLine(db->get());
+  return 0;
+}
+
+/// Replicated-workload driver: `--conns` connections each submit an equal
+/// share of `--txns` increment transactions with pre-assigned client_seqs,
+/// so every receipt maps back to exactly one submission. Lost or duplicated
+/// receipts — the exactly-once violation — exit non-zero.
+int LoadCli(const Args& args) {
+  const size_t conns = std::max<size_t>(1, args.conns);
+  const uint64_t per_conn = std::max<uint64_t>(1, args.txns / conns);
+  std::atomic<uint64_t> committed{0}, aborted{0}, dropped{0}, rejected{0};
+  std::atomic<uint64_t> lost{0}, duplicated{0}, connect_failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (size_t c = 0; c < conns; c++) {
+    threads.emplace_back([&, c] {
+      net::NetClientOptions co;
+      co.host = args.host;
+      co.port = args.port;
+      co.batch_max_txns = 64;
+      auto client = net::NetClient::Connect(co);
+      if (!client.ok()) {
+        connect_failures.fetch_add(1, std::memory_order_relaxed);
+        lost.fetch_add(per_conn, std::memory_order_relaxed);
+        return;
+      }
+      std::vector<std::atomic<uint8_t>> seen(per_conn);
+      for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+      for (uint64_t i = 0; i < per_conn; i++) {
+        TxnRequest req;
+        req.proc_id = 2;  // increment(key, delta)
+        req.client_seq = i + 1;
+        req.args = {{static_cast<int64_t>((c * per_conn + i) % args.accounts),
+                     1}};
+        (*client)->Submit(std::move(req), [&, i](const TxnReceipt& r) {
+          if (seen[i].fetch_add(1, std::memory_order_acq_rel) != 0) {
+            duplicated.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          switch (r.outcome) {
+            case ReceiptOutcome::kCommitted:
+              committed.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case ReceiptOutcome::kLogicAborted:
+              aborted.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case ReceiptOutcome::kDropped:
+              dropped.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case ReceiptOutcome::kRejected:
+              rejected.fetch_add(1, std::memory_order_relaxed);
+              break;
+            default:
+              break;
+          }
+        });
+      }
+      (void)(*client)->Sync(/*timeout_us=*/60'000'000);
+      // Destroying the client resolves anything still pending as dropped;
+      // after that every seq has exactly one receipt or is truly lost.
+      client->reset();
+      for (auto& s : seen) {
+        if (s.load(std::memory_order_acquire) == 0) {
+          lost.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto u = [](const std::atomic<uint64_t>& v) {
+    return static_cast<unsigned long long>(v.load());
+  };
+  std::printf(
+      "load: submitted=%llu committed=%llu logic_aborted=%llu dropped=%llu "
+      "rejected=%llu lost=%llu duplicated=%llu connect_failures=%llu\n",
+      static_cast<unsigned long long>(per_conn * conns), u(committed),
+      u(aborted), u(dropped), u(rejected), u(lost), u(duplicated),
+      u(connect_failures));
+  if (lost.load() != 0 || duplicated.load() != 0) return 1;
+  if (committed.load() == 0) return 1;
   return 0;
 }
 
@@ -279,6 +509,7 @@ int main(int argc, char** argv) {
   Args args;
   if (!Parse(argc, argv, &args)) return Usage();
   if (args.mode == "serve") return Serve(args);
+  if (args.mode == "load") return LoadCli(args);
   if (args.mode == "stats") return StatsCli(args);
   if (args.mode == "metrics") return MetricsCli(args);
   return Usage();

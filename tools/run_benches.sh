@@ -34,7 +34,7 @@ fi
 cmake -B "$build" -S "$root" \
   -DHARMONY_BUILD_TESTS=OFF -DHARMONY_BUILD_BENCHES=ON
 cmake --build "$build" -j"$(nproc)" \
-  --target ingest_bench net_bench fig21_storage
+  --target ingest_bench net_bench fig21_storage harmonyd
 
 mkdir -p "$out"
 
@@ -53,10 +53,22 @@ fi
 # tables the same way.
 HARMONY_BENCH_JSON="$out/BENCH_storage.json" "$build/fig21_storage"
 
-for f in BENCH_ingest.json BENCH_net.json BENCH_storage.json; do
+# net_bench --replicas: real 3-process leader+follower cluster over the
+# wire-v2 replication frames (docs/REPLICATION.md), quorum-ack receipts,
+# follower kill/rejoin mid-run, digest-identical shutdown.
+if [[ $smoke -eq 1 ]]; then
+  "$build/net_bench" --replicas 3 --conns 8 --txns 200 \
+    --json-out "$out/BENCH_cluster.json"
+else
+  "$build/net_bench" --replicas 3 --conns 32 --txns 1000 \
+    --json-out "$out/BENCH_cluster.json"
+fi
+
+for f in BENCH_ingest.json BENCH_net.json BENCH_storage.json \
+         BENCH_cluster.json; do
   if [[ ! -s "$out/$f" ]]; then
     echo "run_benches: missing or empty $out/$f" >&2
     exit 1
   fi
 done
-echo "run_benches: wrote BENCH_{ingest,net,storage}.json to $out"
+echo "run_benches: wrote BENCH_{ingest,net,storage,cluster}.json to $out"

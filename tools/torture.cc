@@ -39,6 +39,9 @@
 #include "chain/block_store.h"
 #include "common/codec.h"
 #include "core/harmonybc.h"
+#include "net/server.h"
+#include "repl/follower.h"
+#include "repl/replicator.h"
 #include "replica/replica.h"
 #include "testing/crash_point.h"
 #include "testing/fuzz.h"
@@ -100,16 +103,79 @@ Result<std::unique_ptr<HarmonyBC>> BootDb(const std::string& dir) {
   return db;
 }
 
+/// Follower half of a repl-mode schedule: follower-mode db on a
+/// sub-directory, same genesis as the leader.
+Result<std::unique_ptr<HarmonyBC>> BootFollowerDb(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const bool fresh = !CheckpointManifest(dir + "/replica.ckpt").Exists();
+  HarmonyBC::Options o = DbOpts(dir);
+  o.follower_mode = true;
+  auto db = HarmonyBC::Open(o);
+  HARMONY_RETURN_NOT_OK(db.status());
+  (*db)->RegisterProcedure(1, "transfer", Transfer);
+  (*db)->RegisterProcedure(2, "increment", Increment);
+  if (fresh) {
+    for (Key k = 0; k < kAccounts; k++) {
+      HARMONY_RETURN_NOT_OK((*db)->Load(k, Value({kInitialBalance})));
+    }
+  }
+  HARMONY_RETURN_NOT_OK((*db)->Recover().status());
+  return db;
+}
+
 // ------------------------------------------------------------ child mode --
 
 /// Runs the seeded workload until the armed crash point kills the process
 /// (or to completion, when the schedule's point never fires — e.g. a
 /// migrate point on a schedule with nothing to migrate).
-int RunChild(const std::string& dir, uint64_t wseed, uint64_t txns) {
+///
+/// With `repl`, the child also runs a leader-side Replicator + NetServer
+/// and an in-process follower on <dir>/follower, so the repl.* crash points
+/// (leader-crash-mid-replicate, follower-crash-mid-apply/ack) are on the
+/// execution path — the SIGKILL then tears down leader and follower at the
+/// same instant, and the parent verifies both directories.
+int RunChild(const std::string& dir, uint64_t wseed, uint64_t txns,
+             bool repl) {
   auto db = BootDb(dir);
   if (!db.ok()) {
     std::fprintf(stderr, "child boot: %s\n", db.status().ToString().c_str());
     return 1;
+  }
+
+  std::unique_ptr<repl::Replicator> replicator;
+  std::unique_ptr<net::NetServer> server;
+  Result<std::unique_ptr<HarmonyBC>> fdb{std::unique_ptr<HarmonyBC>()};
+  std::unique_ptr<repl::Follower> follower;
+  if (repl) {
+    repl::ReplicatorOptions ro;
+    ro.cluster_size = 2;
+    ro.durability = repl::Durability::kLeaderOnly;  // workload never stalls
+    replicator = std::make_unique<repl::Replicator>(db->get(), ro);
+    replicator->Attach();
+    net::NetServerOptions so;
+    so.port = 0;
+    so.reactor_threads = 1;
+    server = std::make_unique<net::NetServer>(db->get(), so);
+    server->SetReplicator(replicator.get());
+    if (Status s = server->Start(); !s.ok()) {
+      std::fprintf(stderr, "child server: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    fdb = BootFollowerDb(dir + "/follower");
+    if (!fdb.ok()) {
+      std::fprintf(stderr, "child follower boot: %s\n",
+                   fdb.status().ToString().c_str());
+      return 1;
+    }
+    repl::FollowerOptions fo;
+    fo.node = "torture-follower";
+    fo.leader_port = server->port();
+    follower = std::make_unique<repl::Follower>(fdb->get(), fo);
+    if (Status s = follower->Start(); !s.ok()) {
+      std::fprintf(stderr, "child follower: %s\n", s.ToString().c_str());
+      return 1;
+    }
   }
   Rng rng(wseed);
   for (uint64_t i = 0; i < txns; i++) {
@@ -140,6 +206,14 @@ int RunChild(const std::string& dir, uint64_t wseed, uint64_t txns) {
   if (Status s = (*db)->Sync(); !s.ok()) {
     std::fprintf(stderr, "child final sync: %s\n", s.ToString().c_str());
     return 1;
+  }
+  if (repl) {
+    // The schedule's point never fired; shut the pair down cleanly (the
+    // follower keeps whatever prefix it reached — any prefix verifies).
+    follower->Stop();
+    replicator->Detach();
+    (*db)->FailPendingReceipts(Status::Aborted("torture child exiting"));
+    server->Stop();
   }
   return 0;
 }
@@ -204,6 +278,7 @@ struct Schedule {
   double frac = 1.0;     // torn-write prefix fraction
   bool torn = false;
   bool migrate = false;  // pre-build a v3 log first
+  bool repl = false;     // run a leader+follower replication pair
   uint64_t wseed = 0;    // child workload seed
   uint64_t txns = 0;
   size_t migrate_blocks = 0;
@@ -250,6 +325,10 @@ Schedule PlanSchedule(uint64_t run_seed, uint64_t k) {
     s.torn = true;
     s.frac = 0.05 + 0.9 * (static_cast<double>(rng.Index(1000)) / 1000.0);
   }
+  // Replication pair: mandatory when the point lives in src/repl/ (it is
+  // unreachable otherwise), and sampled in for a fraction of the generic
+  // points so storage/chain crashes also land mid-replication.
+  s.repl = std::strncmp(s.point.c_str(), "repl.", 5) == 0 || rng.Chance(0.2);
   return s;
 }
 
@@ -355,6 +434,11 @@ int RunSchedule(const std::string& exe, const std::string& base_dir,
     ::setenv("HARMONY_CRASH", plan.EnvSpec().c_str(), 1);
     const std::string wseed = std::to_string(plan.wseed);
     const std::string txns = std::to_string(plan.txns);
+    if (plan.repl) {
+      ::execl(exe.c_str(), exe.c_str(), "--child", "--dir", dir.c_str(),
+              "--wseed", wseed.c_str(), "--txns", txns.c_str(), "--repl",
+              static_cast<char*>(nullptr));
+    }
     ::execl(exe.c_str(), exe.c_str(), "--child", "--dir", dir.c_str(),
             "--wseed", wseed.c_str(), "--txns", txns.c_str(),
             static_cast<char*>(nullptr));
@@ -387,6 +471,19 @@ int RunSchedule(const std::string& exe, const std::string& base_dir,
                  run_seed, k);
     return 1;
   }
+  // A repl schedule killed leader and follower at the same instant; the
+  // follower's directory must recover exactly like any replica's. The dir
+  // may be absent when the kill landed before the follower booted.
+  if (plan.repl && std::filesystem::exists(dir + "/follower") &&
+      !VerifySchedule(dir + "/follower")) {
+    std::fprintf(stderr,
+                 "schedule %" PRIu64 " (%s, %s): FOLLOWER recovery check "
+                 "FAILED\nreproduce: torture --seed %" PRIu64
+                 " --schedule %" PRIu64 "\n",
+                 k, plan.EnvSpec().c_str(), killed ? "killed" : "ran out",
+                 run_seed, k);
+    return 1;
+  }
   if (!keep) std::filesystem::remove_all(dir, ec);
   return 0;
 }
@@ -400,6 +497,7 @@ int TortureMain(int argc, char** argv) {
   bool have_only = false;
   bool child = false;
   bool keep = false;
+  bool repl = false;
   uint64_t wseed = 0;
   uint64_t txns = 0;
 
@@ -429,6 +527,8 @@ int TortureMain(int argc, char** argv) {
       wseed = std::strtoull(next(), nullptr, 0);
     } else if (a == "--txns") {
       txns = std::strtoull(next(), nullptr, 0);
+    } else if (a == "--repl") {
+      repl = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", a.c_str());
       return 2;
@@ -440,7 +540,7 @@ int TortureMain(int argc, char** argv) {
       std::fprintf(stderr, "--child needs --dir\n");
       return 2;
     }
-    return RunChild(dir, wseed, txns);
+    return RunChild(dir, wseed, txns, repl);
   }
 
   char exe[4096];
