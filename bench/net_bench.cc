@@ -27,18 +27,18 @@
 // (one `harmonyd serve --leader N --quorum-ack` plus N-1 `--join`
 // followers, docs/REPLICATION.md), drives the leader open-loop with the
 // same exactly-once receipt ledger, SIGKILLs one follower mid-run and
-// rejoins it, and reports aggregate committed txn/s plus the
-// commit-visible-on-follower lag (first time a block's height shows up in
-// a follower's STATS vs the leader's) as p50/p99. The run fails unless
-// every receipt resolves exactly once and every node shuts down with the
-// same `state_digest=` line.
+// rejoins it, and reports aggregate committed txn/s plus follower lag in
+// blocks as p50/p99 — sampled from the leader's own per-peer
+// `repl.peer.lag_blocks` gauges over the METRICS opcode, the same numbers
+// `harmonyd cluster-status` scrapes. The run fails unless every receipt
+// resolves exactly once and every node shuts down with the same
+// `state_digest=` line.
 #include <unistd.h>
 
 #include <atomic>
 #include <csignal>
 #include <cstring>
 #include <filesystem>
-#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -52,6 +52,7 @@
 #include "core/harmonybc.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/events.h"
 
 using namespace harmony;
 using namespace harmony::bench;
@@ -270,7 +271,7 @@ int RunCluster(size_t replicas, const std::string& harmonyd_flag,
   // Leader first (followers need its port), then the followers. On-disk
   // chains (not --in-memory): the kill/rejoin leg below depends on the
   // killed follower recovering from its own log.
-  SpinLock nodes_mu;  // guards pid/port across the disruptor + monitor
+  SpinLock nodes_mu;  // guards pid/port across the disruptor
   std::vector<NodeProc> nodes(n_nodes);
   nodes[0].name = "leader";
   nodes[0].dir = root + "/leader";
@@ -289,51 +290,43 @@ int RunCluster(size_t replicas, const std::string& harmonyd_flag,
     nodes[i].port = WaitForServePort(nodes[i], 0, 15.0);
   }
 
-  // Replication-lag monitor: polls every node's STATS and records, per
-  // block height, the first time it was seen at the leader and at each
-  // follower; the difference is the commit-visible-on-follower lag. A
-  // follower that dies (the disruptor's SIGKILL) just drops its client and
-  // reconnects to the respawned port.
+  // Replication-lag monitor: one METRICS connection to the leader, sampling
+  // the replication plane's own per-peer `repl.peer.lag_blocks` gauges
+  // (leader tip minus that peer's cumulative ack, maintained by the
+  // Replicator — docs/OBSERVABILITY.md). Every poll records every peer's
+  // current lag, so the histogram is a time-and-peer-weighted view of how
+  // far followers trail: the killed follower's climbing backlog and its
+  // catch-up burst both land in the tail. Leader-local gauges mean no
+  // cross-node clock arithmetic and no bespoke per-height bookkeeping —
+  // these are the same numbers `harmonyd cluster-status` scrapes.
   std::atomic<bool> mon_stop{false};
-  Histogram lag_us;
+  Histogram lag_blocks;
+  const uint16_t leader_port = nodes[0].port;  // the leader is never killed
+  const std::string lag_prefix =
+      std::string(obs::kGaugePeerLagBlocks) + ".";
   std::thread monitor([&] {
-    Timer t;
-    std::map<uint64_t, double> lead_seen;  // height -> first-seen, us
-    std::vector<std::unique_ptr<net::NetClient>> clients(n_nodes);
-    std::vector<uint16_t> client_port(n_nodes, 0);
-    std::vector<uint64_t> last_h(n_nodes, 0);
+    std::unique_ptr<net::NetClient> client;
     while (!mon_stop.load(std::memory_order_acquire)) {
-      for (size_t i = 0; i < n_nodes; i++) {
-        uint16_t port;
-        {
-          std::lock_guard<SpinLock> lk(nodes_mu);
-          port = nodes[i].port;
-        }
-        if (clients[i] == nullptr || client_port[i] != port) {
-          net::NetClientOptions co;
-          co.port = port;
-          auto c = net::NetClient::Connect(co);
-          clients[i] = c.ok() ? std::move(*c) : nullptr;
-          client_port[i] = port;
-          if (clients[i] == nullptr) continue;
-        }
-        auto stats = clients[i]->Stats(/*timeout_us=*/500'000);
-        if (!stats.ok()) {
-          clients[i] = nullptr;  // node down or mid-restart; redial
+      if (client == nullptr) {
+        net::NetClientOptions co;
+        co.port = leader_port;
+        auto c = net::NetClient::Connect(co);
+        client = c.ok() ? std::move(*c) : nullptr;
+        if (client == nullptr) {
+          ::usleep(50'000);
           continue;
         }
-        const double now_us = t.ElapsedSeconds() * 1e6;
-        for (uint64_t h = last_h[i] + 1; h <= stats->height; h++) {
-          if (i == 0) {
-            lead_seen[h] = now_us;
-          } else {
-            auto it = lead_seen.find(h);
-            if (it != lead_seen.end()) lag_us.Add(now_us - it->second);
-          }
-        }
-        last_h[i] = std::max(last_h[i], stats->height);
       }
-      ::usleep(2'000);
+      auto snap = client->Metrics(/*timeout_us=*/500'000);
+      if (!snap.ok()) {
+        client = nullptr;  // leader busy or shedding load; redial
+        continue;
+      }
+      for (const auto& g : snap->gauges) {
+        if (g.name.compare(0, lag_prefix.size(), lag_prefix) == 0)
+          lag_blocks.Add(static_cast<double>(g.value));
+      }
+      ::usleep(5'000);
     }
   });
 
@@ -421,17 +414,18 @@ int RunCluster(size_t replicas, const std::string& harmonyd_flag,
       "Cluster replication: " + std::to_string(n_nodes) +
           "-process leader+followers over wire-v2 REPLICATE/ACK "
           "(quorum-ack receipts), one follower SIGKILLed and rejoined "
-          "mid-run; lag = block committed at leader -> visible on follower",
-      {"nodes", "conns", "ktxn/s", "p50 ms", "p99 ms", "lag p50 ms",
-       "lag p99 ms", "cmt/rej/drop", "lost/dup", "digests"});
+          "mid-run; lag = leader-reported repl.peer.lag_blocks (blocks a "
+          "follower trails the leader tip)",
+      {"nodes", "conns", "ktxn/s", "p50 ms", "p99 ms", "lag p50 blk",
+       "lag p99 blk", "cmt/rej/drop", "lost/dup", "digests"});
   PrintRow({std::to_string(n_nodes), std::to_string(conns),
             Fmt(r.wall_s > 0
                     ? static_cast<double>(r.committed) / r.wall_s / 1e3
                     : 0),
             Fmt(r.latency_us.Percentile(50) / 1e3, 2),
             Fmt(r.latency_us.Percentile(99) / 1e3, 2),
-            Fmt(lag_us.Percentile(50) / 1e3, 2),
-            Fmt(lag_us.Percentile(99) / 1e3, 2),
+            Fmt(lag_blocks.Percentile(50), 1),
+            Fmt(lag_blocks.Percentile(99), 1),
             std::to_string(r.committed) + "/" + std::to_string(r.rejected) +
                 "/" + std::to_string(r.dropped),
             std::to_string(r.lost) + "/" + std::to_string(r.duplicated),

@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "common/codec.h"
+#include "obs/events.h"
 #include "testing/crash_point.h"
 
 namespace harmony {
@@ -145,6 +146,12 @@ Status BlockStore::Migrate(uint32_t from_version) {
     return Status::IOError("rename migrated block log");
   }
   HARMONY_CRASH_POINT("chain.migrate.after_rename");
+  if (events_ != nullptr) {
+    events_->Emit(obs::EventSeverity::kInfo, obs::EventCode::kLogMigrate,
+                  "v" + std::to_string(from_version) + " -> v" +
+                      std::to_string(kLogVersion) + ", " +
+                      std::to_string(migrated) + " blocks: " + path_);
+  }
   // Reopen: the file is v4 now, so this recursion terminates immediately.
   return Open();
 }

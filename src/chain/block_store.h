@@ -11,6 +11,10 @@
 
 namespace harmony {
 
+namespace obs {
+class EventLog;
+}
+
 /// Append-only logical log of input blocks (Section 4, "Recovery"): because
 /// execution is deterministic, persisting the *inputs* is sufficient for
 /// recovery — no ARIES-style physical log.
@@ -70,6 +74,10 @@ class BlockStore {
                       Compression compression = Compression::kHlz);
   ~BlockStore();
 
+  /// Optional structured event log: Open() emits a log_migrate event when
+  /// it rewrites a pre-v4 log. Set before Open(); nullptr disables.
+  void SetEventLog(obs::EventLog* events) { events_ = events; }
+
   /// Opens the log and scans it, truncating a torn tail if present;
   /// migrates pre-v4 logs to v4 first (see class comment).
   Status Open();
@@ -124,6 +132,7 @@ class BlockStore {
   std::string path_;
   uint64_t sync_latency_us_;
   Compression compression_;
+  obs::EventLog* events_ = nullptr;
   std::atomic<uint64_t> raw_bytes_{0};
   std::atomic<uint64_t> disk_bytes_{0};
   std::atomic<uint64_t> compressed_blocks_{0};

@@ -3,13 +3,19 @@
 #include <thread>
 
 #include "common/clock.h"
+#include "testing/crash_point.h"
 
 namespace harmony {
 
 Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
   auto db = std::unique_ptr<HarmonyBC>(new HarmonyBC());
   db->opts_ = options;
+  db->open_time_us_ = NowMicros();
   db->metrics_ = std::make_unique<obs::MetricsRegistry>();
+  db->events_ = std::make_unique<obs::EventLog>();
+  // Crash-point armings land in the most recently opened instance's event
+  // stream (the torture child and harmonyd run one instance per process).
+  testing::SetCrashPointEventLog(db->events_.get());
   db->tracer_ = std::make_unique<obs::TxnTracer>(db->metrics_.get(),
                                                  options.enable_tracing);
   db->completion_ = std::make_unique<CompletionRouter>();
@@ -27,6 +33,7 @@ Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
   ro.orderer_secret = options.orderer_secret;
   ro.block_compression = options.block_compression;
   ro.tracer = db->tracer_.get();
+  ro.events = db->events_.get();
   db->replica_ = std::make_unique<Replica>(ro);
   HARMONY_RETURN_NOT_OK(db->replica_->Open());
 
@@ -178,6 +185,7 @@ Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
 }
 
 HarmonyBC::~HarmonyBC() {
+  if (events_ != nullptr) testing::ClearCrashPointEventLog(events_.get());
   if (sealer_ != nullptr) sealer_->Stop();
   // The replica's commit thread invokes the retry/receipt callback, which
   // touches the mempool and completion router — join it (via destruction)
@@ -250,6 +258,11 @@ Result<BlockId> HarmonyBC::Recover() {
 }
 
 Status HarmonyBC::SealPending() { return sealer_->Flush(); }
+
+uint64_t HarmonyBC::uptime_us() const {
+  const uint64_t now = NowMicros();
+  return now > open_time_us_ ? now - open_time_us_ : 0;
+}
 
 obs::MetricsSnapshot HarmonyBC::CollectMetrics() {
   // Refresh the chain gauges at snapshot time — they are sampled state,

@@ -13,6 +13,7 @@
 #include "ingest/admission.h"
 #include "ingest/mempool.h"
 #include "ingest/sealer.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "replica/replica.h"
@@ -198,6 +199,13 @@ class HarmonyBC {
   /// Options::enable_tracing for what feeds it).
   obs::MetricsRegistry* metrics() { return metrics_.get(); }
   obs::TxnTracer* tracer() { return tracer_.get(); }
+  /// This instance's structured event log (always non-null): the discrete
+  /// cluster transitions — follower join/leave, reconnects, snapshot
+  /// installs, log migrations, journal recoveries — that metrics cannot
+  /// express. Served remotely via the wire EVENTS frame.
+  obs::EventLog* events() { return events_.get(); }
+  /// Microseconds since Open() returned this instance (HEALTH frames).
+  uint64_t uptime_us() const;
   /// Registry snapshot with the chain gauges refreshed and the slow-txn
   /// ring attached — what `harmonyd metrics` and the wire METRICS frame
   /// serve. Safe from any thread.
@@ -255,7 +263,9 @@ class HarmonyBC {
   /// and the replica's commit thread hold raw tracer/histogram pointers
   /// until they are destroyed below.
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::EventLog> events_;
   std::unique_ptr<obs::TxnTracer> tracer_;
+  uint64_t open_time_us_ = 0;
   /// Declared before the replica: the commit thread resolves receipts
   /// through it until the replica is destroyed.
   std::unique_ptr<CompletionRouter> completion_;

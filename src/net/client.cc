@@ -305,6 +305,63 @@ Result<obs::MetricsSnapshot> NetClient::Metrics(uint64_t timeout_us) {
   return metrics_reply_;
 }
 
+Result<WireHealth> NetClient::Health(uint64_t timeout_us) {
+  // One HEALTH exchange at a time: the reply carries no correlation id.
+  std::lock_guard<std::mutex> call_lk(health_call_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    health_ready_ = false;
+  }
+  if (Status s = WriteFrame(Opcode::kOpHealth, {}); !s.ok()) {
+    BreakConnection(s);  // a half-written frame desynchronizes the stream
+    return s;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool got = cv_.wait_for(
+      lk, std::chrono::microseconds(timeout_us), [&] {
+        return broken_.load(std::memory_order_acquire) || health_ready_;
+      });
+  if (!got || !health_ready_) {
+    // The reply may still arrive; make sure the reader throws it away
+    // rather than handing it to the next Health() call as fresh.
+    health_abandoned_++;
+    return broken_.load(std::memory_order_acquire) && !broken_why_.ok()
+               ? broken_why_
+               : Status::Busy("HEALTH timed out");
+  }
+  return health_reply_;
+}
+
+Result<NetClient::EventsBatch> NetClient::Events(uint64_t cursor,
+                                                 uint64_t timeout_us) {
+  // One EVENTS exchange at a time: the reply carries no correlation id.
+  std::lock_guard<std::mutex> call_lk(events_call_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    events_ready_ = false;
+  }
+  std::string req;
+  EncodeEventsReq(cursor, &req);
+  if (Status s = WriteFrame(Opcode::kOpEvents, req); !s.ok()) {
+    BreakConnection(s);  // a half-written frame desynchronizes the stream
+    return s;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool got = cv_.wait_for(
+      lk, std::chrono::microseconds(timeout_us), [&] {
+        return broken_.load(std::memory_order_acquire) || events_ready_;
+      });
+  if (!got || !events_ready_) {
+    // The reply may still arrive; make sure the reader throws it away
+    // rather than handing it to the next Events() call as fresh.
+    events_abandoned_++;
+    return broken_.load(std::memory_order_acquire) && !broken_why_.ok()
+               ? broken_why_
+               : Status::Busy("EVENTS timed out");
+  }
+  return std::move(events_reply_);
+}
+
 Status NetClient::WriteFrame(Opcode op, std::string_view payload) {
   const std::string frame = EncodeFrame(op, payload);
   std::lock_guard<std::mutex> lk(write_mu_);
@@ -453,8 +510,50 @@ void NetClient::ReaderLoop() {
           cv_.notify_all();
           break;
         }
+        case Opcode::kOpHealth: {
+          WireHealth h;
+          if (!DecodeHealth(frame.payload, &h)) {
+            BreakConnection(Status::Corruption("bad HEALTH payload"));
+            return;
+          }
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (health_abandoned_ > 0) {
+              health_abandoned_--;  // the reply to a timed-out request
+              break;
+            }
+            health_reply_ = std::move(h);
+            health_ready_ = true;
+          }
+          cv_.notify_all();
+          break;
+        }
+        case Opcode::kOpEvents: {
+          EventsBatch b;
+          if (!DecodeEvents(frame.payload, &b.next_cursor, &b.events)) {
+            BreakConnection(Status::Corruption("bad EVENTS payload"));
+            return;
+          }
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (events_abandoned_ > 0) {
+              events_abandoned_--;  // the reply to a timed-out request
+              break;
+            }
+            events_reply_ = std::move(b);
+            events_ready_ = true;
+          }
+          cv_.notify_all();
+          break;
+        }
         case Opcode::kOpSubmit:
         case Opcode::kOpBatchSubmit:
+        case Opcode::kOpReplJoin:
+        case Opcode::kOpReplicate:
+        case Opcode::kOpReplicateAck:
+        case Opcode::kOpReplSnapshot:
+          // Client-only requests and replication-plane frames have no
+          // business arriving on a client connection.
           BreakConnection(
               Status::Corruption("server sent a client-only opcode"));
           return;

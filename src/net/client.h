@@ -86,6 +86,18 @@ class NetClient {
   /// surfaces here as the connection-loss status, never as a hang.
   Result<obs::MetricsSnapshot> Metrics(uint64_t timeout_us);
 
+  /// Fetches the node's HEALTH self-report (role, chain position, peer
+  /// count — docs/OBSERVABILITY.md). Cheap on the server; poll freely.
+  Result<WireHealth> Health(uint64_t timeout_us);
+
+  /// One kOpEvents exchange: the retained events from `cursor` on plus the
+  /// cursor to pass next time (tail -f loop: feed next_cursor back in).
+  struct EventsBatch {
+    uint64_t next_cursor = 0;
+    std::vector<obs::EventRecord> events;
+  };
+  Result<EventsBatch> Events(uint64_t cursor, uint64_t timeout_us);
+
   /// Local aggregate receipt counters (inflight included), mirroring
   /// Session::stats() for the remote session.
   const SessionStats& stats() const { return *stats_; }
@@ -131,6 +143,8 @@ class NetClient {
   std::mutex write_mu_;       ///< serializes whole-frame socket writes
   std::mutex stats_call_mu_;  ///< one STATS exchange at a time (no corr. id)
   std::mutex metrics_call_mu_;  ///< likewise for METRICS
+  std::mutex health_call_mu_;   ///< likewise for HEALTH
+  std::mutex events_call_mu_;   ///< likewise for EVENTS
 
   std::mutex mu_;  ///< pending map + sync/stats/metrics rendezvous
   std::condition_variable cv_;
@@ -142,18 +156,24 @@ class NetClient {
   std::unordered_set<uint64_t> acked_syncs_;
   bool stats_ready_ = false;
   bool metrics_ready_ = false;
+  bool health_ready_ = false;
+  bool events_ready_ = false;
   /// Requests whose caller gave up (timeout): replies arrive in request
   /// order on the one TCP stream, so the reader discards this many before
   /// delivering one — a retry after a timeout cannot be satisfied by the
-  /// previous request's stale snapshot. Tracked *per opcode*: STATS and
-  /// METRICS replies interleave in their own per-opcode request order, so
-  /// an abandoned STATS must never eat a fresh METRICS reply (or vice
-  /// versa) — one shared counter would do exactly that when a caller mixes
-  /// the v1 and v2 stats calls on one connection.
+  /// previous request's stale snapshot. Tracked *per opcode*: STATS,
+  /// METRICS, HEALTH, and EVENTS replies interleave in their own
+  /// per-opcode request order, so an abandoned request of one opcode must
+  /// never eat a fresh reply of another — one shared counter would do
+  /// exactly that when a caller mixes them on one connection.
   uint32_t stats_abandoned_ = 0;
   uint32_t metrics_abandoned_ = 0;
+  uint32_t health_abandoned_ = 0;
+  uint32_t events_abandoned_ = 0;
   WireStats stats_reply_;
   obs::MetricsSnapshot metrics_reply_;
+  WireHealth health_reply_;
+  EventsBatch events_reply_;
   Status broken_why_;
 };
 

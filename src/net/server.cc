@@ -13,6 +13,7 @@
 
 #include "chain/block.h"
 #include "common/clock.h"
+#include "obs/events.h"
 #include "repl/replicator.h"
 
 namespace harmony {
@@ -34,7 +35,9 @@ NetServer::Reactor::~Reactor() {
 NetServer::NetServer(HarmonyBC* db, NetServerOptions opts)
     : db_(db),
       opts_(std::move(opts)),
-      stats_(std::make_shared<NetServerStats>()) {}
+      stats_(std::make_shared<NetServerStats>()) {
+  c_redirects_ = db_->metrics()->GetCounter(obs::kCounterRedirects);
+}
 
 NetServer::~NetServer() { Stop(); }
 
@@ -317,6 +320,7 @@ void NetServer::AcceptReady() {
     if (db_->tracer()->enabled()) {
       conn->flush_hist = db_->tracer()->wire_flush;
     }
+    conn->events = db_->events();
     stats_->accepted.fetch_add(1, std::memory_order_relaxed);
 
     Reactor& r = *reactors_[target];
@@ -400,6 +404,9 @@ bool NetServer::Dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
   if (!opts_.redirect_addr.empty() &&
       (frame.opcode == Opcode::kOpSubmit ||
        frame.opcode == Opcode::kOpBatchSubmit)) {
+    c_redirects_->Add(1);
+    db_->events()->Emit(obs::EventSeverity::kInfo, obs::EventCode::kRedirect,
+                        "submit bounced to " + opts_.redirect_addr);
     WireError e;
     e.code = Status::Code::kNotSupported;
     e.client_seq = 0;
@@ -525,6 +532,40 @@ bool NetServer::Dispatch(const std::shared_ptr<Conn>& conn, Frame frame) {
       EnqueueLocked(*conn, Opcode::kOpMetrics, payload);
       return true;
     }
+    case Opcode::kOpHealth: {
+      // One frame answering "which node is this and is it keeping up" —
+      // role, chain height, durable tip, peer count (docs/OBSERVABILITY.md).
+      if (!frame.payload.empty()) return false;
+      WireHealth h;
+      h.role = replicator_ != nullptr          ? WireHealth::kLeader
+               : !opts_.redirect_addr.empty()  ? WireHealth::kFollower
+                                               : WireHealth::kStandalone;
+      h.node = opts_.node_name;
+      h.height = db_->height();
+      h.durable_tip = db_->replica()->block_store()->last_block_id();
+      h.leader_addr = opts_.redirect_addr;
+      h.peer_count = replicator_ != nullptr
+                         ? static_cast<uint32_t>(replicator_->num_peers())
+                         : 0;
+      h.uptime_us = db_->uptime_us();
+      std::string payload;
+      EncodeHealth(h, &payload);
+      std::lock_guard<std::mutex> lk(conn->mu);
+      EnqueueLocked(*conn, Opcode::kOpHealth, payload);
+      return true;
+    }
+    case Opcode::kOpEvents: {
+      uint64_t cursor = 0;
+      if (!DecodeEventsReq(frame.payload, &cursor)) return false;
+      std::vector<obs::EventRecord> recs;
+      const uint64_t next =
+          db_->events()->Since(cursor, kMaxEventEntries, &recs);
+      std::string payload;
+      EncodeEvents(next, recs, &payload);
+      std::lock_guard<std::mutex> lk(conn->mu);
+      EnqueueLocked(*conn, Opcode::kOpEvents, payload);
+      return true;
+    }
     case Opcode::kOpReplJoin: {
       // A follower announcing itself (docs/REPLICATION.md). Only meaningful
       // on a leader that wired a replicator in.
@@ -588,6 +629,12 @@ void NetServer::SealOverloadedLocked(Conn& conn) {
   conn.overloaded = true;
   conn.close_after_flush = true;
   conn.srv_stats->overloaded_closes.fetch_add(1, std::memory_order_relaxed);
+  if (conn.events != nullptr) {
+    conn.events->Emit(obs::EventSeverity::kWarn,
+                      obs::EventCode::kOverloadSeal,
+                      "write queue over " + std::to_string(conn.wq_cap) +
+                          " bytes");
+  }
   WireError e;
   e.code = Status::Code::kBusy;
   e.client_seq = 0;

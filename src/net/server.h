@@ -43,6 +43,8 @@ struct NetServerOptions {
   /// ERROR{not_supported, "not leader; redirect to <addr>"} so clients
   /// re-dial the leader (docs/REPLICATION.md).
   std::string redirect_addr;
+  /// Name this node reports in HEALTH replies (docs/OBSERVABILITY.md).
+  std::string node_name;
 };
 
 /// Whole-server counters (relaxed; monotonic).
@@ -143,6 +145,10 @@ class NetServer {
     /// null. Set at accept, read under mu (raw pointer into the fronted
     /// HarmonyBC's registry, which outlives the server).
     obs::LatencyHistogram* flush_hist = nullptr;
+    /// The fronted HarmonyBC's event log. Set at accept (same lifetime
+    /// argument as flush_hist) so the static overload-seal path can emit
+    /// an overload_seal event without a NetServer pointer.
+    obs::EventLog* events = nullptr;
 
     // Write side — shared between the owning reactor and receipt callbacks.
     std::mutex mu;
@@ -210,6 +216,9 @@ class NetServer {
   HarmonyBC* db_;
   NetServerOptions opts_;
   repl::Replicator* replicator_ = nullptr;
+  /// net.redirects (docs/OBSERVABILITY.md): submits bounced with a
+  /// not-leader redirect. Resolved once from the fronted registry.
+  obs::Counter* c_redirects_ = nullptr;
   std::shared_ptr<NetServerStats> stats_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;

@@ -33,6 +33,10 @@ const char* OpcodeName(Opcode op) {
       return "REPLICATE_ACK";
     case Opcode::kOpReplSnapshot:
       return "REPL_SNAPSHOT";
+    case Opcode::kOpHealth:
+      return "HEALTH";
+    case Opcode::kOpEvents:
+      return "EVENTS";
   }
   return "?";
 }
@@ -242,6 +246,81 @@ bool DecodeSnapshot(std::string_view payload, WireSnapshot* out) {
   return r.remaining() == 0;
 }
 
+void EncodeHealth(const WireHealth& h, std::string* out) {
+  out->push_back(static_cast<char>(h.role));
+  codec::AppendBytes(out, h.node);
+  codec::AppendU64(out, h.height);
+  codec::AppendU64(out, h.durable_tip);
+  codec::AppendBytes(out, h.leader_addr);
+  codec::AppendU32(out, h.peer_count);
+  codec::AppendU64(out, h.uptime_us);
+}
+
+bool DecodeHealth(std::string_view payload, WireHealth* out) {
+  if (payload.empty()) return false;
+  const uint8_t role = static_cast<uint8_t>(payload[0]);
+  if (role > WireHealth::kFollower) return false;
+  codec::Reader r(payload.substr(1));
+  if (!r.ReadBytes(&out->node)) return false;
+  if (out->node.size() > kMaxReplNodeName) return false;
+  if (!r.ReadU64(&out->height) || !r.ReadU64(&out->durable_tip)) return false;
+  if (!r.ReadBytes(&out->leader_addr)) return false;
+  if (out->leader_addr.size() > kMaxLeaderAddr) return false;
+  if (!r.ReadU32(&out->peer_count) || !r.ReadU64(&out->uptime_us)) {
+    return false;
+  }
+  out->role = role;
+  return r.remaining() == 0;
+}
+
+void EncodeEventsReq(uint64_t cursor, std::string* out) {
+  codec::AppendU64(out, cursor);
+}
+
+bool DecodeEventsReq(std::string_view payload, uint64_t* cursor) {
+  codec::Reader r(payload);
+  return r.ReadU64(cursor) && r.remaining() == 0;
+}
+
+void EncodeEvents(uint64_t next_cursor,
+                  const std::vector<obs::EventRecord>& events,
+                  std::string* out) {
+  codec::AppendU64(out, next_cursor);
+  codec::AppendU32(out, static_cast<uint32_t>(events.size()));
+  for (const obs::EventRecord& e : events) {
+    codec::AppendU64(out, e.seq);
+    codec::AppendU64(out, e.time_us);
+    out->push_back(static_cast<char>(e.severity));
+    codec::AppendU16(out, e.code);
+    codec::AppendBytes(out, e.detail);
+  }
+}
+
+bool DecodeEvents(std::string_view payload, uint64_t* next_cursor,
+                  std::vector<obs::EventRecord>* out) {
+  codec::Reader r(payload);
+  uint32_t count = 0;
+  if (!r.ReadU64(next_cursor) || !r.ReadU32(&count)) return false;
+  if (count > kMaxEventEntries) return false;
+  // Each entry is at least seq + time + severity + code + detail len
+  // = 8 + 8 + 1 + 2 + 4 bytes; an implausible count fails here, not the
+  // resize below.
+  if (static_cast<uint64_t>(count) * 23 > r.remaining()) return false;
+  out->resize(count);
+  for (obs::EventRecord& e : *out) {
+    if (!r.ReadU64(&e.seq) || !r.ReadU64(&e.time_us)) return false;
+    uint8_t severity = 0;
+    if (!r.ReadFixed(&severity, 1)) return false;
+    if (severity > static_cast<uint8_t>(obs::EventSeverity::kError)) {
+      return false;
+    }
+    e.severity = severity;
+    if (!r.ReadU16(&e.code) || !r.ReadBytes(&e.detail)) return false;
+    if (e.detail.size() > kMaxEventDetail) return false;
+  }
+  return r.remaining() == 0;
+}
+
 void EncodeSync(uint64_t token, std::string* out) {
   codec::AppendU64(out, token);
 }
@@ -434,7 +513,7 @@ Status FrameReassembler::Next(Frame* out) {
   }
   if (flags != 0) return Status::Corruption("reserved flags set");
   if (opcode < static_cast<uint8_t>(Opcode::kOpSubmit) ||
-      opcode > static_cast<uint8_t>(Opcode::kOpReplSnapshot)) {
+      opcode > static_cast<uint8_t>(Opcode::kOpEvents)) {
     return Status::Corruption("unknown opcode " + std::to_string(opcode));
   }
   // A batch opcode promises v2 semantics; a v1-stamped frame carrying one

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "core/completion.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "txn/procedure.h"
 
@@ -89,6 +90,13 @@ enum class Opcode : uint8_t {
   kOpReplSnapshot = 12, ///< L -> F: WireSnapshot — state rows at a
                         ///<         checkpointed base block, for followers
                         ///<         too far behind the log-tail window
+  // --- cluster observability (docs/OBSERVABILITY.md) ---
+  kOpHealth = 13,       ///< C -> S: empty; S -> C: WireHealth — role,
+                        ///<         chain position, peer count; cheap
+                        ///<         enough to poll every second
+  kOpEvents = 14,       ///< C -> S: u64 cursor; S -> C: next cursor +
+                        ///<         count-capped obs::EventRecord entries
+                        ///<         from the instance's event ring
 };
 
 const char* OpcodeName(Opcode op);
@@ -241,6 +249,41 @@ struct WireSnapshot {
 inline constexpr uint32_t kMaxSnapshotRows = 65536;
 void EncodeSnapshot(const WireSnapshot& s, std::string* out);
 bool DecodeSnapshot(std::string_view payload, WireSnapshot* out);
+
+// --- cluster observability payloads (docs/OBSERVABILITY.md) -----------------
+
+/// HEALTH: one node's self-report — who it is, where its chain stands, and
+/// who it talks to. Request payload is empty; the reply is cheap to build
+/// (no histogram walk) so pollers can hit it every second.
+struct WireHealth {
+  enum Role : uint8_t { kStandalone = 0, kLeader = 1, kFollower = 2 };
+  uint8_t role = kStandalone;
+  std::string node;         ///< node name ("" for standalone/leader default)
+  uint64_t height = 0;      ///< committed chain height
+  uint64_t durable_tip = 0; ///< follower: last applied block; leader: height
+  std::string leader_addr;  ///< follower: where submits are redirected
+  uint32_t peer_count = 0;  ///< leader: connected replication peers
+  uint64_t uptime_us = 0;   ///< microseconds since the instance opened
+};
+inline constexpr uint32_t kMaxLeaderAddr = 256;
+void EncodeHealth(const WireHealth& h, std::string* out);
+bool DecodeHealth(std::string_view payload, WireHealth* out);
+
+/// EVENTS: request is exactly a u64 cursor (the value a previous reply
+/// returned, or 0 for "from the oldest retained event"); the reply is the
+/// next cursor followed by a count-capped run of event entries. Decode
+/// applies the kOpMetrics hostile-input discipline: counts are checked for
+/// plausibility against the remaining bytes before sizing anything, detail
+/// strings are length-capped, and trailing bytes are a protocol error.
+inline constexpr uint32_t kMaxEventEntries = 1024;
+inline constexpr uint32_t kMaxEventDetail = 120;  // == obs::EventLog::kMaxDetail
+void EncodeEventsReq(uint64_t cursor, std::string* out);
+bool DecodeEventsReq(std::string_view payload, uint64_t* cursor);
+void EncodeEvents(uint64_t next_cursor,
+                  const std::vector<obs::EventRecord>& events,
+                  std::string* out);
+bool DecodeEvents(std::string_view payload, uint64_t* next_cursor,
+                  std::vector<obs::EventRecord>* out);
 
 /// Incremental frame reassembly over a byte stream: Feed() whatever the
 /// socket produced, then drain complete frames with Next() until it

@@ -249,5 +249,90 @@ std::string MetricsSnapshot::RenderJson() const {
   return out;
 }
 
+namespace {
+
+/// "txn.commit_us" -> "harmony_txn_commit_us". Prometheus metric names
+/// admit [a-zA-Z0-9_:]; everything else becomes '_'.
+std::string PromName(std::string_view name) {
+  std::string out = "harmony_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Per-peer replication gauges are registered as "<base>.<node>"; in the
+/// exposition the peer belongs in a label, not the metric name. Returns
+/// true and splits when `name` carries one of the known per-peer bases.
+bool SplitPeerGauge(std::string_view name, std::string_view* base,
+                    std::string_view* node) {
+  static constexpr std::string_view kBases[] = {
+      "repl.peer.ack_watermark", "repl.peer.lag_blocks",
+      "repl.peer.window_inflight"};
+  for (const std::string_view b : kBases) {
+    if (name.size() > b.size() + 1 && name.substr(0, b.size()) == b &&
+        name[b.size()] == '.') {
+      *base = b;
+      *node = name.substr(b.size() + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::RenderProm() const {
+  std::string out;
+  char buf[256];
+  std::string last_type;  // suppress duplicate TYPE lines (sorted input
+                          // keeps same-name samples consecutive)
+  auto type_line = [&](const std::string& pname, const char* kind) {
+    if (pname == last_type) return;
+    last_type = pname;
+    out += "# TYPE " + pname + " " + kind + "\n";
+  };
+  for (const auto& c : counters) {
+    const std::string pname = PromName(c.name);
+    type_line(pname, "counter");
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", pname.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  for (const auto& g : gauges) {
+    std::string_view base, node;
+    if (SplitPeerGauge(g.name, &base, &node)) {
+      const std::string pname = PromName(base);
+      type_line(pname, "gauge");
+      std::snprintf(buf, sizeof(buf), "%s{node=\"%.*s\"} %lld\n",
+                    pname.c_str(), static_cast<int>(node.size()),
+                    node.data(), static_cast<long long>(g.value));
+    } else {
+      const std::string pname = PromName(g.name);
+      type_line(pname, "gauge");
+      std::snprintf(buf, sizeof(buf), "%s %lld\n", pname.c_str(),
+                    static_cast<long long>(g.value));
+    }
+    out += buf;
+  }
+  for (const auto& h : histograms) {
+    const std::string pname = PromName(h.name);
+    type_line(pname, "summary");
+    std::snprintf(buf, sizeof(buf),
+                  "%s{quantile=\"0.5\"} %.1f\n"
+                  "%s{quantile=\"0.99\"} %.1f\n",
+                  pname.c_str(), h.Percentile(50), pname.c_str(),
+                  h.Percentile(99));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "%s_sum %llu\n%s_count %llu\n",
+                  pname.c_str(), static_cast<unsigned long long>(h.sum),
+                  pname.c_str(), static_cast<unsigned long long>(h.count));
+    out += buf;
+  }
+  return out;
+}
+
 }  // namespace obs
 }  // namespace harmony

@@ -160,6 +160,11 @@ struct MetricsSnapshot {
 
   std::string RenderTable() const;
   std::string RenderJson() const;
+  /// Prometheus text exposition (docs/OBSERVABILITY.md): counters and
+  /// gauges as-is (dots mapped to underscores, "harmony_" prefix),
+  /// histograms as summaries (p50/p99 quantiles + _sum/_count), per-peer
+  /// replication gauges with the peer name as a node="..." label.
+  std::string RenderProm() const;
 };
 
 /// Named-instrument registry. Get* is get-or-create under a mutex (cold

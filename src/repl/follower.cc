@@ -4,14 +4,22 @@
 #include <chrono>
 
 #include "chain/block.h"
+#include "common/clock.h"
 #include "core/harmonybc.h"
+#include "obs/events.h"
 #include "testing/crash_point.h"
 
 namespace harmony {
 namespace repl {
 
 Follower::Follower(HarmonyBC* db, FollowerOptions opts)
-    : db_(db), opts_(std::move(opts)) {}
+    : db_(db), opts_(std::move(opts)) {
+  obs::MetricsRegistry* reg = db_->metrics();
+  g_durable_tip_ = reg->GetGauge(obs::kGaugeDurableTip);
+  c_reconnects_ = reg->GetCounter(obs::kCounterReconnects);
+  c_gap_rejects_ = reg->GetCounter(obs::kCounterGapRejects);
+  h_apply_ = reg->GetHistogram(obs::kHistReplApply);
+}
 
 Follower::~Follower() { Stop(); }
 
@@ -30,6 +38,7 @@ Status Follower::Start() {
   db_->SetCommittedBlockHook([this](const Block& b) {
     HARMONY_CRASH_POINT("repl.follower.before_ack");
     last_applied_.store(b.header.block_id, std::memory_order_release);
+    g_durable_tip_->Set(static_cast<int64_t>(b.header.block_id));
     if (std::shared_ptr<PeerLink> l = link()) {
       std::string payload;
       net::EncodeReplAck(b.header.block_id, &payload);
@@ -69,8 +78,11 @@ void Follower::Loop() {
       link_.reset();
     }
     if (stop_.load(std::memory_order_acquire)) break;
-    (void)why;  // diagnostics only; every exit path retries
     reconnects_.fetch_add(1, std::memory_order_relaxed);
+    c_reconnects_->Add(1);
+    db_->events()->Emit(
+        obs::EventSeverity::kWarn, obs::EventCode::kReconnect,
+        why.ToString() + "; retry in " + std::to_string(backoff) + "us");
     std::unique_lock<std::mutex> lk(wait_mu_);
     wait_cv_.wait_for(lk, std::chrono::microseconds(backoff), [this] {
       return stop_.load(std::memory_order_acquire);
@@ -121,12 +133,19 @@ Status Follower::RunSession() {
           continue;
         }
         if (id != tip + 1) {
+          c_gap_rejects_->Add(1);
+          db_->events()->Emit(
+              obs::EventSeverity::kError, obs::EventCode::kGapReject,
+              "have " + std::to_string(tip) + ", got " + std::to_string(id));
           return Status::Corruption(
               "replication gap: have " + std::to_string(tip) + ", got " +
               std::to_string(id));
         }
         HARMONY_CRASH_POINT("repl.follower.before_apply");
+        const uint64_t t0 = NowMicros();
         HARMONY_RETURN_NOT_OK(db_->replica()->SubmitBlock(std::move(b)));
+        const uint64_t t1 = NowMicros();
+        h_apply_->Record(t1 > t0 ? t1 - t0 : 0);
         tip = id;  // pipelined: applied (and acked) by the commit thread
         break;
       }
@@ -140,6 +159,11 @@ Status Follower::RunSession() {
         snapshots_.fetch_add(1, std::memory_order_relaxed);
         tip = snap.base_block;
         last_applied_.store(tip, std::memory_order_release);
+        g_durable_tip_->Set(static_cast<int64_t>(tip));
+        db_->events()->Emit(
+            obs::EventSeverity::kInfo, obs::EventCode::kSnapshotInstall,
+            "base " + std::to_string(tip) + ", " +
+                std::to_string(snap.rows.size()) + " rows");
         // No commit fires for an installed snapshot; ack it explicitly so
         // the leader's window opens past the base.
         std::string ack;

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "repl/peer_link.h"
 
 namespace harmony {
@@ -78,6 +79,15 @@ class Follower {
 
   HarmonyBC* db_;
   const FollowerOptions opts_;
+
+  /// Follower-side instruments (docs/OBSERVABILITY.md), resolved once in
+  /// the constructor from the fronted HarmonyBC's registry. Apply latency
+  /// and durable tip are timed/read entirely on this node, so the metrics
+  /// are clock-skew-free.
+  obs::Gauge* g_durable_tip_ = nullptr;
+  obs::Counter* c_reconnects_ = nullptr;
+  obs::Counter* c_gap_rejects_ = nullptr;
+  obs::LatencyHistogram* h_apply_ = nullptr;
 
   std::mutex link_mu_;
   std::shared_ptr<PeerLink> link_;

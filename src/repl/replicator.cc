@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "chain/block.h"
+#include "common/clock.h"
 #include "core/harmonybc.h"
+#include "obs/events.h"
 #include "testing/crash_point.h"
 
 namespace harmony {
@@ -12,7 +14,12 @@ namespace repl {
 Replicator::Replicator(HarmonyBC* db, ReplicatorOptions opts)
     : db_(db),
       opts_(opts),
-      log_(db->replica()->block_store(), opts.log_window) {}
+      log_(db->replica()->block_store(), opts.log_window) {
+  obs::MetricsRegistry* reg = db_->metrics();
+  g_peers_connected_ = reg->GetGauge(obs::kGaugePeersConnected);
+  c_snapshots_sent_ = reg->GetCounter(obs::kCounterSnapshotsSent);
+  h_ack_rtt_ = reg->GetHistogram(obs::kHistAckRtt);
+}
 
 Replicator::~Replicator() { Detach(); }
 
@@ -38,26 +45,51 @@ void Replicator::AddPeer(const std::string& node, BlockId peer_tip,
     std::lock_guard<std::mutex> lk(mu_);
     Peer& p = peers_[node];
     if (p.node_id == 0) p.node_id = next_node_id_++;
+    if (p.g_ack_watermark == nullptr) {
+      obs::MetricsRegistry* reg = db_->metrics();
+      p.g_ack_watermark =
+          reg->GetGauge(std::string(obs::kGaugePeerAckWatermark) + "." + node);
+      p.g_lag_blocks =
+          reg->GetGauge(std::string(obs::kGaugePeerLagBlocks) + "." + node);
+      p.g_window_inflight = reg->GetGauge(
+          std::string(obs::kGaugePeerWindowInflight) + "." + node);
+    }
     p.acked = peer_tip;
     p.sent = peer_tip;
     p.send = std::move(send);
+    p.send_stamps.clear();  // a rejoin invalidates old send edges
+    UpdatePeerGaugesLocked(p);
+    g_peers_connected_->Set(static_cast<int64_t>(peers_.size()));
     want_snapshot =
         peer_tip == 0 && log_.tip() > opts_.snapshot_after;
   }
+  db_->events()->Emit(obs::EventSeverity::kInfo,
+                      obs::EventCode::kFollowerJoin,
+                      node + " @ tip " + std::to_string(peer_tip));
   if (want_snapshot) {
     net::WireSnapshot snap;
     if (BuildSnapshot(&snap).ok()) {
       std::string payload;
       net::EncodeSnapshot(snap, &payload);
       if (payload.size() <= net::kMaxFramePayload) {
-        std::lock_guard<std::mutex> lk(mu_);
-        auto it = peers_.find(node);
-        // The peer may have dropped (or re-joined at a new tip) while the
-        // snapshot was building; only a still-fresh peer gets it.
-        if (it != peers_.end() && it->second.sent == 0 &&
-            it->second.send(net::Opcode::kOpReplSnapshot, payload)) {
-          it->second.sent = snap.base_block;
-          snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
+        bool sent = false;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          auto it = peers_.find(node);
+          // The peer may have dropped (or re-joined at a new tip) while the
+          // snapshot was building; only a still-fresh peer gets it.
+          if (it != peers_.end() && it->second.sent == 0 &&
+              it->second.send(net::Opcode::kOpReplSnapshot, payload)) {
+            it->second.sent = snap.base_block;
+            snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
+            c_snapshots_sent_->Add(1);
+            sent = true;
+          }
+        }
+        if (sent) {
+          db_->events()->Emit(
+              obs::EventSeverity::kInfo, obs::EventCode::kSnapshotSent,
+              node + " @ base " + std::to_string(snap.base_block));
         }
       }
       // Oversized snapshot: fall through, the log tail covers it.
@@ -69,10 +101,23 @@ void Replicator::AddPeer(const std::string& node, BlockId peer_tip,
 }
 
 void Replicator::RemovePeer(const std::string& node) {
-  std::lock_guard<std::mutex> lk(mu_);
-  peers_.erase(node);
-  // The watermark stays: blocks a departed follower acked are still applied
-  // on its disk; monotonicity is what the gated receipts relied on.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = peers_.find(node);
+    if (it == peers_.end()) return;
+    // The gauges survive the peer entry: last-known ack/lag stay readable
+    // (a rejoin re-resolves the same names), but nothing is in flight.
+    if (it->second.g_window_inflight != nullptr) {
+      it->second.g_window_inflight->Set(0);
+    }
+    peers_.erase(it);
+    g_peers_connected_->Set(static_cast<int64_t>(peers_.size()));
+    // The watermark stays: blocks a departed follower acked are still
+    // applied on its disk; monotonicity is what the gated receipts relied
+    // on.
+  }
+  db_->events()->Emit(obs::EventSeverity::kWarn,
+                      obs::EventCode::kFollowerLeave, node);
 }
 
 void Replicator::OnAck(const std::string& node, BlockId acked) {
@@ -84,8 +129,20 @@ void Replicator::OnAck(const std::string& node, BlockId acked) {
     Peer& p = it->second;
     if (acked > p.acked) p.acked = acked;
     if (acked > p.sent) p.sent = acked;  // snapshot install acks past sent
+    if (!p.send_stamps.empty() && p.send_stamps.front().first <= acked) {
+      // One clock read per ack covers every block the cumulative ack
+      // retired; both edges are leader-local, so skew cannot distort it.
+      const uint64_t now = NowMicros();
+      while (!p.send_stamps.empty() &&
+             p.send_stamps.front().first <= acked) {
+        const uint64_t sent_at = p.send_stamps.front().second;
+        h_ack_rtt_->Record(now > sent_at ? now - sent_at : 0);
+        p.send_stamps.pop_front();
+      }
+    }
     AdvanceWatermarkLocked(&due);
     PumpLocked(p);
+    UpdatePeerGaugesLocked(p);
   }
   for (auto& resolve : due) resolve();
 }
@@ -142,15 +199,29 @@ void Replicator::PumpLocked(Peer& p) {
     std::vector<std::pair<BlockId, std::string>> batch;
     // Store reads under mu_ stall fan-out, not commits' durability — the
     // commit thread only enters here after the block is locally durable.
-    if (!log_.Fetch(p.sent, room, &batch).ok() || batch.empty()) return;
+    if (!log_.Fetch(p.sent, room, &batch).ok() || batch.empty()) break;
+    const uint64_t now = NowMicros();  // one stamp per fetched batch
     for (auto& [id, payload] : batch) {
       if (!p.send(net::Opcode::kOpReplicate, payload)) {
         p.send = nullptr;  // connection gone; RemovePeer follows from close
+        UpdatePeerGaugesLocked(p);
         return;
       }
       p.sent = id;
+      p.send_stamps.emplace_back(id, now);
     }
   }
+  UpdatePeerGaugesLocked(p);
+}
+
+void Replicator::UpdatePeerGaugesLocked(Peer& p) {
+  if (p.g_ack_watermark == nullptr) return;
+  const BlockId tip = log_.tip();
+  p.g_ack_watermark->Set(static_cast<int64_t>(p.acked));
+  p.g_lag_blocks->Set(
+      tip > p.acked ? static_cast<int64_t>(tip - p.acked) : 0);
+  p.g_window_inflight->Set(
+      p.sent > p.acked ? static_cast<int64_t>(p.sent - p.acked) : 0);
 }
 
 void Replicator::AdvanceWatermarkLocked(

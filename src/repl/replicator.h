@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 #include "repl/repl_log.h"
 #include "testing/fault.h"
 
@@ -119,11 +121,23 @@ class Replicator {
     BlockId acked = 0;
     BlockId sent = 0;
     SendFn send;
+    /// Per-peer instruments (docs/OBSERVABILITY.md), resolved once at
+    /// AddPeer — registry names are "<base>.<node>".
+    obs::Gauge* g_ack_watermark = nullptr;
+    obs::Gauge* g_lag_blocks = nullptr;
+    obs::Gauge* g_window_inflight = nullptr;
+    /// (block id, send stamp) for in-flight blocks, FIFO; bounded by the
+    /// send window. A cumulative ack pops every covered entry and records
+    /// send -> ack into repl.ack_rtt_us (leader-side edges only, so the
+    /// measurement is clock-skew-free).
+    std::deque<std::pair<BlockId, uint64_t>> send_stamps;
   };
 
   /// Streams blocks (sent, tip] to the peer inside the send window.
   /// Requires mu_.
   void PumpLocked(Peer& p);
+  /// Refreshes the peer's ack/lag/window gauges. Requires mu_.
+  void UpdatePeerGaugesLocked(Peer& p);
   /// Recomputes the watermark from peer acks and moves due gated closures
   /// into `due` (id order). Requires mu_.
   void AdvanceWatermarkLocked(std::vector<std::function<void()>>* due);
@@ -136,6 +150,11 @@ class Replicator {
   ReplicationLog log_;
   std::atomic<const testing::NetFaultPlan*> fault_plan_{nullptr};
   std::atomic<uint64_t> snapshots_sent_{0};
+  /// Leader-side instruments (per instance; resolved in the constructor
+  /// from the fronted HarmonyBC's registry).
+  obs::Gauge* g_peers_connected_ = nullptr;
+  obs::Counter* c_snapshots_sent_ = nullptr;
+  obs::LatencyHistogram* h_ack_rtt_ = nullptr;
 
   mutable std::mutex mu_;
   std::map<std::string, Peer> peers_;

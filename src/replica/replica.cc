@@ -43,6 +43,7 @@ Status Replica::Open() {
         manifest_->Exists() ? manifest_->Read() + 1 : 0;
     auto disk = std::make_unique<DiskBackend>(opts_.dir, opts_.name, opts_.disk,
                                               opts_.pool_pages);
+    disk->SetEventLog(opts_.events);
     HARMONY_RETURN_NOT_OK(disk->Open(committed_epoch));
     backend_ = std::move(disk);
   }
@@ -53,6 +54,7 @@ Status Replica::Open() {
   block_store_ = std::make_unique<BlockStore>(
       opts_.dir + "/" + opts_.name + ".chain", opts_.disk.fsync_latency_us,
       opts_.block_compression);
+  block_store_->SetEventLog(opts_.events);
   HARMONY_RETURN_NOT_OK(block_store_->Open());
   verifier_ = std::make_unique<ChainVerifier>(opts_.orderer_secret);
 

@@ -18,6 +18,7 @@
 namespace harmony {
 
 namespace obs {
+class EventLog;
 class TxnTracer;
 }
 
@@ -43,6 +44,10 @@ struct ReplicaOptions {
   /// Optional txn-lifecycle tracer: records per-block execute (Simulate)
   /// and commit durations. Replayed blocks (Recover) are not recorded.
   obs::TxnTracer* tracer = nullptr;
+  /// Optional structured event log (obs/events.h): Open-time transitions —
+  /// block-log migration, rollback-journal recovery — emit typed events
+  /// here. Mirrors `tracer`; nullptr disables emission.
+  obs::EventLog* events = nullptr;
 };
 
 /// Invoked (on the commit thread, in block order) after each block commits.

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/events.h"
 #include "testing/crash_point.h"
 
 namespace harmony {
@@ -139,6 +140,11 @@ Status DiskBackend::RollbackJournalIfNeeded(uint64_t committed_epoch) {
   ::close(fd);
   HARMONY_RETURN_NOT_OK(disk_->Sync());
   ::unlink(journal_path_.c_str());
+  if (events_ != nullptr) {
+    events_->Emit(obs::EventSeverity::kWarn, obs::EventCode::kJournalRecover,
+                  "rolled back " + std::to_string(count) +
+                      " pages (epoch " + std::to_string(epoch) + ")");
+  }
   return Status::OK();
 }
 

@@ -15,6 +15,10 @@
 
 namespace harmony {
 
+namespace obs {
+class EventLog;
+}
+
 /// Storage engine behind the versioned store. Holds the *latest committed*
 /// value of every key. Two implementations:
 ///  - DiskBackend:   buffer pool + heap file (the paper's default,
@@ -80,6 +84,10 @@ class DiskBackend : public StateBackend {
   /// checkpoint and is rolled back.
   Status Open(uint64_t committed_epoch = 0);
 
+  /// Optional structured event log: Open() emits a journal_recover event
+  /// when it rolls pages back. Set before Open(); nullptr disables.
+  void SetEventLog(obs::EventLog* events) { events_ = events; }
+
   Status Get(Key key, std::string* out) override;
   Status Put(Key key, std::string_view value,
              std::optional<std::string>* old_value) override;
@@ -103,6 +111,7 @@ class DiskBackend : public StateBackend {
   Status WriteJournal(uint64_t commit_epoch);
 
   std::string journal_path_;
+  obs::EventLog* events_ = nullptr;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<KvTable> table_;

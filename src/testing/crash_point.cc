@@ -8,12 +8,27 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/events.h"
+
 namespace harmony {
 namespace testing {
 
 std::atomic<bool> g_crash_points_armed{false};
 
 namespace {
+
+std::atomic<obs::EventLog*> g_crash_event_log{nullptr};
+
+/// Announces an arming into the registered sink (if any). Crash points are
+/// a torture-harness facility: an armed point in a serving process is worth
+/// a warning in its event stream.
+void EmitArmEvent(const std::string& point, uint64_t hit) {
+  if (obs::EventLog* log =
+          g_crash_event_log.load(std::memory_order_acquire)) {
+    log->Emit(obs::EventSeverity::kWarn, obs::EventCode::kCrashPointArm,
+              point + " (hit " + std::to_string(hit) + ")");
+  }
+}
 
 struct CrashState {
   std::mutex mu;
@@ -55,6 +70,7 @@ void ParseEnvLocked(CrashState& s) {
   s.point = spec.substr(0, c1);
   s.target_hit = hit;
   s.frac = frac;
+  EmitArmEvent(s.point, s.target_hit);
 }
 
 void Kill(CrashState& s) {
@@ -123,6 +139,7 @@ void ArmCrashPointForTest(const std::string& name, uint64_t hit,
   s.handler = std::move(handler);
   s.hits.clear();
   g_crash_points_armed.store(true, std::memory_order_relaxed);
+  EmitArmEvent(name, hit);
 }
 
 void DisarmCrashPoints() {
@@ -135,6 +152,16 @@ void DisarmCrashPoints() {
   s.hits.clear();
   s.env_parsed = true;
   g_crash_points_armed.store(false, std::memory_order_relaxed);
+}
+
+void SetCrashPointEventLog(obs::EventLog* events) {
+  g_crash_event_log.store(events, std::memory_order_release);
+}
+
+void ClearCrashPointEventLog(obs::EventLog* events) {
+  obs::EventLog* expected = events;
+  g_crash_event_log.compare_exchange_strong(expected, nullptr,
+                                            std::memory_order_acq_rel);
 }
 
 uint64_t CrashPointHits(const std::string& name) {

@@ -6,6 +6,11 @@
 #include <string>
 
 namespace harmony {
+
+namespace obs {
+class EventLog;
+}
+
 namespace testing {
 
 /// Crash-point hooks for the torture runner (tools/torture.cc): named
@@ -67,6 +72,15 @@ void CrashNow();
 void ArmCrashPointForTest(const std::string& name, uint64_t hit,
                           std::function<void()> handler, double frac = 1.0);
 void DisarmCrashPoints();
+
+/// Structured-event sink for arming (obs/events.h): crash points are
+/// process-global while event logs are per instance, so the most recently
+/// opened HarmonyBC registers its log here (and clears it on destruction
+/// iff still registered — a later instance's registration wins). Arming a
+/// point emits a crash_point_arm event into the current sink.
+void SetCrashPointEventLog(obs::EventLog* events);
+/// Clears the sink iff it still points at `events` (compare-and-swap).
+void ClearCrashPointEventLog(obs::EventLog* events);
 
 /// Hits observed for `name` since arming (test introspection).
 uint64_t CrashPointHits(const std::string& name);

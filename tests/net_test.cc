@@ -409,7 +409,7 @@ TEST(NetServer, LoopbackSubmitReceiptSyncStats) {
   EXPECT_EQ(client->stats().inflight.load(), 0u);
 }
 
-TEST(NetServer, MetricsOpcodeAndPerOpcodeAbandonedReplies) {
+TEST(NetServer, SnapshotOpcodeMatrixAndPerOpcodeAbandonedReplies) {
   TempDir dir("net-metrics");
   HarmonyBC::Options o = FastOpts(dir.path());
   o.enable_tracing = true;
@@ -462,6 +462,52 @@ TEST(NetServer, MetricsOpcodeAndPerOpcodeAbandonedReplies) {
   auto stats = client->Stats(kWaitUs);
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_GE(stats->sess_submitted, 257u);  // the transfer + one batch
+
+  // HEALTH and EVENTS ride the same stream and the same per-opcode
+  // discipline. Sanity first: both resolve with sane content.
+  auto health = client->Health(kWaitUs);
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->role, net::WireHealth::kStandalone);
+  EXPECT_GE(health->height, 1u);
+  EXPECT_GT(health->uptime_us, 0u);
+  EXPECT_EQ(health->peer_count, 0u);
+  auto events0 = client->Events(0, kWaitUs);
+  ASSERT_TRUE(events0.ok()) << events0.status().ToString();
+
+  // Abandon one request of EVERY snapshot opcode in one shot: buffer a
+  // batch, then zero-timeout all four. Stats() flushes the batch, whose
+  // decode+submit work queues ahead of every reply on the one stream, so
+  // none of them can beat a 0us wait.
+  bool all_abandoned = false;
+  for (int i = 0; i < 20 && !all_abandoned; i++) {
+    for (int j = 0; j < 256; j++) {
+      TxnRequest req;
+      req.proc_id = 2;
+      req.args.ints = {j % 64, 1};
+      client->Submit(std::move(req));
+    }
+    const bool s = !client->Stats(/*timeout_us=*/0).ok();
+    const bool m = !client->Metrics(/*timeout_us=*/0).ok();
+    const bool hl = !client->Health(/*timeout_us=*/0).ok();
+    const bool ev = !client->Events(0, /*timeout_us=*/0).ok();
+    all_abandoned = s && m && hl && ev;
+  }
+  ASSERT_TRUE(all_abandoned);
+
+  // With a stale reply of each opcode owed on the stream, every opcode
+  // still resolves fresh in its own lane — no cross-opcode theft in any
+  // pairing, not just STATS vs METRICS.
+  auto health2 = client->Health(kWaitUs);
+  ASSERT_TRUE(health2.ok()) << health2.status().ToString();
+  EXPECT_EQ(health2->role, net::WireHealth::kStandalone);
+  auto events2 = client->Events(events0->next_cursor, kWaitUs);
+  ASSERT_TRUE(events2.ok()) << events2.status().ToString();
+  EXPECT_GE(events2->next_cursor, events0->next_cursor);
+  auto metrics2 = client->Metrics(kWaitUs);
+  ASSERT_TRUE(metrics2.ok()) << metrics2.status().ToString();
+  auto stats2 = client->Stats(kWaitUs);
+  ASSERT_TRUE(stats2.ok()) << stats2.status().ToString();
+  EXPECT_GE(stats2->sess_submitted, 513u);  // at least two batches landed
 }
 
 TEST(NetServer, CallbackModeDeliversOnReaderThread) {

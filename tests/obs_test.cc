@@ -6,6 +6,7 @@
 
 #include "core/harmonybc.h"
 #include "net/wire.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "testing/fuzz.h"
@@ -410,6 +411,266 @@ TEST(WireMetricsTest, StatsV1PayloadStaysFrozen) {
   net::EncodeMetrics(reg.Snapshot(), &mpayload);
   net::WireStats bogus;
   EXPECT_FALSE(net::DecodeStats(mpayload, &bogus));
+}
+
+// ----------------------------------------------------- event log ------------
+
+TEST(EventLogTest, EmitSinceAndDetailTruncation) {
+  obs::EventLog log(/*capacity=*/8);
+  EXPECT_EQ(log.head(), 0u);
+  std::vector<obs::EventRecord> out;
+  EXPECT_EQ(log.Since(0, 16, &out), 0u);
+  EXPECT_TRUE(out.empty());
+
+  log.Emit(obs::EventSeverity::kInfo, obs::EventCode::kFollowerJoin,
+           "f1 @ tip 0");
+  log.Emit(obs::EventSeverity::kWarn, obs::EventCode::kReconnect,
+           std::string(500, 'x'));
+  const uint64_t next = log.Since(0, 16, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(next, 2u);
+  EXPECT_EQ(out[0].seq, 0u);
+  EXPECT_EQ(out[0].code,
+            static_cast<uint16_t>(obs::EventCode::kFollowerJoin));
+  EXPECT_EQ(out[0].severity, static_cast<uint8_t>(obs::EventSeverity::kInfo));
+  EXPECT_EQ(out[0].detail, "f1 @ tip 0");
+  // Oversized detail is truncated at Emit, not rejected.
+  EXPECT_EQ(out[1].detail, std::string(obs::EventLog::kMaxDetail, 'x'));
+
+  // Resuming from the returned cursor yields nothing until a new Emit.
+  out.clear();
+  EXPECT_EQ(log.Since(next, 16, &out), next);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EventLogTest, WrapAroundEvictsOldestAndFastForwardsStaleCursor) {
+  obs::EventLog log(/*capacity=*/8);
+  for (int i = 0; i < 20; i++) {
+    log.Emit(obs::EventSeverity::kInfo, obs::EventCode::kRedirect,
+             "e" + std::to_string(i));
+  }
+  // Cursor 0 points at long-evicted events: the read fast-forwards to the
+  // oldest retained seq (12) instead of returning garbage or failing.
+  std::vector<obs::EventRecord> out;
+  EXPECT_EQ(log.Since(0, 64, &out), 20u);
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out.front().seq, 12u);
+  EXPECT_EQ(out.back().seq, 19u);
+  for (size_t i = 0; i < out.size(); i++) {
+    EXPECT_EQ(out[i].seq, 12u + i);
+    EXPECT_EQ(out[i].detail, "e" + std::to_string(12 + i));
+  }
+  // max_entries caps a batch; the returned cursor resumes mid-ring.
+  out.clear();
+  uint64_t c = log.Since(12, 3, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(c, 15u);
+  out.clear();
+  c = log.Since(c, 64, &out);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(c, 20u);
+}
+
+TEST(EventLogTest, ConcurrentEmitVsSinceNeverTears) {
+  // A deliberately tiny ring under heavy multi-writer churn: readers race
+  // the wrap-around constantly. The per-slot seqlock must never let a torn
+  // slot escape — every record handed back carries the exact payload some
+  // writer emitted, and seqs within a batch are monotone (gaps are fine:
+  // a slot mid-overwrite is skipped, a slow poller loses the middle).
+  obs::EventLog log(/*capacity=*/16);
+  constexpr size_t kWriters = 4;
+  constexpr uint64_t kPerWriter = 20'000;
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    uint64_t cursor = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<obs::EventRecord> out;
+      const uint64_t next = log.Since(cursor, 64, &out);
+      EXPECT_GE(next, cursor);
+      uint64_t floor = cursor;
+      for (const obs::EventRecord& e : out) {
+        EXPECT_GE(e.seq, floor);
+        EXPECT_LT(e.seq, next);
+        floor = e.seq + 1;
+        EXPECT_EQ(e.code,
+                  static_cast<uint16_t>(obs::EventCode::kFollowerJoin));
+        // Torn-read canary: every writer emits "w<writer>:<i>", so any
+        // mixed-slot copy shows up as a malformed detail.
+        ASSERT_FALSE(e.detail.empty());
+        EXPECT_EQ(e.detail[0], 'w');
+        EXPECT_NE(e.detail.find(':'), std::string::npos) << e.detail;
+      }
+      cursor = next;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (size_t t = 0; t < kWriters; t++) {
+    writers.emplace_back([&, t] {
+      const std::string tag = "w" + std::to_string(t) + ":";
+      for (uint64_t i = 0; i < kPerWriter; i++) {
+        log.Emit(obs::EventSeverity::kInfo, obs::EventCode::kFollowerJoin,
+                 tag + std::to_string(i));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(log.head(), kWriters * kPerWriter);
+  // Quiescent: exactly the last `capacity` events are retained and clean.
+  std::vector<obs::EventRecord> out;
+  EXPECT_EQ(log.Since(0, 64, &out), log.head());
+  EXPECT_EQ(out.size(), log.capacity());
+}
+
+// ------------------------------------- health/events wire round trip --------
+
+TEST(WireHealthTest, EncodeDecodeRoundTripAndHostileInput) {
+  net::WireHealth h;
+  h.role = net::WireHealth::kFollower;
+  h.node = "follower-2";
+  h.height = 123;
+  h.durable_tip = 120;
+  h.leader_addr = "127.0.0.1:7777";
+  h.peer_count = 0;
+  h.uptime_us = 5'000'000;
+  std::string payload;
+  net::EncodeHealth(h, &payload);
+
+  net::WireHealth back;
+  ASSERT_TRUE(net::DecodeHealth(payload, &back));
+  EXPECT_EQ(back.role, net::WireHealth::kFollower);
+  EXPECT_EQ(back.node, "follower-2");
+  EXPECT_EQ(back.height, 123u);
+  EXPECT_EQ(back.durable_tip, 120u);
+  EXPECT_EQ(back.leader_addr, "127.0.0.1:7777");
+  EXPECT_EQ(back.uptime_us, 5'000'000u);
+
+  // Truncation at every boundary and trailing garbage fail cleanly.
+  net::WireHealth out;
+  for (size_t cut = 0; cut < payload.size(); cut++) {
+    EXPECT_FALSE(net::DecodeHealth(payload.substr(0, cut), &out))
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(net::DecodeHealth(payload + "x", &out));
+  // Role outside the enum is a protocol error, not a passthrough.
+  std::string bad_role = payload;
+  bad_role[0] = 3;
+  EXPECT_FALSE(net::DecodeHealth(bad_role, &out));
+}
+
+TEST(WireEventsTest, EncodeDecodeRoundTripAndHostileInput) {
+  std::vector<obs::EventRecord> events;
+  for (int i = 0; i < 3; i++) {
+    obs::EventRecord e;
+    e.seq = 40 + i;
+    e.time_us = 1'000'000 + i;
+    e.severity = static_cast<uint8_t>(i % 3);
+    e.code = static_cast<uint16_t>(obs::EventCode::kSnapshotInstall);
+    e.detail = "detail " + std::to_string(i);
+    events.push_back(e);
+  }
+  std::string payload;
+  net::EncodeEvents(/*next_cursor=*/43, events, &payload);
+
+  uint64_t next = 0;
+  std::vector<obs::EventRecord> back;
+  ASSERT_TRUE(net::DecodeEvents(payload, &next, &back));
+  EXPECT_EQ(next, 43u);
+  ASSERT_EQ(back.size(), 3u);
+  for (int i = 0; i < 3; i++) {
+    EXPECT_EQ(back[i].seq, 40u + i);
+    EXPECT_EQ(back[i].time_us, 1'000'000u + i);
+    EXPECT_EQ(back[i].severity, static_cast<uint8_t>(i % 3));
+    EXPECT_EQ(back[i].detail, "detail " + std::to_string(i));
+  }
+
+  uint64_t n2 = 0;
+  std::vector<obs::EventRecord> out;
+  for (size_t cut = 0; cut < payload.size(); cut++) {
+    EXPECT_FALSE(net::DecodeEvents(payload.substr(0, cut), &n2, &out))
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(net::DecodeEvents(payload + "x", &n2, &out));
+  // Count bomb: an absurd entry count fails the plausibility check before
+  // any resize.
+  std::string bomb;
+  bomb.append(8, '\0');                  // next_cursor
+  bomb.append("\xff\xff\xff\xff", 4);    // count = 2^32-1
+  EXPECT_FALSE(net::DecodeEvents(bomb, &n2, &out));
+  // Severity outside the enum is rejected per entry.
+  std::string bad_sev = payload;
+  bad_sev[8 + 4 + 8 + 8] = 9;  // first entry's severity byte
+  EXPECT_FALSE(net::DecodeEvents(bad_sev, &n2, &out));
+
+  // The request codec is exactly one u64.
+  std::string req;
+  net::EncodeEventsReq(77, &req);
+  uint64_t cursor = 0;
+  ASSERT_TRUE(net::DecodeEventsReq(req, &cursor));
+  EXPECT_EQ(cursor, 77u);
+  EXPECT_FALSE(net::DecodeEventsReq(req.substr(0, 7), &cursor));
+  EXPECT_FALSE(net::DecodeEventsReq(req + "x", &cursor));
+}
+
+TEST(WireEventsTest, MutatedHealthAndEventsPayloadsNeverCrashDecode) {
+  // kOpHealth/kOpEvents payloads under the shared structure-aware mutator
+  // (src/testing/fuzz.h), same discipline as the METRICS mutant test above;
+  // fuzz_harness --target health_payload / events_payload runs the same
+  // invariant orders of magnitude deeper under ASan+UBSan.
+  net::WireHealth h;
+  h.role = net::WireHealth::kLeader;
+  h.node = "leader-1";
+  h.height = 99;
+  h.durable_tip = 99;
+  h.peer_count = 2;
+  h.uptime_us = 123'456;
+  std::string health_valid;
+  net::EncodeHealth(h, &health_valid);
+
+  std::vector<obs::EventRecord> events;
+  obs::EventRecord e;
+  e.seq = 5;
+  e.time_us = 42;
+  e.severity = static_cast<uint8_t>(obs::EventSeverity::kWarn);
+  e.code = static_cast<uint16_t>(obs::EventCode::kReconnect);
+  e.detail = "refused; retry in 100000us";
+  events.push_back(e);
+  std::string events_valid;
+  net::EncodeEvents(6, events, &events_valid);
+
+  const std::vector<std::string> corpus = {health_valid, events_valid};
+  const testing::Mutator mutator(&corpus);
+  for (uint64_t iter = 0; iter < 500; iter++) {
+    testing::FuzzRng rng(testing::CaseSeed(/*run_seed=*/13, iter));
+    std::string mutant = (iter % 2 == 0) ? health_valid : events_valid;
+    mutator.Mutate(rng, &mutant);
+    net::WireHealth hout;
+    if (net::DecodeHealth(mutant, &hout)) {
+      EXPECT_LE(hout.role, net::WireHealth::kFollower);
+      EXPECT_LE(hout.node.size(), net::kMaxReplNodeName);
+      EXPECT_LE(hout.leader_addr.size(), net::kMaxLeaderAddr);
+    }
+    uint64_t next = 0;
+    std::vector<obs::EventRecord> eout;
+    if (net::DecodeEvents(mutant, &next, &eout)) {
+      EXPECT_LE(eout.size(), net::kMaxEventEntries);
+      for (const obs::EventRecord& rec : eout) {
+        EXPECT_LE(rec.severity,
+                  static_cast<uint8_t>(obs::EventSeverity::kError));
+        EXPECT_LE(rec.detail.size(), net::kMaxEventDetail);
+      }
+    }
+  }
+  // The unmutated payloads always decode.
+  net::WireHealth hback;
+  EXPECT_TRUE(net::DecodeHealth(health_valid, &hback));
+  uint64_t next = 0;
+  std::vector<obs::EventRecord> eback;
+  EXPECT_TRUE(net::DecodeEvents(events_valid, &next, &eback));
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/events.h"
 #include "repl/follower.h"
 #include "repl/replicator.h"
 #include "testing/fault.h"
@@ -616,6 +617,167 @@ TEST(Repl, FollowerRedirectsClients) {
 
   client->reset();
   server.Stop();
+}
+
+// ----------------------------------------------------- observability --------
+
+size_t CountEvents(HarmonyBC* db, obs::EventCode code) {
+  std::vector<obs::EventRecord> evs;
+  db->events()->Since(0, 1024, &evs);
+  size_t n = 0;
+  for (const obs::EventRecord& e : evs) {
+    if (e.code == static_cast<uint16_t>(code)) n++;
+  }
+  return n;
+}
+
+TEST(ReplObs, LagGaugeConvergesToZeroAfterCatchUp) {
+  // Build a real backlog before anyone is listening, then watch the
+  // leader's per-peer gauges drain as the follower catches up: the lag
+  // gauge must converge to exactly 0 and the ack watermark to the tip —
+  // these are the numbers `harmonyd cluster-status` and net_bench
+  // --replicas scrape, so "0 means caught up" is a contract, not a vibe.
+  LeaderNode leader(2, repl::Durability::kLeaderOnly);
+  auto session = leader.db->OpenSession();
+  for (int i = 0; i < 60; i++) {
+    TxnReceipt r;
+    ASSERT_TRUE(
+        session->Submit(TransferReq(i % 64, (i + 9) % 64, 1)).WaitFor(kWaitUs,
+                                                                      &r));
+  }
+  ASSERT_OK(leader.db->Sync());
+  const BlockId tip = leader.db->height();
+  ASSERT_GT(tip, 0u);
+
+  FollowerNode follower;
+  follower.Join(leader.port());
+  obs::MetricsRegistry* reg = leader.db->metrics();
+  obs::Gauge* lag =
+      reg->GetGauge(std::string(obs::kGaugePeerLagBlocks) + ".f1");
+  obs::Gauge* ack =
+      reg->GetGauge(std::string(obs::kGaugePeerAckWatermark) + ".f1");
+  obs::Gauge* inflight =
+      reg->GetGauge(std::string(obs::kGaugePeerWindowInflight) + ".f1");
+  ASSERT_TRUE(WaitUntil([&] { return follower.repl->last_applied() >= tip; }));
+  ASSERT_TRUE(WaitUntil([&] {
+    return lag->Value() == 0 && ack->Value() == static_cast<int64_t>(tip) &&
+           inflight->Value() == 0;
+  })) << "lag=" << lag->Value() << " ack=" << ack->Value()
+      << " inflight=" << inflight->Value() << " tip=" << tip;
+  EXPECT_EQ(reg->GetGauge(obs::kGaugePeersConnected)->Value(), 1);
+
+  // The RTT histogram saw every acked send (leader-local edges only).
+  EXPECT_GT(reg->GetHistogram(obs::kHistAckRtt)->Snap().count, 0u);
+  // Follower-side instruments moved too, on the follower's own clock.
+  obs::MetricsRegistry* freg = follower.db->metrics();
+  EXPECT_EQ(freg->GetGauge(obs::kGaugeDurableTip)->Value(),
+            static_cast<int64_t>(tip));
+  EXPECT_GT(freg->GetHistogram(obs::kHistReplApply)->Snap().count, 0u);
+
+  // More traffic while connected: lag re-converges to 0 at the new tip.
+  for (int i = 0; i < 20; i++) {
+    TxnReceipt r;
+    ASSERT_TRUE(
+        session->Submit(TransferReq(i, (i + 17) % 64, 1)).WaitFor(kWaitUs,
+                                                                  &r));
+  }
+  ASSERT_OK(leader.db->Sync());
+  const BlockId tip2 = leader.db->height();
+  ASSERT_TRUE(WaitUntil([&] {
+    return lag->Value() == 0 && ack->Value() == static_cast<int64_t>(tip2);
+  }));
+
+  // The per-peer names land in the registry snapshot — what kOpMetrics
+  // serializes and the cluster scraper greps.
+  const obs::MetricsSnapshot snap = reg->Snapshot();
+  bool found = false;
+  for (const auto& g : snap.gauges) {
+    if (g.name == std::string(obs::kGaugePeerLagBlocks) + ".f1") found = true;
+  }
+  EXPECT_TRUE(found);
+
+  follower.StopRepl();
+}
+
+TEST(ReplObs, SnapshotAndMembershipEventsFireExactlyOnceOnKillRejoin) {
+  // One snapshot catch-up then one kill/rejoin cycle: every discrete
+  // transition lands in the event logs exactly once — no duplicates from
+  // the retry machinery, no spurious reconnects on a clean stop, and no
+  // second snapshot for a caught-up rejoiner.
+  LeaderNode leader(2, repl::Durability::kLeaderOnly, /*snapshot_after=*/4);
+  auto session = leader.db->OpenSession();
+  for (int i = 0; i < 100; i++) {
+    TxnRequest t;
+    t.proc_id = 2;
+    t.args.ints = {i % 64, 1};
+    TxnReceipt r;
+    ASSERT_TRUE(session->Submit(std::move(t)).WaitFor(kWaitUs, &r));
+  }
+  ASSERT_OK(leader.db->Sync());
+  const BlockId tip = leader.db->height();
+  ASSERT_GT(tip, 4u);
+
+  FollowerNode follower;
+  follower.Join(leader.port());
+  ASSERT_TRUE(WaitUntil([&] { return follower.repl->last_applied() >= tip; }));
+
+  EXPECT_EQ(CountEvents(follower.db.get(), obs::EventCode::kSnapshotInstall),
+            1u);
+  EXPECT_EQ(CountEvents(follower.db.get(), obs::EventCode::kReconnect), 0u);
+  EXPECT_EQ(CountEvents(leader.db.get(), obs::EventCode::kSnapshotSent), 1u);
+  EXPECT_EQ(CountEvents(leader.db.get(), obs::EventCode::kFollowerJoin), 1u);
+  EXPECT_EQ(CountEvents(leader.db.get(), obs::EventCode::kFollowerLeave), 0u);
+
+  // Kill the replication half; the leader notices the conn drop once.
+  follower.StopRepl();
+  ASSERT_TRUE(WaitUntil([&] {
+    return CountEvents(leader.db.get(), obs::EventCode::kFollowerLeave) == 1;
+  }));
+
+  // Rejoin at the durable tip: a second join event, but no second
+  // snapshot — the follower is caught up, so the block log streams.
+  follower.Join(leader.port());
+  ASSERT_TRUE(WaitUntil([&] { return follower.repl->connected(); }));
+  for (int i = 0; i < 10; i++) {
+    TxnReceipt r;
+    ASSERT_TRUE(
+        session->Submit(TransferReq(i, i + 32, 1)).WaitFor(kWaitUs, &r));
+  }
+  ASSERT_OK(leader.db->Sync());
+  const BlockId tip2 = leader.db->height();
+  ASSERT_TRUE(WaitUntil([&] { return follower.repl->last_applied() >= tip2; }));
+
+  EXPECT_EQ(CountEvents(leader.db.get(), obs::EventCode::kFollowerJoin), 2u);
+  EXPECT_EQ(CountEvents(leader.db.get(), obs::EventCode::kFollowerLeave), 1u);
+  EXPECT_EQ(CountEvents(leader.db.get(), obs::EventCode::kSnapshotSent), 1u);
+  EXPECT_EQ(CountEvents(follower.db.get(), obs::EventCode::kSnapshotInstall),
+            1u);
+  EXPECT_EQ(CountEvents(follower.db.get(), obs::EventCode::kReconnect), 0u);
+
+  follower.StopRepl();
+}
+
+TEST(ReplObs, ReconnectEventsMatchRetriesOneToOne) {
+  // Every failed session emits exactly one reconnect event — the event log
+  // and the reconnects() counter move in lockstep, so a log reader and a
+  // metrics scraper never tell different stories.
+  FollowerNode follower;
+  {
+    LeaderNode leader(2, repl::Durability::kLeaderOnly);
+    follower.Join(leader.port());
+    ASSERT_TRUE(WaitUntil([&] { return follower.repl->connected(); }));
+  }  // leader gone: the live link dies, every redial is refused
+  ASSERT_TRUE(WaitUntil([&] { return follower.repl->reconnects() >= 3; }));
+  follower.repl->Stop();  // freezes the counter and the log together
+
+  const uint64_t retries = follower.repl->reconnects();
+  EXPECT_EQ(CountEvents(follower.db.get(), obs::EventCode::kReconnect),
+            retries);
+  // The wire-visible counter agrees too.
+  const obs::MetricsSnapshot snap = follower.db->metrics()->Snapshot();
+  for (const auto& c : snap.counters) {
+    if (c.name == obs::kCounterReconnects) EXPECT_EQ(c.value, retries);
+  }
 }
 
 }  // namespace

@@ -105,6 +105,25 @@ done
   exit 1
 }
 
+echo "== scrape cluster-status from all 3 nodes"
+NODES="127.0.0.1:$P_LEADER,127.0.0.1:$P_F1,127.0.0.1:$P_F2"
+STATUS_RC=0
+"$HARMONYD" cluster-status --nodes "$NODES" >"$TMP/cluster.out" 2>&1 ||
+  STATUS_RC=$?
+cat "$TMP/cluster.out"
+[ "$STATUS_RC" -eq 0 ] || {
+  echo "FAIL: cluster-status exited $STATUS_RC" >&2
+  exit 1
+}
+grep -q 'consistent=yes' "$TMP/cluster.out" || {
+  echo "FAIL: cluster-status reports height divergence" >&2
+  exit 1
+}
+grep -q 'error_events=0' "$TMP/cluster.out" || {
+  echo "FAIL: a healthy cluster logged error-severity events" >&2
+  exit 1
+}
+
 echo "== clean shutdown, compare state digests"
 for pid in "${PIDS[@]}"; do
   kill -TERM "$pid" 2>/dev/null || true

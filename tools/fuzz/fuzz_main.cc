@@ -37,6 +37,7 @@
 #include "common/codec.h"
 #include "common/compress.h"
 #include "net/wire.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "testing/fuzz.h"
 
@@ -722,6 +723,105 @@ void CaseReplReassembler(FuzzRng& rng, Ctx& ctx) {
   }
 }
 
+net::WireHealth MakeWireHealth(FuzzRng& rng) {
+  net::WireHealth h;
+  h.role = static_cast<uint8_t>(rng.Index(3));
+  h.node = rng.Bytes(rng.Index(net::kMaxReplNodeName));
+  h.height = rng.U64();
+  h.durable_tip = rng.U64();
+  h.leader_addr = rng.Bytes(rng.Index(64));
+  h.peer_count = static_cast<uint32_t>(rng.Index(16));
+  h.uptime_us = rng.U64();
+  return h;
+}
+
+/// kOpHealth payloads: the node self-report the cluster scraper polls.
+/// Accepted mutants must respect every documented bound (role range, name
+/// and address caps); unmutated payloads round-trip exactly.
+void CaseHealthPayload(FuzzRng& rng, Ctx& ctx) {
+  const net::WireHealth h = MakeWireHealth(rng);
+  std::string payload;
+  net::EncodeHealth(h, &payload);
+
+  const bool mutated = rng.Chance(0.9);
+  if (mutated) ctx.mut.Mutate(rng, &payload);
+
+  net::WireHealth d;
+  const bool ok = net::DecodeHealth(payload, &d);
+  if (!mutated) {
+    FUZZ_CHECK(ok, "valid HEALTH payload rejected");
+    FUZZ_CHECK(d.role == h.role && d.node == h.node &&
+                   d.height == h.height && d.durable_tip == h.durable_tip &&
+                   d.leader_addr == h.leader_addr &&
+                   d.peer_count == h.peer_count && d.uptime_us == h.uptime_us,
+               "valid HEALTH decoded differently");
+  }
+  if (ok) {
+    FUZZ_CHECK(d.role <= net::WireHealth::kFollower,
+               "HEALTH accepted an out-of-range role");
+    FUZZ_CHECK(d.node.size() <= net::kMaxReplNodeName,
+               "HEALTH accepted an oversized node name");
+    FUZZ_CHECK(d.leader_addr.size() <= net::kMaxLeaderAddr,
+               "HEALTH accepted an oversized leader addr");
+  }
+}
+
+/// kOpEvents payloads (reply and the u64-cursor request): count bombs must
+/// die at the plausibility check, accepted entries must respect the
+/// severity range and the detail cap.
+void CaseEventsPayload(FuzzRng& rng, Ctx& ctx) {
+  if (rng.Chance(0.15)) {  // the request side is exactly one u64
+    std::string req;
+    net::EncodeEventsReq(rng.U64(), &req);
+    const bool mutated = rng.Chance(0.9);
+    if (mutated) ctx.mut.Mutate(rng, &req);
+    uint64_t cursor = 0;
+    const bool ok = net::DecodeEventsReq(req, &cursor);
+    if (!mutated) FUZZ_CHECK(ok, "valid EVENTS request rejected");
+    return;
+  }
+
+  std::vector<obs::EventRecord> events;
+  const size_t n = rng.Index(8);
+  for (size_t i = 0; i < n; i++) {
+    obs::EventRecord e;
+    e.seq = rng.U64();
+    e.time_us = rng.U64();
+    e.severity = static_cast<uint8_t>(rng.Index(3));
+    e.code = static_cast<uint16_t>(rng.Index(16));
+    e.detail = rng.Bytes(rng.Index(net::kMaxEventDetail + 1));
+    events.push_back(std::move(e));
+  }
+  std::string payload;
+  net::EncodeEvents(rng.U64(), events, &payload);
+
+  const bool mutated = rng.Chance(0.9);
+  if (mutated) ctx.mut.Mutate(rng, &payload);
+
+  uint64_t next = 0;
+  std::vector<obs::EventRecord> d;
+  const bool ok = net::DecodeEvents(payload, &next, &d);
+  if (!mutated) {
+    FUZZ_CHECK(ok, "valid EVENTS payload rejected");
+    FUZZ_CHECK(d.size() == events.size(),
+               "valid EVENTS round-trip changed entry count");
+  }
+  if (ok) {
+    FUZZ_CHECK(d.size() <= net::kMaxEventEntries,
+               "EVENTS accepted too many entries");
+    for (const obs::EventRecord& e : d) {
+      FUZZ_CHECK(
+          e.severity <= static_cast<uint8_t>(obs::EventSeverity::kError),
+          "EVENTS accepted an out-of-range severity");
+      FUZZ_CHECK(e.detail.size() <= net::kMaxEventDetail,
+                 "EVENTS accepted an oversized detail");
+    }
+    // Whatever decoded renders without crashing (harmonyd events path).
+    (void)obs::RenderEventsText(d);
+    (void)obs::RenderEventsJson(d);
+  }
+}
+
 /// kOpMetrics snapshot codec at scale (richer snapshots than wire_payload's
 /// occasional case 5).
 void CaseMetrics(FuzzRng& rng, Ctx& ctx) {
@@ -759,6 +859,10 @@ const Target kTargets[] = {
     {"log_open", CaseLogOpen,
      "BlockStore::Open + ReadAll on mutated log files"},
     {"metrics", CaseMetrics, "kOpMetrics snapshot codec round-trips"},
+    {"health_payload", CaseHealthPayload,
+     "kOpHealth node self-report codec (cluster scraper surface)"},
+    {"events_payload", CaseEventsPayload,
+     "kOpEvents request/reply codec: count bombs, severity, detail caps"},
     {"repl_payload", CaseReplPayload,
      "replication payload codecs: JOIN/REPLICATE/ACK/SNAPSHOT (src/repl/)"},
     {"repl_reassembler", CaseReplReassembler,
@@ -798,6 +902,36 @@ int WriteCorpus(const std::string& dir) {
   net::EncodeMetrics(MakeSnapshot(rng), &metrics_payload);
   entries.push_back({"wire_metrics.hex",
                      "# METRICS payload: one MetricsSnapshot", metrics_payload});
+
+  net::WireHealth health;
+  health.role = net::WireHealth::kFollower;
+  health.node = "corpus-follower";
+  health.height = 128;
+  health.durable_tip = 127;
+  health.leader_addr = "127.0.0.1:7450";
+  health.peer_count = 0;
+  health.uptime_us = 99'000'000;
+  std::string health_payload;
+  net::EncodeHealth(health, &health_payload);
+  entries.push_back({"wire_health.hex",
+                     "# HEALTH payload: one follower self-report",
+                     health_payload});
+
+  std::vector<obs::EventRecord> evs;
+  for (int i = 0; i < 3; i++) {
+    obs::EventRecord e;
+    e.seq = static_cast<uint64_t>(i);
+    e.time_us = 1'000'000u + static_cast<uint64_t>(i);
+    e.severity = static_cast<uint8_t>(i % 3);
+    e.code = static_cast<uint16_t>(1 + i);
+    e.detail = "corpus event " + std::to_string(i);
+    evs.push_back(std::move(e));
+  }
+  std::string events_payload;
+  net::EncodeEvents(/*next_cursor=*/3, evs, &events_payload);
+  entries.push_back({"wire_events.hex",
+                     "# EVENTS reply: next cursor + 3 entries",
+                     events_payload});
 
   BlockBuilder builder("fuzz-secret");
   Block b = MakeBlock(rng, builder, 1, 1);

@@ -41,7 +41,17 @@
 // Or pull its full metrics registry snapshot (the METRICS frame — per-stage
 // latency histograms, slow-txn ring; docs/OBSERVABILITY.md):
 //
-//   ./build/harmonyd metrics --host 127.0.0.1 --port 7450 [--json]
+//   ./build/harmonyd metrics --host 127.0.0.1 --port 7450 [--json] [--prom]
+//
+// Cluster observability (HEALTH / EVENTS frames; docs/OBSERVABILITY.md):
+//
+//   ./build/harmonyd health --port 7450 [--watch 1]
+//   ./build/harmonyd events --port 7450 [--follow] [--json]
+//   ./build/harmonyd cluster-status --nodes 127.0.0.1:7450,127.0.0.1:7451
+//
+// stats/metrics/health accept --watch S (re-print every S seconds until
+// SIGINT); events --follow tails the server's event ring via its cursor.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -49,11 +59,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/harmonybc.h"
+#include "obs/events.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "repl/follower.h"
@@ -100,6 +112,10 @@ struct Args {
   double rate = 0;
   bool in_memory = false;
   bool json = false;
+  bool prom = false;
+  bool follow = false;
+  uint64_t watch_s = 0;  ///< --watch N: re-print every N seconds
+  std::string nodes;     ///< cluster-status: comma-separated host:port list
   // Replication.
   size_t leader_cluster = 0;  ///< > 0: lead a cluster of this size
   bool quorum_ack = false;
@@ -120,8 +136,13 @@ int Usage() {
                "--join HOST:PORT [--node NAME]]\n"
                "       harmonyd load [--host A] [--port N] [--conns N] "
                "[--txns N] [--accounts N]\n"
-               "       harmonyd stats [--host A] [--port N]\n"
-               "       harmonyd metrics [--host A] [--port N] [--json]\n");
+               "       harmonyd stats [--host A] [--port N] [--watch S]\n"
+               "       harmonyd metrics [--host A] [--port N] [--json] "
+               "[--prom] [--watch S]\n"
+               "       harmonyd health [--host A] [--port N] [--watch S]\n"
+               "       harmonyd events [--host A] [--port N] [--json] "
+               "[--follow]\n"
+               "       harmonyd cluster-status --nodes H:P,H:P,...\n");
   return 2;
 }
 
@@ -151,6 +172,10 @@ bool Parse(int argc, char** argv, Args* out) {
     else if (a == "--rate") out->rate = std::atof(next("--rate"));
     else if (a == "--in-memory") out->in_memory = true;
     else if (a == "--json") out->json = true;
+    else if (a == "--prom") out->prom = true;
+    else if (a == "--follow") out->follow = true;
+    else if (a == "--watch") out->watch_s = std::strtoull(next("--watch"), nullptr, 10);
+    else if (a == "--nodes") out->nodes = next("--nodes");
     else if (a == "--leader") out->leader_cluster = std::strtoul(next("--leader"), nullptr, 10);
     else if (a == "--quorum-ack") out->quorum_ack = true;
     else if (a == "--join") out->join = next("--join");
@@ -261,6 +286,13 @@ int Serve(const Args& args) {
   so.port = args.port;
   so.reactor_threads = args.reactors;
   if (is_follower) so.redirect_addr = args.join;
+  // The name HEALTH replies report; --node also names REPL_JOIN below.
+  so.node_name = !args.node.empty()
+                     ? args.node
+                     : std::string(is_follower            ? "follower-"
+                                   : args.leader_cluster > 0 ? "leader-"
+                                                             : "node-") +
+                           std::to_string(args.port);
 
   std::unique_ptr<repl::Replicator> replicator;
   if (args.leader_cluster > 0) {
@@ -437,16 +469,25 @@ int LoadCli(const Args& args) {
   return 0;
 }
 
-int StatsCli(const Args& args) {
-  net::NetClientOptions co;
-  co.host = args.host;
-  co.port = args.port;
-  auto client = net::NetClient::Connect(co);
-  if (!client.ok()) {
-    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
-    return 1;
+/// Runs `body` once — or, with --watch S, every S seconds until SIGINT.
+/// A non-zero return (connection lost, decode failure) ends the loop.
+int WatchLoop(const Args& args, const std::function<int()>& body) {
+  if (args.watch_s == 0) return body();
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  int rc = 0;
+  while (!g_stop) {
+    rc = body();
+    if (rc != 0) break;
+    for (uint64_t i = 0; i < args.watch_s * 10 && !g_stop; i++) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
   }
-  auto stats = (*client)->Stats(/*timeout_us=*/5'000'000);
+  return rc;
+}
+
+int PrintStatsOnce(net::NetClient* client) {
+  auto stats = client->Stats(/*timeout_us=*/5'000'000);
   if (!stats.ok()) {
     std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
     return 1;
@@ -478,7 +519,20 @@ int StatsCli(const Args& args) {
               u(s.ing_sealed_low), u(s.ing_sealed_retry));
   std::printf("chain    height=%llu pending_receipts=%llu queue_depth=%llu\n",
               u(s.height), u(s.pending_receipts), u(s.queue_depth));
+  std::fflush(stdout);
   return 0;
+}
+
+int StatsCli(const Args& args) {
+  net::NetClientOptions co;
+  co.host = args.host;
+  co.port = args.port;
+  auto client = net::NetClient::Connect(co);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  return WatchLoop(args, [&] { return PrintStatsOnce(client->get()); });
 }
 
 int MetricsCli(const Args& args) {
@@ -490,17 +544,215 @@ int MetricsCli(const Args& args) {
     std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
     return 1;
   }
-  auto metrics = (*client)->Metrics(/*timeout_us=*/5'000'000);
-  if (!metrics.ok()) {
-    std::fprintf(stderr, "metrics: %s\n",
-                 metrics.status().ToString().c_str());
+  return WatchLoop(args, [&]() -> int {
+    auto metrics = (*client)->Metrics(/*timeout_us=*/5'000'000);
+    if (!metrics.ok()) {
+      std::fprintf(stderr, "metrics: %s\n",
+                   metrics.status().ToString().c_str());
+      return 1;
+    }
+    const std::string out = args.prom   ? metrics->RenderProm()
+                            : args.json ? metrics->RenderJson()
+                                        : metrics->RenderTable();
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    if (args.json) std::fputc('\n', stdout);
+    std::fflush(stdout);
+    return 0;
+  });
+}
+
+const char* RoleName(uint8_t role) {
+  switch (role) {
+    case net::WireHealth::kLeader:
+      return "leader";
+    case net::WireHealth::kFollower:
+      return "follower";
+    default:
+      return "standalone";
+  }
+}
+
+int HealthCli(const Args& args) {
+  net::NetClientOptions co;
+  co.host = args.host;
+  co.port = args.port;
+  auto client = net::NetClient::Connect(co);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
     return 1;
   }
-  const std::string out =
-      args.json ? metrics->RenderJson() : metrics->RenderTable();
-  std::fwrite(out.data(), 1, out.size(), stdout);
-  if (args.json) std::fputc('\n', stdout);
+  return WatchLoop(args, [&]() -> int {
+    auto h = (*client)->Health(/*timeout_us=*/5'000'000);
+    if (!h.ok()) {
+      std::fprintf(stderr, "health: %s\n", h.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "node=%s role=%s height=%llu durable_tip=%llu peers=%u "
+        "leader=%s uptime=%.1fs\n",
+        h->node.empty() ? "-" : h->node.c_str(), RoleName(h->role),
+        static_cast<unsigned long long>(h->height),
+        static_cast<unsigned long long>(h->durable_tip), h->peer_count,
+        h->leader_addr.empty() ? "-" : h->leader_addr.c_str(),
+        static_cast<double>(h->uptime_us) / 1e6);
+    std::fflush(stdout);
+    return 0;
+  });
+}
+
+int EventsCli(const Args& args) {
+  net::NetClientOptions co;
+  co.host = args.host;
+  co.port = args.port;
+  auto client = net::NetClient::Connect(co);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t cursor = 0;
+  auto fetch_and_print = [&]() -> int {
+    auto batch = (*client)->Events(cursor, /*timeout_us=*/5'000'000);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "events: %s\n",
+                   batch.status().ToString().c_str());
+      return 1;
+    }
+    cursor = batch->next_cursor;
+    if (!batch->events.empty() || !args.follow) {
+      const std::string out = args.json
+                                  ? obs::RenderEventsJson(batch->events)
+                                  : obs::RenderEventsText(batch->events);
+      std::fwrite(out.data(), 1, out.size(), stdout);
+      if (args.json) std::fputc('\n', stdout);
+      std::fflush(stdout);
+    }
+    return 0;
+  };
+  if (!args.follow) return fetch_and_print();
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    if (int rc = fetch_and_print(); rc != 0) return rc;
+    for (int i = 0; i < 5 && !g_stop; i++) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
   return 0;
+}
+
+/// One-shot cluster scraper: fans HEALTH + METRICS + EVENTS out to every
+/// --nodes address and prints one table plus a machine-checkable summary
+/// line (tools/cluster_smoke.sh greps consistent=/error_events=).
+int ClusterStatusCli(const Args& args) {
+  if (args.nodes.empty()) return Usage();
+  std::vector<std::string> addrs;
+  {
+    std::string rest = args.nodes;
+    size_t pos;
+    while ((pos = rest.find(',')) != std::string::npos) {
+      if (pos > 0) addrs.push_back(rest.substr(0, pos));
+      rest.erase(0, pos + 1);
+    }
+    if (!rest.empty()) addrs.push_back(rest);
+  }
+  struct Row {
+    std::string addr;
+    bool reachable = false;
+    net::WireHealth health;
+    uint64_t error_events = 0;
+    std::string peer_lags;  ///< leader: "node:lag node:lag" from METRICS
+  };
+  std::vector<Row> rows;
+  uint64_t total_errors = 0;
+  bool all_reachable = true;
+  for (const std::string& addr : addrs) {
+    Row row;
+    row.addr = addr;
+    std::string host;
+    uint16_t port = 0;
+    if (!SplitHostPort(addr, &host, &port)) {
+      std::fprintf(stderr, "cluster-status: bad node address %s\n",
+                   addr.c_str());
+      return 2;
+    }
+    net::NetClientOptions co;
+    co.host = host;
+    co.port = port;
+    auto client = net::NetClient::Connect(co);
+    if (client.ok()) {
+      auto h = (*client)->Health(/*timeout_us=*/5'000'000);
+      auto ev = (*client)->Events(0, /*timeout_us=*/5'000'000);
+      if (h.ok() && ev.ok()) {
+        row.reachable = true;
+        row.health = *h;
+        for (const obs::EventRecord& e : ev->events) {
+          if (e.severity ==
+              static_cast<uint8_t>(obs::EventSeverity::kError)) {
+            row.error_events++;
+          }
+        }
+        // Leader: pull the per-peer lag gauges so one scrape answers "is
+        // anyone behind" without dialing every follower.
+        if (h->role == net::WireHealth::kLeader) {
+          if (auto m = (*client)->Metrics(/*timeout_us=*/5'000'000);
+              m.ok()) {
+            const std::string prefix = std::string(obs::kGaugePeerLagBlocks) + ".";
+            for (const auto& g : m->gauges) {
+              if (g.name.size() > prefix.size() &&
+                  g.name.compare(0, prefix.size(), prefix) == 0) {
+                if (!row.peer_lags.empty()) row.peer_lags += " ";
+                row.peer_lags += g.name.substr(prefix.size()) + ":" +
+                                 std::to_string(g.value);
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!row.reachable) all_reachable = false;
+    total_errors += row.error_events;
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("%-22s %-18s %-11s %9s %9s %6s %8s %7s  %s\n", "addr", "node",
+              "role", "height", "tip", "peers", "uptime", "errors",
+              "peer lag (blocks)");
+  bool consistent = all_reachable;
+  uint64_t first_height = 0;
+  bool have_height = false;
+  for (const Row& r : rows) {
+    if (!r.reachable) {
+      std::printf("%-22s %-18s %-11s\n", r.addr.c_str(), "-", "unreachable");
+      continue;
+    }
+    if (!have_height) {
+      first_height = r.health.height;
+      have_height = true;
+    } else if (r.health.height != first_height) {
+      consistent = false;
+    }
+    char uptime[32];
+    std::snprintf(uptime, sizeof(uptime), "%.1fs",
+                  static_cast<double>(r.health.uptime_us) / 1e6);
+    std::printf("%-22s %-18s %-11s %9llu %9llu %6u %8s %7llu  %s\n",
+                r.addr.c_str(),
+                r.health.node.empty() ? "-" : r.health.node.c_str(),
+                RoleName(r.health.role),
+                static_cast<unsigned long long>(r.health.height),
+                static_cast<unsigned long long>(r.health.durable_tip),
+                r.health.peer_count, uptime,
+                static_cast<unsigned long long>(r.error_events),
+                r.peer_lags.empty() ? "-" : r.peer_lags.c_str());
+  }
+  std::printf("cluster-status: nodes=%zu reachable=%zu consistent=%s "
+              "error_events=%llu\n",
+              rows.size(),
+              static_cast<size_t>(std::count_if(
+                  rows.begin(), rows.end(),
+                  [](const Row& r) { return r.reachable; })),
+              consistent ? "yes" : "no",
+              static_cast<unsigned long long>(total_errors));
+  return all_reachable && consistent ? 0 : 1;
 }
 
 }  // namespace
@@ -512,5 +764,8 @@ int main(int argc, char** argv) {
   if (args.mode == "load") return LoadCli(args);
   if (args.mode == "stats") return StatsCli(args);
   if (args.mode == "metrics") return MetricsCli(args);
+  if (args.mode == "health") return HealthCli(args);
+  if (args.mode == "events") return EventsCli(args);
+  if (args.mode == "cluster-status") return ClusterStatusCli(args);
   return Usage();
 }
