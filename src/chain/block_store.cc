@@ -55,8 +55,11 @@ BlockStore::~BlockStore() {
 Status BlockStore::Open() {
   // A crash between Migrate()'s temp write and its rename leaves the temp
   // behind (the original log is intact and the migration simply redoes);
-  // drop the stale temp so interrupted migrations leave no debris.
+  // drop the stale temp so interrupted migrations leave no debris. Same
+  // story for TruncateBefore's temp: the original log survives a crash
+  // before the rename, and the next checkpoint simply truncates again.
   ::unlink((path_ + ".migrate").c_str());
+  ::unlink((path_ + ".truncate").c_str());
   fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd_ < 0) return Status::IOError("open block log");
 
@@ -159,6 +162,7 @@ Status BlockStore::Migrate(uint32_t from_version) {
 Status BlockStore::ScanAndRepair() {
   append_offset_ = kLogHeaderBytes;
   last_block_id_ = 0;
+  first_block_id_ = 0;
   num_blocks_ = 0;
   off_t off = kLogHeaderBytes;
   std::string payload;
@@ -166,6 +170,7 @@ Status BlockStore::ScanAndRepair() {
   while (ReadRecordAt(fd_, off, &payload, &rec_len)) {
     Block b;
     if (!BlockCodec::Decode(payload, &b, kLogV4).ok()) break;
+    if (num_blocks_ == 0) first_block_id_ = b.header.block_id;
     last_block_id_ = b.header.block_id;
     last_record_offset_ = static_cast<uint64_t>(off);
     num_blocks_++;
@@ -203,6 +208,7 @@ Status BlockStore::Append(const Block& b) {
     off = append_offset_;
     append_offset_ += rec.size();
     last_record_offset_ = off;
+    if (num_blocks_ == 0) first_block_id_ = b.header.block_id;
     last_block_id_ = b.header.block_id;
     num_blocks_++;
     writes_in_flight_++;
@@ -245,34 +251,198 @@ Status BlockStore::ResetTail(BlockId id) {
         "ResetTail(" + std::to_string(id) + ") over a log ending at " +
         std::to_string(last_block_id_));
   }
-  last_block_id_ = id;
+  // An empty log can still be positioned past `id` (everything through the
+  // old tip was truncated away); never rewind.
+  last_block_id_ = std::max(last_block_id_, id);
   order_cv_.notify_all();
+  return Status::OK();
+}
+
+Status BlockStore::TruncateBefore(BlockId keep_from) {
+  std::unique_lock<std::mutex> lk(mu_);
+  // The rewrite reads the live file and swaps fd_; wait out reserved
+  // records so every scanned offset is fully on disk. New appends queue on
+  // mu_ for the duration.
+  order_cv_.wait(lk, [&] { return writes_in_flight_ == 0; });
+  if (num_blocks_ == 0 || keep_from <= first_block_id_) return Status::OK();
+
+  const std::string tmp = path_ + ".truncate";
+  int tfd = ::open(tmp.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (tfd < 0) return Status::IOError("open truncation temp");
+  uint32_t header[2] = {kLogMagic, kLogVersion};
+  bool ok = ::pwrite(tfd, header, kLogHeaderBytes, 0) ==
+            static_cast<ssize_t>(kLogHeaderBytes);
+
+  // Dropped records go to the archive *before* the rename commits the
+  // rewrite: a crash in between redoes the truncation and re-archives the
+  // same records, which the archive reader dedups — duplicates are
+  // recoverable, silently lost records are not.
+  int afd = -1;
+  off_t aoff = 0;
+  if (archive_truncated_) {
+    afd = ::open((path_ + ".archive").c_str(), O_RDWR | O_CREAT, 0644);
+    if (afd < 0) {
+      ::close(tfd);
+      ::unlink(tmp.c_str());
+      return Status::IOError("open truncation archive");
+    }
+    const off_t asz = ::lseek(afd, 0, SEEK_END);
+    aoff = static_cast<off_t>(kLogHeaderBytes);
+    if (asz < static_cast<off_t>(kLogHeaderBytes)) {
+      ok = ok && ::ftruncate(afd, 0) == 0 &&
+           ::pwrite(afd, header, kLogHeaderBytes, 0) ==
+               static_cast<ssize_t>(kLogHeaderBytes);
+    } else {
+      // A crash mid-archive-append can leave a torn tail; appending after
+      // it would strand everything behind the tear. Scan to the last whole
+      // record and drop the rest (read-side dedup absorbs the re-archive).
+      std::string apayload;
+      size_t arec_len = 0;
+      while (ReadRecordAt(afd, aoff, &apayload, &arec_len)) {
+        aoff += static_cast<off_t>(arec_len);
+      }
+      ok = ok && ::ftruncate(afd, aoff) == 0;
+    }
+  }
+
+  uint64_t woff = kLogHeaderBytes;
+  uint64_t tip_off = 0;
+  BlockId first_kept = 0;
+  size_t kept = 0, dropped = 0;
+  off_t off = static_cast<off_t>(kLogHeaderBytes);
+  std::string payload;
+  size_t rec_len = 0;
+  while (ok && static_cast<uint64_t>(off) < append_offset_) {
+    if (!ReadRecordAt(fd_, off, &payload, &rec_len)) {
+      ok = false;
+      break;
+    }
+    Block b;
+    if (!BlockCodec::Decode(payload, &b, kLogV4).ok()) {
+      ok = false;
+      break;
+    }
+    // Re-frame the verified payload verbatim (no re-encode): the record is
+    // byte-identical in its new home.
+    std::string rec;
+    rec.reserve(payload.size() + 8);
+    codec::AppendU32(&rec, static_cast<uint32_t>(payload.size()));
+    rec.append(payload);
+    codec::AppendU32(&rec, Crc32(payload));
+    if (b.header.block_id < keep_from) {
+      if (afd >= 0) {
+        ok = ::pwrite(afd, rec.data(), rec.size(), aoff) ==
+             static_cast<ssize_t>(rec.size());
+        aoff += static_cast<off_t>(rec.size());
+      }
+      dropped++;
+    } else {
+      if (kept == 0) first_kept = b.header.block_id;
+      tip_off = woff;
+      ok = ::pwrite(tfd, rec.data(), rec.size(), static_cast<off_t>(woff)) ==
+           static_cast<ssize_t>(rec.size());
+      woff += rec.size();
+      kept++;
+    }
+    off += static_cast<off_t>(rec_len);
+  }
+  if (ok && afd >= 0) ok = ::fsync(afd) == 0;
+  if (afd >= 0) ::close(afd);
+  if (ok) ok = ::fsync(tfd) == 0;
+  ::close(tfd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("write truncated block log");
+  }
+  ::close(fd_);
+  fd_ = -1;
+  HARMONY_CRASH_POINT("chain.truncate.before_rename");
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return Status::IOError("rename truncated block log");
+  }
+  HARMONY_CRASH_POINT("chain.truncate.after_rename");
+  fd_ = ::open(path_.c_str(), O_RDWR, 0644);
+  if (fd_ < 0) return Status::IOError("reopen truncated block log");
+  append_offset_ = woff;
+  last_record_offset_ = tip_off;
+  first_block_id_ = first_kept;  // 0 when everything was dropped
+  num_blocks_ = kept;
+  // last_block_id_ is untouched: the tip (and the strict-append ordering
+  // anchored on it) is unaffected by retiring the prefix.
+  truncated_blocks_.fetch_add(dropped, std::memory_order_relaxed);
+  truncations_.fetch_add(1, std::memory_order_relaxed);
+  if (events_ != nullptr) {
+    events_->Emit(obs::EventSeverity::kInfo, obs::EventCode::kLogTruncate,
+                  "dropped " + std::to_string(dropped) + " blocks below " +
+                      std::to_string(keep_from) + ", kept " +
+                      std::to_string(kept) + ": " + path_);
+  }
+  return Status::OK();
+}
+
+Status BlockStore::ReadArchivedBlocks(std::vector<Block>* out) {
+  out->clear();
+  int fd = ::open((path_ + ".archive").c_str(), O_RDONLY);
+  if (fd < 0) return Status::OK();  // never archived anything
+  off_t off = static_cast<off_t>(kLogHeaderBytes);
+  std::string payload;
+  size_t rec_len = 0;
+  BlockId last_seen = 0;
+  while (ReadRecordAt(fd, off, &payload, &rec_len)) {
+    Block b;
+    if (!BlockCodec::Decode(payload, &b, kLogV4).ok()) break;
+    off += static_cast<off_t>(rec_len);
+    // Crash-redo duplicates re-archive a prefix already present; the block
+    // ids run monotonically within each truncation batch, so a non-
+    // increasing id is a replayed record.
+    if (b.header.block_id <= last_seen) continue;
+    last_seen = b.header.block_id;
+    out->push_back(std::move(b));
+  }
+  ::close(fd);
   return Status::OK();
 }
 
 Status BlockStore::ReadBlocksAfter(BlockId after_block,
                                    std::vector<Block>* out) {
   out->clear();
+  // Snapshot (fd, end) under the lock and read through a dup: TruncateBefore
+  // swaps fd_ for the rewritten file, but the dup keeps the pre-truncation
+  // inode alive, so an overlapping scan sees a consistent (old) log instead
+  // of a reused descriptor number.
+  int fd = -1;
+  uint64_t end = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    end = append_offset_;
+    fd = fd_ >= 0 ? ::dup(fd_) : -1;
+  }
+  if (fd < 0) return Status::IOError("block log not open");
   off_t off = kLogHeaderBytes;
   std::string payload;
   size_t rec_len = 0;
-  while (static_cast<uint64_t>(off) < append_offset_) {
-    if (!ReadRecordAt(fd_, off, &payload, &rec_len)) {
-      return Status::Corruption("block log record at offset " +
-                                std::to_string(off));
+  Status result;
+  while (static_cast<uint64_t>(off) < end) {
+    if (!ReadRecordAt(fd, off, &payload, &rec_len)) {
+      result = Status::Corruption("block log record at offset " +
+                                  std::to_string(off));
+      break;
     }
     Block b;
-    HARMONY_RETURN_NOT_OK(BlockCodec::Decode(payload, &b, kLogV4));
+    result = BlockCodec::Decode(payload, &b, kLogV4);
+    if (!result.ok()) break;
     if (b.header.block_id > after_block) {
       out->push_back(std::move(b));
     }
     off += static_cast<off_t>(rec_len);
   }
-  return Status::OK();
+  ::close(fd);
+  return result;
 }
 
 Status BlockStore::ReadLast(Block* out) {
   uint64_t off;
+  int fd = -1;
   {
     std::unique_lock<std::mutex> lk(mu_);
     if (num_blocks_ == 0) return Status::NotFound("empty block log");
@@ -280,12 +450,14 @@ Status BlockStore::ReadLast(Block* out) {
     // record write is in flight so the tip we read is fully on disk.
     order_cv_.wait(lk, [&] { return writes_in_flight_ == 0; });
     off = last_record_offset_;
+    fd = fd_ >= 0 ? ::dup(fd_) : -1;  // see ReadBlocksAfter: truncation-safe
   }
+  if (fd < 0) return Status::IOError("block log not open");
   std::string payload;
   size_t rec_len = 0;
-  if (!ReadRecordAt(fd_, static_cast<off_t>(off), &payload, &rec_len)) {
-    return Status::Corruption("block log tip record");
-  }
+  const bool ok = ReadRecordAt(fd, static_cast<off_t>(off), &payload, &rec_len);
+  ::close(fd);
+  if (!ok) return Status::Corruption("block log tip record");
   return BlockCodec::Decode(payload, out, kLogV4);
 }
 

@@ -75,8 +75,15 @@ class BlockStore {
   ~BlockStore();
 
   /// Optional structured event log: Open() emits a log_migrate event when
-  /// it rewrites a pre-v4 log. Set before Open(); nullptr disables.
+  /// it rewrites a pre-v4 log; TruncateBefore emits a log_truncate event.
+  /// Set before Open(); nullptr disables.
   void SetEventLog(obs::EventLog* events) { events_ = events; }
+
+  /// When enabled, TruncateBefore appends the records it drops to
+  /// <path>.archive before committing the rewrite, so tooling (the torture
+  /// harness, audits) can reconstruct the full chain. Crash-redo may append
+  /// the same records twice; ReadArchivedBlocks dedups by block id.
+  void SetArchiveTruncated(bool on) { archive_truncated_ = on; }
 
   /// Opens the log and scans it, truncating a torn tail if present;
   /// migrates pre-v4 logs to v4 first (see class comment).
@@ -101,13 +108,51 @@ class BlockStore {
   /// Reads the whole chain (audit).
   Status ReadAll(std::vector<Block>* out) { return ReadBlocksAfter(0, out); }
 
+  /// Drops every record with block_id < keep_from — the checkpoint-anchored
+  /// retention path: once the manifest proves state through block B durable,
+  /// records below the retention window are dead weight for recovery.
+  /// Rewrites the log via write-temp (<path>.truncate) + rename, the same
+  /// crash discipline as migrate-on-open: a SIGKILL anywhere yields either
+  /// the old log or the new one, never a torn mix. Waits for in-flight
+  /// appends; the chain tip and last_block_id() are unchanged. No-op when
+  /// nothing falls below keep_from.
+  Status TruncateBefore(BlockId keep_from);
+
+  /// Reads <path>.archive (see SetArchiveTruncated): every record ever
+  /// truncated out of the live log, deduped by block id and tolerant of a
+  /// torn tail. OK with an empty vector when no archive exists.
+  Status ReadArchivedBlocks(std::vector<Block>* out);
+
   /// Reads only the chain tip (the highest-id block) in O(1) I/O — the open
   /// scan remembers the last record's offset. NotFound on an empty log.
   /// Safe against concurrent Append: waits for in-flight record writes.
   Status ReadLast(Block* out);
 
   BlockId last_block_id() const { return last_block_id_; }
+  /// Lowest block id still present in the live log; 0 when the log is
+  /// empty. A value > 1 means older records were truncated (or the log was
+  /// rebased by a snapshot install) — a joiner behind first_block_id() - 1
+  /// cannot be served by streaming and needs a snapshot.
+  BlockId first_block_id() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return first_block_id_;
+  }
   size_t num_blocks() const { return num_blocks_; }
+
+  // --- truncation accounting (relaxed, monotonic) -----------------------
+  /// Records dropped from the live log across every TruncateBefore.
+  uint64_t truncated_blocks() const {
+    return truncated_blocks_.load(std::memory_order_relaxed);
+  }
+  /// Completed TruncateBefore rewrites (no-ops excluded).
+  uint64_t truncations() const {
+    return truncations_.load(std::memory_order_relaxed);
+  }
+  /// Current live-log size in bytes (header + retained records).
+  uint64_t live_log_bytes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return append_offset_;
+  }
 
   // --- compression accounting (relaxed, monotonic; bench/ingest_bench.cc
   // reports compressed-vs-raw bytes per block from these) ---------------
@@ -133,16 +178,20 @@ class BlockStore {
   uint64_t sync_latency_us_;
   Compression compression_;
   obs::EventLog* events_ = nullptr;
+  bool archive_truncated_ = false;
   std::atomic<uint64_t> raw_bytes_{0};
   std::atomic<uint64_t> disk_bytes_{0};
   std::atomic<uint64_t> compressed_blocks_{0};
+  std::atomic<uint64_t> truncated_blocks_{0};
+  std::atomic<uint64_t> truncations_{0};
   int fd_ = -1;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable order_cv_;
   uint64_t append_offset_ = 0;
   uint64_t last_record_offset_ = 0;  ///< file offset of the tip's record
   size_t writes_in_flight_ = 0;      ///< records reserved but not yet written
   BlockId last_block_id_ = 0;
+  BlockId first_block_id_ = 0;       ///< lowest id in the live log (0 = empty)
   size_t num_blocks_ = 0;
 };
 

@@ -28,6 +28,10 @@ Result<std::unique_ptr<HarmonyBC>> HarmonyBC::Open(const Options& options) {
   ro.in_memory = options.in_memory;
   ro.disk = options.disk;
   ro.pool_pages = options.pool_pages;
+  ro.pool_stripes = options.pool_stripes;
+  ro.flush_threads = options.flush_threads;
+  ro.log_retain_blocks = options.log_retain_blocks;
+  ro.archive_truncated = options.archive_truncated;
   ro.threads = options.threads;
   ro.checkpoint_every = options.checkpoint_every;
   ro.orderer_secret = options.orderer_secret;
@@ -270,6 +274,32 @@ obs::MetricsSnapshot HarmonyBC::CollectMetrics() {
   tracer_->height->Set(static_cast<int64_t>(height()));
   tracer_->pending_receipts->Set(static_cast<int64_t>(pending_receipts()));
   tracer_->queue_depth->Set(static_cast<int64_t>(queue_depth()));
+  // Storage engine instruments are sampled the same way: the pool and the
+  // block log keep their own relaxed counters; this mirrors them into the
+  // registry so one snapshot carries everything. Counters advance by delta
+  // (registry counters are monotonic), gauges overwrite.
+  {
+    auto sync = [this](const char* name, uint64_t v) {
+      obs::Counter* c = metrics_->GetCounter(name);
+      const uint64_t cur = c->Value();
+      if (v > cur) c->Add(v - cur);
+    };
+    const BufferPoolStats ps = replica_->backend()->pool_stats();
+    const uint64_t lookups = ps.hits + ps.misses;
+    metrics_->GetGauge(obs::kGaugePoolHitRate)
+        ->Set(lookups == 0
+                  ? 0
+                  : static_cast<int64_t>((ps.hits * 100) / lookups));
+    metrics_->GetGauge(obs::kGaugePoolFrames)
+        ->Set(static_cast<int64_t>(replica_->backend()->pool_frames()));
+    sync(obs::kCounterPoolDirtyEvictions, ps.dirty_evictions);
+    sync(obs::kCounterFlushPages, ps.flushed_pages);
+    sync(obs::kCounterFlushBatches, ps.flushes);
+    BlockStore* bs = replica_->block_store();
+    sync(obs::kCounterLogTruncatedBlocks, bs->truncated_blocks());
+    metrics_->GetGauge(obs::kGaugeLogLiveBytes)
+        ->Set(static_cast<int64_t>(bs->live_log_bytes()));
+  }
   obs::MetricsSnapshot snap = metrics_->Snapshot();
   snap.slow_txns = tracer_->SlowTxns();
   return snap;

@@ -67,6 +67,11 @@ class HarmonyBC {
     bool in_memory = false;
     DiskModel disk = DiskModel::Ssd();
     size_t pool_pages = 4096;
+    /// Buffer-pool stripes (page-table / latch shards; small pools collapse
+    /// to fewer — see BufferPool).
+    size_t pool_stripes = BufferPool::kDefaultStripes;
+    /// Writer threads for the checkpoint's parallel group flush (1 = serial).
+    size_t flush_threads = BufferPool::kDefaultFlushThreads;
     size_t threads = 8;
     size_t block_size = 25;        ///< transactions per sealed block
     size_t checkpoint_every = 10;  ///< blocks between checkpoints
@@ -75,6 +80,13 @@ class HarmonyBC {
     /// fallback keeps incompressible blocks from growing; kNone stores
     /// every section raw (still a v4 log).
     Compression block_compression = Compression::kHlz;
+    /// Block-log retention (docs/FORMATS.md): each checkpoint at block B
+    /// truncates log records below B - log_retain_blocks + 1, bounding disk
+    /// at O(retention + checkpoint period). 0 keeps the full chain.
+    uint64_t log_retain_blocks = 0;
+    /// Archive truncated records to <name>.chain.archive (torture / audit
+    /// tooling ground truth; production leaves this off).
+    bool archive_truncated = false;
 
     // --- ingress subsystem ---
     /// Seal a partial block once the oldest pending txn has waited this

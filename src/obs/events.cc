@@ -36,6 +36,8 @@ std::string EventCodeName(uint16_t code) {
       return "overload_seal";
     case EventCode::kCrashPointArm:
       return "crash_point_arm";
+    case EventCode::kLogTruncate:
+      return "log_truncate";
   }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "code_%u", code);

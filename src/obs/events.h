@@ -56,6 +56,18 @@ inline constexpr char kCounterGapRejects[] = "repl.gap_rejects";
 // Frontend (either role): submits bounced with a not-leader redirect.
 inline constexpr char kCounterRedirects[] = "net.redirects";
 
+// Storage plane (striped buffer pool + block-log retention; refreshed from
+// the pool/store counters by HarmonyBC::CollectMetrics).
+inline constexpr char kGaugePoolHitRate[] = "storage.pool.hit_rate";
+inline constexpr char kGaugePoolFrames[] = "storage.pool.frames";
+inline constexpr char kCounterPoolDirtyEvictions[] =
+    "storage.pool.dirty_evictions";
+inline constexpr char kCounterFlushPages[] = "storage.flush.pages";
+inline constexpr char kCounterFlushBatches[] = "storage.flush.batches";
+inline constexpr char kCounterLogTruncatedBlocks[] =
+    "storage.log.truncated_blocks";
+inline constexpr char kGaugeLogLiveBytes[] = "storage.log.live_bytes";
+
 // ---------------------------------------------------------------------------
 
 enum class EventSeverity : uint8_t {
@@ -79,6 +91,7 @@ enum class EventCode : uint16_t {
   kJournalRecover = 9,   ///< storage: rollback journal replayed (warn)
   kOverloadSeal = 10,    ///< net server: write queue overflow seal (warn)
   kCrashPointArm = 11,   ///< testing: a crash point was armed (warn)
+  kLogTruncate = 12,     ///< block store: prefix retired by retention (info)
 };
 
 /// Human-readable name of an event code ("follower_join", ...). Unknown

@@ -60,8 +60,14 @@ void Replicator::AddPeer(const std::string& node, BlockId peer_tip,
     p.send_stamps.clear();  // a rejoin invalidates old send edges
     UpdatePeerGaugesLocked(p);
     g_peers_connected_->Set(static_cast<int64_t>(peers_.size()));
+    // A snapshot is warranted for a fresh joiner with a long log tail, and
+    // *required* for a joiner whose next block was truncated away: the
+    // first retained record is first_block_id(), so a peer at tip t can
+    // only be caught up from the log when t + 1 >= first.
+    const BlockId first = db_->replica()->block_store()->first_block_id();
     want_snapshot =
-        peer_tip == 0 && log_.tip() > opts_.snapshot_after;
+        (peer_tip == 0 && log_.tip() > opts_.snapshot_after) ||
+        (first > 1 && peer_tip + 1 < first);
   }
   db_->events()->Emit(obs::EventSeverity::kInfo,
                       obs::EventCode::kFollowerJoin,
@@ -77,8 +83,10 @@ void Replicator::AddPeer(const std::string& node, BlockId peer_tip,
           std::lock_guard<std::mutex> lk(mu_);
           auto it = peers_.find(node);
           // The peer may have dropped (or re-joined at a new tip) while the
-          // snapshot was building; only a still-fresh peer gets it.
-          if (it != peers_.end() && it->second.sent == 0 &&
+          // snapshot was building; only a peer that has not been streamed
+          // anything since its join gets it.
+          if (it != peers_.end() && it->second.sent == peer_tip &&
+              snap.base_block > peer_tip &&
               it->second.send(net::Opcode::kOpReplSnapshot, payload)) {
             it->second.sent = snap.base_block;
             snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
@@ -200,6 +208,23 @@ void Replicator::PumpLocked(Peer& p) {
     // Store reads under mu_ stall fan-out, not commits' durability — the
     // commit thread only enters here after the block is locally durable.
     if (!log_.Fetch(p.sent, room, &batch).ok() || batch.empty()) break;
+    if (batch.front().first != p.sent + 1) {
+      // Retention truncated the blocks this peer needs out from under it
+      // (it joined before the tail was dropped). Streaming the gap would
+      // desync the follower's chain; tell it to rejoin — the fresh AddPeer
+      // sees first_block_id() > peer tip and serves a snapshot instead.
+      net::WireError err;
+      err.code = Status::Code::kAborted;
+      err.message = "log truncated below " +
+                    std::to_string(batch.front().first) +
+                    "; rejoin for a snapshot";
+      std::string payload;
+      net::EncodeError(err, &payload);
+      p.send(net::Opcode::kOpError, payload);
+      p.send = nullptr;  // terminal for this connection; close follows
+      UpdatePeerGaugesLocked(p);
+      return;
+    }
     const uint64_t now = NowMicros();  // one stamp per fetched batch
     for (auto& [id, payload] : batch) {
       if (!p.send(net::Opcode::kOpReplicate, payload)) {

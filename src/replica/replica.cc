@@ -42,7 +42,9 @@ Status Replica::Open() {
     const uint64_t committed_epoch =
         manifest_->Exists() ? manifest_->Read() + 1 : 0;
     auto disk = std::make_unique<DiskBackend>(opts_.dir, opts_.name, opts_.disk,
-                                              opts_.pool_pages);
+                                              opts_.pool_pages,
+                                              opts_.pool_stripes,
+                                              opts_.flush_threads);
     disk->SetEventLog(opts_.events);
     HARMONY_RETURN_NOT_OK(disk->Open(committed_epoch));
     backend_ = std::move(disk);
@@ -55,6 +57,7 @@ Status Replica::Open() {
       opts_.dir + "/" + opts_.name + ".chain", opts_.disk.fsync_latency_us,
       opts_.block_compression);
   block_store_->SetEventLog(opts_.events);
+  block_store_->SetArchiveTruncated(opts_.archive_truncated);
   HARMONY_RETURN_NOT_OK(block_store_->Open());
   verifier_ = std::make_unique<ChainVerifier>(opts_.orderer_secret);
 
@@ -165,22 +168,38 @@ Status Replica::InstallSnapshot(
     const std::vector<std::pair<Key, std::string>>& rows) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (last_submitted_ != 0 || last_committed_ != 0) {
-      return Status::InvalidArgument("InstallSnapshot on a non-fresh replica");
+    if (last_submitted_ != last_committed_) {
+      return Status::InvalidArgument("InstallSnapshot on a busy replica");
+    }
+    if (base <= last_committed_) {
+      return Status::InvalidArgument(
+          "InstallSnapshot base " + std::to_string(base) +
+          " not ahead of local tip " + std::to_string(last_committed_));
     }
   }
-  // The snapshot is the leader's *complete* state. A fresh follower may have
-  // loaded its genesis rows already (all nodes boot from the same genesis
-  // config); drop them first so keys the leader has since erased don't
-  // survive as stale residue and skew the state digest.
+  // The snapshot is the leader's *complete* state, superseding everything
+  // local. A fresh follower may have loaded its genesis rows already (all
+  // nodes boot from the same genesis config); a rejoining follower whose
+  // leader truncated past its tip carries a whole recovered state. Either
+  // way, drop it first so keys the leader has since erased don't survive
+  // as stale residue and skew the state digest.
   std::vector<Key> existing;
   HARMONY_RETURN_NOT_OK(backend_->ScanAll(
       [&](Key k, std::string_view) { existing.push_back(k); }));
   for (Key k : existing) {
     HARMONY_RETURN_NOT_OK(backend_->Erase(k, nullptr));
   }
+  // Retained version chains would shadow the installed rows on snapshot
+  // reads; the replica is quiesced, so the chains carry nothing a future
+  // simulation may still need.
+  store_->Clear();
   for (const auto& [k, v] : rows) {
     HARMONY_RETURN_NOT_OK(backend_->Put(k, v, nullptr));
+  }
+  if (block_store_->last_block_id() < base && block_store_->num_blocks() > 0) {
+    // Rejoin path: local records at or below `base` describe a history the
+    // snapshot replaces. Empty the log so the rebase below is legal.
+    HARMONY_RETURN_NOT_OK(block_store_->TruncateBefore(base + 1));
   }
   HARMONY_RETURN_NOT_OK(block_store_->ResetTail(base));
   verifier_->Reset(tip_hash);
@@ -351,6 +370,17 @@ Status Replica::AfterCommit(const Block& block, const BlockResult& result) {
     HARMONY_CRASH_POINT("replica.checkpoint.before_manifest");
     HARMONY_RETURN_NOT_OK(manifest_->Write(id));
     HARMONY_CRASH_POINT("replica.checkpoint.after_manifest");
+    if (opts_.log_retain_blocks > 0 && opts_.persist_blocks) {
+      // The manifest just proved state through `id` durable; records below
+      // the retention window no longer serve recovery. Keeping at least the
+      // checkpoint block itself means the log is never left empty, so the
+      // recovery audit can always anchor at the first retained record.
+      const BlockId keep_from =
+          id > opts_.log_retain_blocks ? id - opts_.log_retain_blocks + 1 : 1;
+      if (keep_from > 1) {
+        HARMONY_RETURN_NOT_OK(block_store_->TruncateBefore(keep_from));
+      }
+    }
   }
   if (commit_cb_) commit_cb_(block, result);
   return Status::OK();

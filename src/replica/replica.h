@@ -32,7 +32,22 @@ struct ReplicaOptions {
   bool in_memory = false;         ///< Section 5.8 memory engine
   DiskModel disk = DiskModel::Ssd();
   size_t pool_pages = 4096;       ///< buffer pool capacity (16 MiB default)
+  /// Buffer-pool stripes (page table / latch shards; small pools collapse
+  /// to fewer — see BufferPool).
+  size_t pool_stripes = BufferPool::kDefaultStripes;
+  /// Writer threads for the checkpoint's parallel group flush (1 = serial).
+  size_t flush_threads = BufferPool::kDefaultFlushThreads;
   size_t threads = 8;             ///< execution worker threads
+
+  /// Block-log retention: at each checkpoint at block B, drop log records
+  /// below B - log_retain_blocks + 1 (BlockStore::TruncateBefore), bounding
+  /// disk usage at O(retention + checkpoint period) instead of O(chain).
+  /// Minimum effective retention is 1 block (recovery anchors the chain
+  /// audit at the first retained record). 0 disables truncation.
+  uint64_t log_retain_blocks = 0;
+  /// Copy truncated records to <name>.chain.archive before dropping them
+  /// (tooling/torture ground truth; production leaves this off).
+  bool archive_truncated = false;
 
   size_t checkpoint_every = 10;   ///< checkpoint period p, in blocks
   std::string orderer_secret = "orderer-secret";
@@ -100,10 +115,14 @@ class Replica {
   void SetCommitCallback(CommitCallback cb) { commit_cb_ = std::move(cb); }
 
   /// Installs a leader state snapshot (src/repl/follower.cc): loads the raw
-  /// backend rows, re-bases the (empty) block log and the chain verifier at
-  /// block `base` (whose block hash is `tip_hash`), and checkpoints so a
-  /// restart replays only blocks after the snapshot. The caller must not
-  /// have submitted any block yet.
+  /// backend rows, re-bases the block log and the chain verifier at block
+  /// `base` (whose block hash is `tip_hash`), and checkpoints so a restart
+  /// replays only blocks after the snapshot. Accepts a fresh replica or a
+  /// quiesced one whose tip is behind `base` — the rejoin-after-leader-
+  /// truncation path: existing state is dropped wholesale (rows, version
+  /// chains, and any log records at or below `base`) before the install.
+  /// InvalidArgument when blocks are mid-flight or `base` is not ahead of
+  /// the local tip.
   Status InstallSnapshot(BlockId base, const Digest& tip_hash,
                          const std::vector<std::pair<Key, std::string>>& rows);
 

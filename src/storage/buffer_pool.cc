@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "testing/crash_point.h"
@@ -10,6 +11,7 @@ PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
   if (this != &o) {
     Release();
     pool_ = o.pool_;
+    stripe_ = o.stripe_;
     frame_ = o.frame_;
     page_ = o.page_;
     o.pool_ = nullptr;
@@ -19,175 +21,263 @@ PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
 }
 
 void PageGuard::MarkDirty() {
-  if (pool_ != nullptr) pool_->MarkDirtyFrame(frame_);
+  if (pool_ != nullptr) pool_->MarkDirtyFrame(stripe_, frame_);
 }
 
 void PageGuard::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(frame_);
+    pool_->Unpin(stripe_, frame_);
     pool_ = nullptr;
     page_ = nullptr;
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, size_t capacity)
-    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {
-  frames_.reserve(capacity_);
+BufferPool::BufferPool(DiskManager* disk, size_t capacity, size_t stripes,
+                       size_t flush_threads)
+    : disk_(disk),
+      capacity_(capacity == 0 ? 1 : capacity),
+      flush_threads_(flush_threads == 0 ? 1 : flush_threads) {
+  // Small pools collapse to fewer stripes so each shard keeps enough frames
+  // for CLOCK to have real choices (and the seed tests' exact capacity
+  // semantics survive: a 2-page pool is still one stripe of 2 frames).
+  size_t n = std::max<size_t>(1, std::min(stripes == 0 ? 1 : stripes,
+                                          capacity_ / kMinPagesPerStripe));
+  stripes_.reserve(n);
+  const size_t base = capacity_ / n;
+  size_t rem = capacity_ % n;
+  for (size_t i = 0; i < n; i++) {
+    auto s = std::make_unique<Stripe>();
+    s->capacity = base + (rem > 0 ? 1 : 0);
+    if (rem > 0) rem--;
+    s->frames.reserve(s->capacity);
+    stripes_.push_back(std::move(s));
+  }
+  if (flush_threads_ > 1) {
+    flush_pool_ = std::make_unique<ThreadPool>(flush_threads_);
+  }
 }
 
 BufferPool::~BufferPool() {
   // Deliberately no flush: durability is the checkpoint's job (no-steal
   // contract). Tearing down with dirty pages == losing un-checkpointed
   // work, exactly like a crash; recovery replays the logical log.
-  for (Frame* f : frames_) delete f;
+  for (auto& s : stripes_) {
+    for (Frame* f : s->frames) delete f;
+  }
 }
 
 size_t BufferPool::num_frames() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return frames_.size();
+  size_t total = 0;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lk(s->mu);
+    total += s->frames.size();
+  }
+  return total;
 }
 
-size_t BufferPool::PickVictimLocked() {
+BufferPoolStats BufferPool::Snap() const {
+  BufferPoolStats out;
+  for (const auto& s : stripes_) {
+    out.hits += s->hits.load(std::memory_order_relaxed);
+    out.misses += s->misses.load(std::memory_order_relaxed);
+    out.dirty_evictions += s->dirty_evictions.load(std::memory_order_relaxed);
+  }
+  out.flushed_pages = flushed_pages_.load(std::memory_order_relaxed);
+  out.flushes = flushes_.load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t BufferPool::PickVictimLocked(Stripe& s) {
   // Room to allocate a fresh frame.
-  if (frames_.size() < capacity_) {
-    frames_.push_back(new Frame());
-    return frames_.size() - 1;
+  if (s.frames.size() < s.capacity) {
+    s.frames.push_back(new Frame());
+    return s.frames.size() - 1;
   }
   // CLOCK sweep over clean, unpinned, non-loading frames. Two full sweeps:
   // the first clears reference bits, the second takes the first candidate.
-  const size_t n = frames_.size();
+  const size_t n = s.frames.size();
   for (size_t step = 0; step < 2 * n; step++) {
-    Frame& f = *frames_[clock_hand_];
-    const size_t idx = clock_hand_;
-    clock_hand_ = (clock_hand_ + 1) % n;
+    Frame& f = *s.frames[s.clock_hand];
+    const size_t idx = s.clock_hand;
+    s.clock_hand = (s.clock_hand + 1) % n;
     if (f.pin_count > 0 || f.loading) continue;
     if (f.dirty) continue;  // no-steal: never write back outside FlushAll
     if (f.referenced) {
       f.referenced = false;
       continue;
     }
-    if (f.page_id != kInvalidPageId) page_table_.erase(f.page_id);
+    if (f.page_id != kInvalidPageId) s.page_table.erase(f.page_id);
     f.page_id = kInvalidPageId;
     return idx;
   }
-  // Every unpinned frame is dirty: grow instead of stealing.
-  stats_.dirty_evictions.fetch_add(1, std::memory_order_relaxed);
-  frames_.push_back(new Frame());
-  return frames_.size() - 1;
+  // Every unpinned frame of this stripe is dirty: grow instead of stealing.
+  s.dirty_evictions.fetch_add(1, std::memory_order_relaxed);
+  s.frames.push_back(new Frame());
+  return s.frames.size() - 1;
 }
 
 Result<PageGuard> BufferPool::FetchPage(PageId page_id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  const size_t si = page_id % stripes_.size();
+  Stripe& s = *stripes_[si];
+  std::unique_lock<std::mutex> lk(s.mu);
   while (true) {
-    auto it = page_table_.find(page_id);
-    if (it != page_table_.end()) {
-      Frame& f = *frames_[it->second];
+    auto it = s.page_table.find(page_id);
+    if (it != s.page_table.end()) {
+      Frame& f = *s.frames[it->second];
       if (f.loading) {
         // Another thread is reading this page from disk; wait for it.
-        load_cv_.wait(lk);
+        s.load_cv.wait(lk);
         continue;
       }
       f.pin_count++;
       f.referenced = true;
-      stats_.hits.fetch_add(1, std::memory_order_relaxed);
-      return PageGuard(this, it->second, &f.page);
+      s.hits.fetch_add(1, std::memory_order_relaxed);
+      return PageGuard(this, si, it->second, &f.page);
     }
     break;
   }
-  const size_t victim = PickVictimLocked();
-  Frame& f = *frames_[victim];
+  const size_t victim = PickVictimLocked(s);
+  Frame& f = *s.frames[victim];
   f.page_id = page_id;
   f.pin_count = 1;
   f.loading = true;
   f.dirty = false;
   f.referenced = true;
-  page_table_[page_id] = victim;
-  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  s.page_table[page_id] = victim;
+  s.misses.fetch_add(1, std::memory_order_relaxed);
   lk.unlock();
 
-  Status s = disk_->ReadPage(page_id, &f.page);
+  Status st = disk_->ReadPage(page_id, &f.page);
 
   lk.lock();
   f.loading = false;
-  load_cv_.notify_all();
-  if (!s.ok()) {
+  s.load_cv.notify_all();
+  if (!st.ok()) {
     f.pin_count--;
-    page_table_.erase(page_id);
+    s.page_table.erase(page_id);
     f.page_id = kInvalidPageId;
-    return s;
+    return st;
   }
-  return PageGuard(this, victim, &f.page);
+  return PageGuard(this, si, victim, &f.page);
 }
 
 Result<PageGuard> BufferPool::NewPage(PageId page_id) {
-  std::unique_lock<std::mutex> lk(mu_);
-  assert(page_table_.find(page_id) == page_table_.end());
-  const size_t victim = PickVictimLocked();
-  Frame& f = *frames_[victim];
+  const size_t si = page_id % stripes_.size();
+  Stripe& s = *stripes_[si];
+  std::unique_lock<std::mutex> lk(s.mu);
+  assert(s.page_table.find(page_id) == s.page_table.end());
+  const size_t victim = PickVictimLocked(s);
+  Frame& f = *s.frames[victim];
   f.page_id = page_id;
   f.pin_count = 1;
   f.loading = false;
   f.dirty = true;  // a new page must reach disk eventually
+  f.dirty_gen++;
   f.referenced = true;
   f.page.Zero();
-  page_table_[page_id] = victim;
-  return PageGuard(this, victim, &f.page);
+  s.page_table[page_id] = victim;
+  return PageGuard(this, si, victim, &f.page);
 }
 
 Status BufferPool::FlushAll() {
-  // Snapshot the dirty set under the lock, write outside it. Checkpointing
-  // runs while no block is mutating state, so pages cannot re-dirty
-  // concurrently.
-  std::vector<size_t> dirty;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    for (size_t i = 0; i < frames_.size(); i++) {
-      if (frames_[i]->page_id != kInvalidPageId && frames_[i]->dirty) {
-        dirty.push_back(i);
+  // One flush at a time: the write phase runs without stripe latches, and
+  // the trailing shrink deletes frames — overlap would be use-after-free.
+  std::lock_guard<std::mutex> flush_lk(flush_mu_);
+
+  // Snapshot the dirty set under the stripe latches, write outside them.
+  // The production checkpoint runs quiesced; concurrent mutators (property
+  // tests) are handled by the dirty generation: a frame re-dirtied while
+  // its write-back is in flight keeps its dirty bit for the next flush.
+  struct Item {
+    Stripe* stripe;
+    Frame* frame;
+    uint64_t gen;
+  };
+  std::vector<Item> dirty;
+  for (auto& sp : stripes_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    for (Frame* f : sp->frames) {
+      if (f->page_id != kInvalidPageId && f->dirty) {
+        dirty.push_back(Item{sp.get(), f, f->dirty_gen});
       }
     }
   }
-  for (size_t i : dirty) {
-    Frame& f = *frames_[i];
-    HARMONY_RETURN_NOT_OK(disk_->WritePage(f.page_id, f.page));
-    // Between any two page write-backs the on-disk image mixes two
-    // checkpoints — the window the rollback journal exists for.
-    HARMONY_CRASH_POINT("storage.flush.mid");
-    std::lock_guard<std::mutex> lk(mu_);
-    f.dirty = false;
+
+  Status first_error;
+  std::mutex err_mu;
+  auto flush_range = [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; i++) {
+      Stripe& s = *dirty[i].stripe;
+      Frame& f = *dirty[i].frame;
+      Status st = disk_->WritePage(f.page_id, f.page);
+      // Between any two page write-backs the on-disk image mixes two
+      // checkpoints — the window the rollback journal exists for.
+      HARMONY_CRASH_POINT("storage.flush.mid");
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (first_error.ok()) first_error = st;
+        return;
+      }
+      std::lock_guard<std::mutex> lk(s.mu);
+      if (f.dirty_gen == dirty[i].gen) f.dirty = false;
+    }
+  };
+
+  const size_t workers =
+      flush_pool_ == nullptr ? 1 : std::min(flush_threads_, dirty.size());
+  if (workers <= 1) {
+    flush_range(0, dirty.size());
+  } else {
+    const size_t per = (dirty.size() + workers - 1) / workers;
+    flush_pool_->ParallelShards(workers, [&](size_t w) {
+      const size_t lo = w * per;
+      flush_range(lo, std::min(dirty.size(), lo + per));
+    });
   }
-  // Shrink emergency growth: drop clean unpinned frames beyond capacity.
-  std::lock_guard<std::mutex> lk(mu_);
-  while (frames_.size() > capacity_) {
-    Frame* f = frames_.back();
-    if (f->pin_count > 0 || f->dirty || f->loading) break;
-    if (f->page_id != kInvalidPageId) page_table_.erase(f->page_id);
-    delete f;
-    frames_.pop_back();
+  HARMONY_RETURN_NOT_OK(first_error);
+  flushed_pages_.fetch_add(dirty.size(), std::memory_order_relaxed);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+
+  // Shrink emergency growth: drop clean unpinned frames beyond each
+  // stripe's capacity.
+  for (auto& sp : stripes_) {
+    std::lock_guard<std::mutex> lk(sp->mu);
+    while (sp->frames.size() > sp->capacity) {
+      Frame* f = sp->frames.back();
+      if (f->pin_count > 0 || f->dirty || f->loading) break;
+      if (f->page_id != kInvalidPageId) sp->page_table.erase(f->page_id);
+      delete f;
+      sp->frames.pop_back();
+    }
+    if (sp->clock_hand >= sp->frames.size()) sp->clock_hand = 0;
   }
-  if (clock_hand_ >= frames_.size()) clock_hand_ = 0;
   return Status::OK();
 }
 
 std::vector<PageId> BufferPool::DirtyPageIds() const {
-  std::lock_guard<std::mutex> lk(mu_);
   std::vector<PageId> out;
-  for (const Frame* f : frames_) {
-    if (f->page_id != kInvalidPageId && f->dirty) out.push_back(f->page_id);
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lk(s->mu);
+    for (const Frame* f : s->frames) {
+      if (f->page_id != kInvalidPageId && f->dirty) out.push_back(f->page_id);
+    }
   }
   return out;
 }
 
-void BufferPool::Unpin(size_t frame) {
-  std::lock_guard<std::mutex> lk(mu_);
-  Frame& f = *frames_[frame];
+void BufferPool::Unpin(size_t stripe, size_t frame) {
+  Stripe& s = *stripes_[stripe];
+  std::lock_guard<std::mutex> lk(s.mu);
+  Frame& f = *s.frames[frame];
   assert(f.pin_count > 0);
   f.pin_count--;
 }
 
-void BufferPool::MarkDirtyFrame(size_t frame) {
-  std::lock_guard<std::mutex> lk(mu_);
-  frames_[frame]->dirty = true;
+void BufferPool::MarkDirtyFrame(size_t stripe, size_t frame) {
+  Stripe& s = *stripes_[stripe];
+  std::lock_guard<std::mutex> lk(s.mu);
+  s.frames[frame]->dirty = true;
+  s.frames[frame]->dirty_gen++;
 }
 
 }  // namespace harmony

@@ -3,11 +3,13 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -20,8 +22,8 @@ class BufferPool;
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, size_t frame, Page* page)
-      : pool_(pool), frame_(frame), page_(page) {}
+  PageGuard(BufferPool* pool, size_t stripe, size_t frame, Page* page)
+      : pool_(pool), stripe_(stripe), frame_(frame), page_(page) {}
   PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
   PageGuard& operator=(PageGuard&& o) noexcept;
   PageGuard(const PageGuard&) = delete;
@@ -39,26 +41,47 @@ class PageGuard {
 
  private:
   BufferPool* pool_ = nullptr;
+  size_t stripe_ = 0;
   size_t frame_ = 0;
   Page* page_ = nullptr;
 };
 
+/// Point-in-time aggregate of the per-stripe counters (Snap()). A snapshot
+/// taken after an operation completed is guaranteed to include it; snapshots
+/// never under-report.
 struct BufferPoolStats {
-  std::atomic<uint64_t> hits{0};
-  std::atomic<uint64_t> misses{0};
-  std::atomic<uint64_t> dirty_evictions{0};  ///< emergency grows (no-steal)
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t dirty_evictions = 0;  ///< emergency grows (no-steal)
+  uint64_t flushed_pages = 0;    ///< pages written back by FlushAll
+  uint64_t flushes = 0;          ///< completed FlushAll calls
 };
 
-/// DRAM page cache with CLOCK eviction.
+/// DRAM page cache, sharded into cache-line-padded stripes. Each stripe owns
+/// a disjoint slice of the page-id space (page_id % stripes) with its own
+/// latch, page table, and CLOCK hand, so fetches on different stripes never
+/// contend. Eviction runs per stripe.
 ///
 /// Recovery contract (no-steal): dirty pages are never written back outside
-/// FlushAll(). If every unpinned frame is dirty, the pool grows temporarily
-/// instead of stealing, so the on-disk image always equals the last
-/// checkpoint — the precondition for deterministic logical-log replay
-/// (Section 4, "Recovery"). FlushAll() shrinks the pool back.
+/// FlushAll(). If every unpinned frame of a stripe is dirty, that stripe
+/// grows temporarily instead of stealing, so the on-disk image always equals
+/// the last checkpoint — the precondition for deterministic logical-log
+/// replay (Section 4, "Recovery"). FlushAll() shrinks the stripes back.
+///
+/// FlushAll() is a parallel group flush: the dirty set is partitioned across
+/// `flush_threads` writers over the DiskManager, turning the checkpoint
+/// stall from O(dirty) serial writes into O(dirty / flush_threads).
 class BufferPool {
  public:
-  BufferPool(DiskManager* disk, size_t capacity);
+  static constexpr size_t kDefaultStripes = 8;
+  static constexpr size_t kDefaultFlushThreads = 4;
+  /// Stripes below this many frames degenerate to contention without
+  /// capacity; small pools collapse to fewer stripes.
+  static constexpr size_t kMinPagesPerStripe = 8;
+
+  BufferPool(DiskManager* disk, size_t capacity,
+             size_t stripes = kDefaultStripes,
+             size_t flush_threads = kDefaultFlushThreads);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -71,13 +94,20 @@ class BufferPool {
   Result<PageGuard> NewPage(PageId page_id);
 
   /// Writes every dirty page to disk (checkpoint path). Pages stay cached.
+  /// Safe to call concurrently with fetches; concurrent FlushAll calls
+  /// serialize against each other.
   Status FlushAll();
 
   /// Page ids currently dirty in the pool (checkpoint journaling).
   std::vector<PageId> DirtyPageIds() const;
 
-  const BufferPoolStats& stats() const { return stats_; }
+  /// Aggregates the per-stripe lock-free counters into a value snapshot.
+  BufferPoolStats Snap() const;
+  BufferPoolStats stats() const { return Snap(); }
+
   size_t capacity() const { return capacity_; }
+  size_t num_stripes() const { return stripes_.size(); }
+  size_t flush_threads() const { return flush_threads_; }
   size_t num_frames() const;
 
  private:
@@ -90,23 +120,48 @@ class BufferPool {
     bool dirty = false;
     bool loading = false;
     bool referenced = false;
+    /// Bumped by every MarkDirty. FlushAll clears `dirty` only when the
+    /// generation still matches its snapshot, so a page re-dirtied while
+    /// its write-back was in flight stays dirty for the next flush.
+    uint64_t dirty_gen = 0;
   };
 
-  void Unpin(size_t frame);
-  void MarkDirtyFrame(size_t frame);
+  /// One shard of the pool. alignas keeps the hot latch + counters of
+  /// neighbouring stripes on distinct cache lines.
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::condition_variable load_cv;
+    std::vector<Frame*> frames;
+    std::unordered_map<PageId, size_t> page_table;
+    size_t clock_hand = 0;
+    size_t capacity = 0;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> dirty_evictions{0};
+  };
 
-  /// Picks a victim frame (clean + unpinned), growing the pool if all
-  /// candidates are dirty. Caller holds mu_.
-  size_t PickVictimLocked();
+  Stripe& StripeFor(PageId page_id) {
+    return *stripes_[page_id % stripes_.size()];
+  }
+
+  void Unpin(size_t stripe, size_t frame);
+  void MarkDirtyFrame(size_t stripe, size_t frame);
+
+  /// Picks a victim frame (clean + unpinned) inside `s`, growing the stripe
+  /// if all candidates are dirty. Caller holds s.mu.
+  size_t PickVictimLocked(Stripe& s);
 
   DiskManager* disk_;
   size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable load_cv_;
-  std::vector<Frame*> frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  size_t clock_hand_ = 0;
-  BufferPoolStats stats_;
+  size_t flush_threads_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  /// Writer pool for the parallel group flush (null when flush_threads<=1).
+  std::unique_ptr<ThreadPool> flush_pool_;
+  /// Serializes whole FlushAll calls: the write phase runs without stripe
+  /// latches, so two overlapping flushes could otherwise race the shrink.
+  std::mutex flush_mu_;
+  std::atomic<uint64_t> flushed_pages_{0};
+  std::atomic<uint64_t> flushes_{0};
 };
 
 }  // namespace harmony

@@ -24,10 +24,12 @@ constexpr uint64_t kJournalMagic2 = 0x4841524d4f4e5932ULL;  // "HARMONY2"
 }
 
 DiskBackend::DiskBackend(const std::string& dir, const std::string& name,
-                         DiskModel model, size_t pool_pages)
+                         DiskModel model, size_t pool_pages,
+                         size_t pool_stripes, size_t flush_threads)
     : journal_path_(dir + "/" + name + ".journal"),
       disk_(std::make_unique<DiskManager>(dir + "/" + name + ".tbl", model)),
-      pool_(std::make_unique<BufferPool>(disk_.get(), pool_pages)),
+      pool_(std::make_unique<BufferPool>(disk_.get(), pool_pages, pool_stripes,
+                                         flush_threads)),
       table_(std::make_unique<KvTable>(disk_.get(), pool_.get())) {}
 
 Status DiskBackend::Open(uint64_t committed_epoch) {

@@ -63,6 +63,10 @@ class StateBackend {
   virtual uint64_t page_writes() const { return 0; }
   virtual uint64_t pool_hits() const { return 0; }
   virtual uint64_t pool_misses() const { return 0; }
+  /// Buffer-pool counter snapshot; all-zero for the memory backend.
+  virtual BufferPoolStats pool_stats() const { return {}; }
+  /// Resident buffer-pool frames; zero for the memory backend.
+  virtual size_t pool_frames() const { return 0; }
 };
 
 /// Disk-oriented backend: data pages on "SSD" behind a DRAM buffer pool.
@@ -73,8 +77,12 @@ class StateBackend {
 class DiskBackend : public StateBackend {
  public:
   /// Files created: <dir>/<name>.tbl and <dir>/<name>.journal.
+  /// `pool_stripes` shards the buffer pool's page table / latches;
+  /// `flush_threads` sizes the checkpoint's parallel group flush.
   DiskBackend(const std::string& dir, const std::string& name, DiskModel model,
-              size_t pool_pages);
+              size_t pool_pages,
+              size_t pool_stripes = BufferPool::kDefaultStripes,
+              size_t flush_threads = BufferPool::kDefaultFlushThreads);
 
   /// Runs journal rollback if a previous checkpoint was interrupted, then
   /// rebuilds the index. Must be called before use. `committed_epoch` is
@@ -102,6 +110,8 @@ class DiskBackend : public StateBackend {
   uint64_t page_writes() const override { return disk_->stats().page_writes; }
   uint64_t pool_hits() const override { return pool_->stats().hits; }
   uint64_t pool_misses() const override { return pool_->stats().misses; }
+  BufferPoolStats pool_stats() const override { return pool_->Snap(); }
+  size_t pool_frames() const override { return pool_->num_frames(); }
 
   BufferPool* pool() { return pool_.get(); }
   DiskManager* disk() { return disk_.get(); }

@@ -143,6 +143,13 @@ void VersionedStore::Prune(BlockId oldest_needed) {
   }
 }
 
+void VersionedStore::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<SpinLock> lk(shard.mu);
+    shard.chains.clear();
+  }
+}
+
 size_t VersionedStore::retained_keys() const {
   size_t n = 0;
   for (const auto& shard : shards_) {

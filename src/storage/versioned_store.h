@@ -52,6 +52,12 @@ class VersionedStore {
   /// Drops version data not needed by snapshots >= `oldest_needed`.
   void Prune(BlockId oldest_needed);
 
+  /// Drops every retained chain (snapshot install on a quiesced replica:
+  /// the backend is about to be replaced wholesale, and a surviving chain
+  /// would shadow the installed rows). Caller guarantees no concurrent
+  /// simulation needs any retained snapshot.
+  void Clear();
+
   /// Number of keys with retained version chains (tests/introspection).
   size_t retained_keys() const;
 

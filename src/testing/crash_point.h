@@ -38,6 +38,8 @@ inline constexpr const char* kCrashPointCatalogue[] = {
     "chain.append.after_write",     // BlockStore::Append, record durable
     "chain.migrate.before_rename",  // BlockStore::Migrate, temp written
     "chain.migrate.after_rename",   // BlockStore::Migrate, log replaced
+    "chain.truncate.before_rename", // BlockStore::TruncateBefore, temp written
+    "chain.truncate.after_rename",  // BlockStore::TruncateBefore, log replaced
     "chain.manifest.before_rename", // CheckpointManifest::Write, temp written
     "replica.checkpoint.before_manifest",  // state flushed, manifest stale
     "replica.checkpoint.after_manifest",   // checkpoint fully committed

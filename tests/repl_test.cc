@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "chain/block.h"
+#include "chain/block_store.h"
 #include "common/clock.h"
 #include "core/harmonybc.h"
+#include "replica/replica.h"
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
@@ -79,8 +81,10 @@ bool WaitUntil(const std::function<bool()>& pred,
 /// wired the way harmonyd wires them (docs/REPLICATION.md).
 struct LeaderNode {
   LeaderNode(size_t cluster, repl::Durability durability,
-             uint64_t snapshot_after = 64) {
-    auto opened = HarmonyBC::Open(FastOpts(dir.path()));
+             uint64_t snapshot_after = 64, uint64_t retain_blocks = 0) {
+    HarmonyBC::Options o = FastOpts(dir.path());
+    o.log_retain_blocks = retain_blocks;
+    auto opened = HarmonyBC::Open(o);
     EXPECT_TRUE(opened.ok()) << opened.status().ToString();
     db = std::move(*opened);
     db->RegisterProcedure(1, "transfer", Transfer);
@@ -492,6 +496,127 @@ TEST(Repl, SnapshotCatchUpAndRestart) {
   ASSERT_OK(leader.db->Sync());  // height() lags the last block's receipts
   const BlockId tip3 = leader.db->height();
   ASSERT_TRUE(WaitUntil([&] { return follower.repl->last_applied() >= tip3; }));
+  EXPECT_EQ(DigestOf(leader.db.get()), DigestOf(follower.db.get()));
+
+  follower.StopRepl();
+}
+
+// ------------------------------------------------------------- truncation --
+
+TEST(ReplTruncate, FreshJoinerPastTruncationGetsSnapshotNotGapReject) {
+  // Retention has truncated the leader's block log below the checkpoint
+  // frontier. A fresh follower (tip 0) can no longer be caught up from the
+  // log — block 1 is gone — so the leader must hand it a state snapshot
+  // even though the backlog is far below snapshot_after. Before the
+  // truncation-aware join logic this path gap-rejected the peer forever.
+  LeaderNode leader(2, repl::Durability::kLeaderOnly,
+                    /*snapshot_after=*/1'000'000, /*retain_blocks=*/2);
+  auto session = leader.db->OpenSession();
+  for (int i = 0; i < 100; i++) {
+    TxnRequest t;
+    t.proc_id = 2;
+    t.args.ints = {i % 64, 1};
+    TxnReceipt r;
+    ASSERT_TRUE(session->Submit(std::move(t)).WaitFor(kWaitUs, &r));
+  }
+  ASSERT_OK(leader.db->Sync());
+  const BlockId tip = leader.db->height();
+  BlockStore* store = leader.db->replica()->block_store();
+  ASSERT_TRUE(WaitUntil([&] { return store->first_block_id() > 1; }))
+      << "retention never truncated the log (tip " << tip << ")";
+  const BlockId first = store->first_block_id();
+  ASSERT_GT(first, 1u);
+  ASSERT_LT(first, tip);
+
+  FollowerNode follower;
+  follower.Join(leader.port());
+  ASSERT_TRUE(WaitUntil([&] { return follower.repl->last_applied() >= tip; }))
+      << "joiner stalled at " << follower.repl->last_applied() << "/" << tip
+      << " (log starts at " << first << ")";
+  EXPECT_EQ(leader.replicator->snapshots_sent(), 1u);
+  EXPECT_EQ(follower.repl->snapshots_installed(), 1u);
+  EXPECT_EQ(DigestOf(leader.db.get()), DigestOf(follower.db.get()));
+
+  // New traffic streams on top of the installed snapshot, and a restart
+  // recovers from a local log whose first record sits past the truncation
+  // point (the chain audit anchors at the snapshot tip).
+  for (int i = 0; i < 20; i++) {
+    TxnReceipt r;
+    ASSERT_TRUE(
+        session->Submit(TransferReq(i % 64, (i + 1) % 64, 1)).WaitFor(kWaitUs,
+                                                                      &r));
+  }
+  ASSERT_OK(leader.db->Sync());
+  const BlockId tip2 = leader.db->height();
+  ASSERT_TRUE(WaitUntil([&] { return follower.repl->last_applied() >= tip2; }));
+  follower.CloseDb();
+  follower.OpenDb();
+  EXPECT_EQ(follower.db->height(), tip2);
+  EXPECT_EQ(DigestOf(leader.db.get()), DigestOf(follower.db.get()));
+}
+
+TEST(ReplTruncate, KillRejoinAcrossTruncationExactlyOnce) {
+  // A follower dies; while it is down the leader's retention truncates past
+  // the follower's recovered tip. On rejoin the follower's tip+1 is below
+  // first_block_id, so the leader must snapshot it back in — and every
+  // receipt gated on the quorum while it was down must resolve exactly once.
+  LeaderNode leader(2, repl::Durability::kQuorumAck,
+                    /*snapshot_after=*/1'000'000, /*retain_blocks=*/2);
+  FollowerNode follower;
+  follower.Join(leader.port());
+
+  auto session = leader.db->OpenSession();
+  for (int i = 0; i < 24; i++) {
+    TxnReceipt r;
+    ASSERT_TRUE(
+        session->Submit(TransferReq(i % 64, (i + 7) % 64, 1)).WaitFor(kWaitUs,
+                                                                      &r));
+  }
+  ASSERT_OK(leader.db->Sync());
+  ASSERT_TRUE(WaitUntil([&] {
+    return follower.repl->last_applied() >= leader.db->height();
+  }));
+  const BlockId follower_tip = follower.db->height();
+  ASSERT_GT(follower_tip, 0u);
+
+  // Kill the follower (replication loop AND database).
+  follower.CloseDb();
+
+  // The leader keeps committing (receipts gate, blocks don't); its
+  // checkpoints march retention past the dead follower's tip.
+  std::vector<TxnTicket> gated;
+  for (int i = 0; i < 64; i++) {
+    gated.push_back(session->Submit(TransferReq(i % 64, (i + 3) % 64, 1)));
+  }
+  BlockStore* store = leader.db->replica()->block_store();
+  ASSERT_TRUE(WaitUntil([&] {
+    return store->first_block_id() > follower_tip + 1;
+  })) << "retention never passed the follower's tip " << follower_tip
+      << " (log starts at " << store->first_block_id() << ")";
+  TxnReceipt probe;
+  EXPECT_FALSE(gated.back().WaitFor(300'000, &probe))
+      << "receipt resolved while the quorum was down";
+
+  // Restart: the recovered tip is unreachable from the leader's log, so
+  // the rejoin must come back as a snapshot install, not a gap-reject.
+  follower.OpenDb();
+  EXPECT_EQ(follower.db->height(), follower_tip);
+  follower.Join(leader.port());
+
+  size_t committed = 0;
+  for (const TxnTicket& t : gated) {
+    TxnReceipt r;
+    ASSERT_TRUE(t.WaitFor(kWaitUs, &r));
+    if (r.outcome == ReceiptOutcome::kCommitted) committed++;
+  }
+  EXPECT_GT(committed, 0u);
+  EXPECT_EQ(leader.replicator->snapshots_sent(), 1u);
+  EXPECT_EQ(follower.repl->snapshots_installed(), 1u);
+
+  ASSERT_OK(leader.db->Sync());  // height() lags the last block's receipts
+  const BlockId tip = leader.db->height();
+  ASSERT_TRUE(WaitUntil([&] { return follower.repl->last_applied() >= tip; }));
+  EXPECT_TRUE(follower.repl->connected());
   EXPECT_EQ(DigestOf(leader.db.get()), DigestOf(follower.db.get()));
 
   follower.StopRepl();

@@ -3,9 +3,15 @@
 // slotted pages).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
 #include <map>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
+#include "common/types.h"
 #include "common/thread_pool.h"
 #include "storage/kv_table.h"
 #include "storage/slotted_page.h"
@@ -136,6 +142,211 @@ TEST(KvTableProperty, SurvivesReopenAfterCheckpoint) {
     ASSERT_OK(b.Get(k, &got));
     EXPECT_EQ(got, v);
   }
+}
+
+// ------------------------------------------------- striped buffer pool --
+
+/// Stamps a recognizable (page, version) pattern into the first 64 bytes.
+void StampPage(char* data, PageId id, uint64_t ver) {
+  for (size_t i = 0; i < 8; i++) {
+    const uint64_t w = Mix64(id * 1000003 + ver * 31 + i);
+    std::memcpy(data + i * 8, &w, 8);
+  }
+}
+
+bool CheckPage(const char* data, PageId id, uint64_t ver) {
+  for (size_t i = 0; i < 8; i++) {
+    const uint64_t want = Mix64(id * 1000003 + ver * 31 + i);
+    uint64_t got;
+    std::memcpy(&got, data + i * 8, 8);
+    if (got != want) return false;
+  }
+  return true;
+}
+
+TEST(StripedPoolProperty, ConcurrentFetchFlushEvictMatchesModel) {
+  // 8 mutator threads over disjoint page sets, racing a checkpoint thread
+  // that flushes mid-stream. The pool (capacity 32 = 4 stripes) is far
+  // smaller than the 160-page working set, so eviction and no-steal growth
+  // run constantly. Mutators and the flusher share an rwlock mirroring the
+  // production contract (page *bytes* are never mutated during FlushAll;
+  // fetches and evictions race it freely).
+  constexpr size_t kPages = 160;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kOpsPerThread = 2500;
+  TempDir dir("striped");
+  DiskManager dm(dir.path() + "/pool.db", DiskModel::RamDisk());
+  BufferPool pool(&dm, 32, /*stripes=*/8, /*flush_threads=*/4);
+  ASSERT_EQ(pool.num_stripes(), 4u);  // 32 frames / 8-per-stripe floor
+
+  std::vector<uint64_t> version(kPages, 0);
+  for (PageId p = 0; p < kPages; p++) {
+    auto g = pool.NewPage(p);
+    ASSERT_OK(g.status());
+    StampPage(g->data(), p, 0);
+    g->MarkDirty();
+  }
+  ASSERT_OK(pool.FlushAll());
+
+  std::shared_mutex flush_gate;
+  std::atomic<uint64_t> total_fetches{0};
+  std::atomic<bool> failed{false};
+  auto worker = [&](size_t t) {
+    Rng rng(0xBEEF + t);
+    uint64_t fetches = 0;
+    for (size_t op = 0; op < kOpsPerThread && !failed.load(); op++) {
+      const PageId p = (rng.Uniform(kPages / kThreads)) * kThreads + t;
+      auto g = pool.FetchPage(p);
+      fetches++;
+      if (!g.ok()) {
+        failed.store(true);
+        ADD_FAILURE() << "fetch " << p << ": " << g.status().ToString();
+        break;
+      }
+      if (!CheckPage(g->data(), p, version[p])) {
+        failed.store(true);
+        ADD_FAILURE() << "page " << p << " lost version " << version[p];
+        break;
+      }
+      if (rng.Chance(0.5)) {
+        // Byte mutation excluded from FlushAll's write phase (see above);
+        // only the owner thread touches this page's bytes and version.
+        std::shared_lock<std::shared_mutex> lk(flush_gate);
+        version[p]++;
+        StampPage(g->data(), p, version[p]);
+        g->MarkDirty();
+      }
+    }
+    total_fetches.fetch_add(fetches);
+  };
+  std::atomic<bool> stop{false};
+  std::thread flusher([&] {
+    Rng rng(0xF1005);
+    while (!stop.load()) {
+      {
+        std::unique_lock<std::shared_mutex> lk(flush_gate);
+        ASSERT_OK(pool.FlushAll());
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.Uniform(500)));
+    }
+  });
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; t++) threads.emplace_back(worker, t);
+  for (auto& th : threads) th.join();
+  stop.store(true);
+  flusher.join();
+  ASSERT_FALSE(failed.load());
+  ASSERT_OK(pool.FlushAll());
+  EXPECT_TRUE(pool.DirtyPageIds().empty());
+
+  // Snap() accounting is exact once quiesced: every fetch was one hit or
+  // one miss, every disk write came from a flush, every read from a miss.
+  const BufferPoolStats snap = pool.Snap();
+  EXPECT_EQ(snap.hits + snap.misses, total_fetches.load());
+  EXPECT_EQ(dm.stats().page_writes.load(), snap.flushed_pages);
+  EXPECT_EQ(dm.stats().page_reads.load(), snap.misses);
+  EXPECT_GT(snap.misses, 0u);  // working set >> capacity: evictions happened
+
+  // The durable image matches the model exactly (a fresh pool sees only
+  // what FlushAll persisted).
+  BufferPool verify(&dm, 32);
+  for (PageId p = 0; p < kPages; p++) {
+    auto g = verify.FetchPage(p);
+    ASSERT_OK(g.status());
+    EXPECT_TRUE(CheckPage(g->data(), p, version[p])) << "page " << p;
+  }
+}
+
+TEST(StripedPoolProperty, NoStealGrowsInsteadOfWritingDirtyPages) {
+  // Dirty every page of a working set 6x the pool with no flush: the pool
+  // must grow (dirty_evictions) rather than write a single page back —
+  // the on-disk image stays the previous checkpoint, bit for bit.
+  constexpr size_t kPages = 192;
+  TempDir dir("nosteal");
+  DiskManager dm(dir.path() + "/pool.db", DiskModel::RamDisk());
+  BufferPool pool(&dm, 32, 8, 4);
+  for (PageId p = 0; p < kPages; p++) {
+    auto g = pool.NewPage(p);
+    ASSERT_OK(g.status());
+    StampPage(g->data(), p, 7);
+    g->MarkDirty();
+  }
+  EXPECT_EQ(dm.stats().page_writes.load(), 0u);  // the invariant
+  EXPECT_EQ(pool.num_frames(), kPages);          // grew to hold it all
+  const BufferPoolStats before = pool.Snap();
+  EXPECT_EQ(before.dirty_evictions, kPages - 32);
+
+  ASSERT_OK(pool.FlushAll());
+  EXPECT_EQ(dm.stats().page_writes.load(), kPages);
+  EXPECT_EQ(pool.num_frames(), 32u);  // shrunk back to capacity
+  const BufferPoolStats after = pool.Snap();
+  EXPECT_EQ(after.flushed_pages, kPages);
+  EXPECT_EQ(after.flushes, 1u);
+  for (PageId p = 0; p < kPages; p += 17) {
+    auto g = pool.FetchPage(p);
+    ASSERT_OK(g.status());
+    EXPECT_TRUE(CheckPage(g->data(), p, 7)) << "page " << p;
+  }
+}
+
+TEST(StripedPoolProperty, SnapNeverRegressesUnderConcurrency) {
+  // A sampler races mutators + a flusher and asserts every counter is
+  // monotone across snapshots — Snap() may lag but never un-counts.
+  constexpr size_t kPages = 96;
+  constexpr size_t kThreads = 6;
+  TempDir dir("snapmono");
+  DiskManager dm(dir.path() + "/pool.db", DiskModel::RamDisk());
+  BufferPool pool(&dm, 32, 8, 2);
+  for (PageId p = 0; p < kPages; p++) {
+    auto g = pool.NewPage(p);
+    ASSERT_OK(g.status());
+    StampPage(g->data(), p, 0);
+    g->MarkDirty();
+  }
+  ASSERT_OK(pool.FlushAll());
+
+  std::shared_mutex flush_gate;
+  std::atomic<bool> stop{false};
+  std::thread sampler([&] {
+    BufferPoolStats prev;
+    while (!stop.load()) {
+      const BufferPoolStats cur = pool.Snap();
+      EXPECT_GE(cur.hits, prev.hits);
+      EXPECT_GE(cur.misses, prev.misses);
+      EXPECT_GE(cur.dirty_evictions, prev.dirty_evictions);
+      EXPECT_GE(cur.flushed_pages, prev.flushed_pages);
+      EXPECT_GE(cur.flushes, prev.flushes);
+      prev = cur;
+      (void)pool.num_frames();  // stress the per-stripe latches too
+    }
+  });
+  std::thread flusher([&] {
+    while (!stop.load()) {
+      std::unique_lock<std::shared_mutex> lk(flush_gate);
+      ASSERT_OK(pool.FlushAll());
+    }
+  });
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      Rng rng(51 + t);
+      for (size_t op = 0; op < 3000; op++) {
+        const PageId p = rng.Uniform(kPages / kThreads) * kThreads + t;
+        auto g = pool.FetchPage(p);
+        ASSERT_OK(g.status());
+        if (rng.Chance(0.4)) {
+          std::shared_lock<std::shared_mutex> lk(flush_gate);
+          StampPage(g->data(), p, op);
+          g->MarkDirty();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop.store(true);
+  flusher.join();
+  sampler.join();
 }
 
 TEST(VersionedStoreProperty, RandomHistoryMatchesReference) {

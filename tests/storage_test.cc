@@ -120,8 +120,8 @@ TEST(BufferPool, HitAndMissAccounting) {
     ASSERT_TRUE(g.ok());
     EXPECT_STREQ(g->data(), "v1");
   }
-  EXPECT_EQ(pool.stats().hits.load(), 1u);
-  EXPECT_EQ(pool.stats().misses.load(), 0u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 0u);
 }
 
 TEST(BufferPool, NoStealGrowsInsteadOfWritingDirty) {
@@ -162,7 +162,7 @@ TEST(BufferPool, EvictsCleanPagesUnderPressure) {
     }
   }
   EXPECT_LE(pool.num_frames(), 2u);
-  EXPECT_GT(pool.stats().misses.load(), 8u);  // capacity misses happened
+  EXPECT_GT(pool.stats().misses, 8u);  // capacity misses happened
 }
 
 TEST(BufferPool, ConcurrentFetchSamePage) {

@@ -34,7 +34,7 @@ fi
 cmake -B "$build" -S "$root" \
   -DHARMONY_BUILD_TESTS=OFF -DHARMONY_BUILD_BENCHES=ON
 cmake --build "$build" -j"$(nproc)" \
-  --target ingest_bench net_bench fig21_storage harmonyd
+  --target ingest_bench net_bench fig21_storage large_state_bench harmonyd
 
 mkdir -p "$out"
 
@@ -52,6 +52,17 @@ fi
 # fig21_storage predates --json-out flags; the harness env var routes its
 # tables the same way.
 HARMONY_BENCH_JSON="$out/BENCH_storage.json" "$build/fig21_storage"
+
+# large_state_bench: working set >> pool — parallel group-flush scaling,
+# pool hit rate, block-log truncation bounds, cold recovery time. Its
+# tables merge into BENCH_storage.json (one storage trajectory file).
+"$build/large_state_bench" --json-out "$out/BENCH_storage.large.tmp.json"
+jq -s '{schema: .[0].schema, scale: .[0].scale,
+        tables: (.[0].tables + .[1].tables)}' \
+  "$out/BENCH_storage.json" "$out/BENCH_storage.large.tmp.json" \
+  > "$out/BENCH_storage.merged.tmp.json"
+mv "$out/BENCH_storage.merged.tmp.json" "$out/BENCH_storage.json"
+rm -f "$out/BENCH_storage.large.tmp.json"
 
 # net_bench --replicas: real 3-process leader+follower cluster over the
 # wire-v2 replication frames (docs/REPLICATION.md), quorum-ack receipts,

@@ -24,6 +24,15 @@
 //   torture --schedules 200 --seed 1            # the CI smoke invocation
 //   torture --seed 1 --schedule 137             # replay one schedule
 //   torture --schedules 50 --seed 9 --keep      # keep the chain dirs
+//   torture --truncate --schedules 100 --seed 2 # retention/truncation mode
+//
+// `--truncate` plans retention-enabled schedules instead: the child runs
+// with log_retain_blocks set (archive on), so every checkpoint drives a
+// TruncateBefore rewrite, and the crash points are biased toward the
+// chain.truncate.* rename window. Verification reconstructs the *full*
+// chain (archive + live log, deduped) for the reference replay; repl
+// schedules delay the follower's join until the leader has truncated, so
+// the join lands on the snapshot path.
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -85,12 +94,18 @@ HarmonyBC::Options DbOpts(const std::string& dir) {
   return o;
 }
 
-Result<std::unique_ptr<HarmonyBC>> BootDb(const std::string& dir) {
+Result<std::unique_ptr<HarmonyBC>> BootDb(const std::string& dir,
+                                          uint64_t retain = 0) {
   // Genesis rows are loaded only when no checkpoint exists yet: once a
   // checkpoint is durable the on-disk state *is* the genesis-plus-replay
   // baseline, and re-loading would overwrite checkpointed balances.
   const bool fresh = !CheckpointManifest(dir + "/replica.ckpt").Exists();
-  auto db = HarmonyBC::Open(DbOpts(dir));
+  HarmonyBC::Options o = DbOpts(dir);
+  if (retain > 0) {
+    o.log_retain_blocks = retain;
+    o.archive_truncated = true;  // verification's full-chain ground truth
+  }
+  auto db = HarmonyBC::Open(o);
   HARMONY_RETURN_NOT_OK(db.status());
   (*db)->RegisterProcedure(1, "transfer", Transfer);
   (*db)->RegisterProcedure(2, "increment", Increment);
@@ -136,8 +151,8 @@ Result<std::unique_ptr<HarmonyBC>> BootFollowerDb(const std::string& dir) {
 /// execution path — the SIGKILL then tears down leader and follower at the
 /// same instant, and the parent verifies both directories.
 int RunChild(const std::string& dir, uint64_t wseed, uint64_t txns,
-             bool repl) {
-  auto db = BootDb(dir);
+             bool repl, uint64_t retain) {
+  auto db = BootDb(dir, retain);
   if (!db.ok()) {
     std::fprintf(stderr, "child boot: %s\n", db.status().ToString().c_str());
     return 1;
@@ -147,6 +162,23 @@ int RunChild(const std::string& dir, uint64_t wseed, uint64_t txns,
   std::unique_ptr<net::NetServer> server;
   Result<std::unique_ptr<HarmonyBC>> fdb{std::unique_ptr<HarmonyBC>()};
   std::unique_ptr<repl::Follower> follower;
+  auto boot_follower = [&]() -> bool {
+    fdb = BootFollowerDb(dir + "/follower");
+    if (!fdb.ok()) {
+      std::fprintf(stderr, "child follower boot: %s\n",
+                   fdb.status().ToString().c_str());
+      return false;
+    }
+    repl::FollowerOptions fo;
+    fo.node = "torture-follower";
+    fo.leader_port = server->port();
+    follower = std::make_unique<repl::Follower>(fdb->get(), fo);
+    if (Status s = follower->Start(); !s.ok()) {
+      std::fprintf(stderr, "child follower: %s\n", s.ToString().c_str());
+      return false;
+    }
+    return true;
+  };
   if (repl) {
     repl::ReplicatorOptions ro;
     ro.cluster_size = 2;
@@ -162,23 +194,21 @@ int RunChild(const std::string& dir, uint64_t wseed, uint64_t txns,
       std::fprintf(stderr, "child server: %s\n", s.ToString().c_str());
       return 1;
     }
-    fdb = BootFollowerDb(dir + "/follower");
-    if (!fdb.ok()) {
-      std::fprintf(stderr, "child follower boot: %s\n",
-                   fdb.status().ToString().c_str());
-      return 1;
-    }
-    repl::FollowerOptions fo;
-    fo.node = "torture-follower";
-    fo.leader_port = server->port();
-    follower = std::make_unique<repl::Follower>(fdb->get(), fo);
-    if (Status s = follower->Start(); !s.ok()) {
-      std::fprintf(stderr, "child follower: %s\n", s.ToString().c_str());
-      return 1;
-    }
+    // Truncation schedules delay the join until the leader has committed
+    // (and truncated) half the workload, so the joiner's catch-up lands on
+    // the snapshot path, not a plain log stream.
+    if (retain == 0 && !boot_follower()) return 1;
   }
   Rng rng(wseed);
   for (uint64_t i = 0; i < txns; i++) {
+    if (repl && retain > 0 && follower == nullptr && i == txns / 2) {
+      if (Status s = (*db)->Sync(); !s.ok()) {
+        std::fprintf(stderr, "child midpoint sync: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      if (!boot_follower()) return 1;
+    }
     TxnRequest t;
     if (rng.Chance(0.7)) {
       t.proc_id = 2;  // increment
@@ -279,6 +309,7 @@ struct Schedule {
   bool torn = false;
   bool migrate = false;  // pre-build a v3 log first
   bool repl = false;     // run a leader+follower replication pair
+  uint64_t retain = 0;   // >0: retention-enabled child (truncate mode)
   uint64_t wseed = 0;    // child workload seed
   uint64_t txns = 0;
   size_t migrate_blocks = 0;
@@ -295,11 +326,43 @@ struct Schedule {
   }
 };
 
-Schedule PlanSchedule(uint64_t run_seed, uint64_t k) {
+Schedule PlanSchedule(uint64_t run_seed, uint64_t k, bool truncate_mode) {
   FuzzRng rng(CaseSeed(run_seed, k));
   Schedule s;
   s.wseed = rng.U64();
-  s.txns = rng.Range(48, 120);
+  if (truncate_mode) {
+    // Retention-enabled child: every checkpoint past the retention horizon
+    // rewrites the log, so the truncate rename window is on the hot path
+    // many times per run. Longer workloads give several truncations.
+    s.txns = rng.Range(64, 140);
+    s.retain = 2 + rng.Index(4);  // keep 2..5 blocks
+    if (rng.Chance(0.6)) {
+      s.point = rng.Chance(0.5) ? "chain.truncate.before_rename"
+                                : "chain.truncate.after_rename";
+      s.hit = 1 + rng.Index(3);
+    } else {
+      // The rest draw from the generic pool so storage/chain/repl crashes
+      // also land while retention is rewriting the log underneath them.
+      std::vector<const char*> pool;
+      for (size_t i = 0; i < testing::kNumCrashPoints; i++) {
+        if (std::strncmp(testing::kCrashPointCatalogue[i], "chain.migrate.",
+                         14) != 0) {
+          pool.push_back(testing::kCrashPointCatalogue[i]);
+        }
+      }
+      s.point = pool[rng.Index(pool.size())];
+      s.hit = 1 + rng.Index(10);
+    }
+    if (s.point == "chain.append.torn_write") {
+      s.torn = true;
+      s.frac = 0.05 + 0.9 * (static_cast<double>(rng.Index(1000)) / 1000.0);
+    }
+    // Truncate-then-follower-join: the child delays the join until the
+    // leader has truncated, forcing the snapshot catch-up path.
+    s.repl =
+        std::strncmp(s.point.c_str(), "repl.", 5) == 0 || rng.Chance(0.35);
+    return s;
+  }
   s.migrate = rng.Chance(0.2);
   s.migrate_blocks = s.migrate ? 2 + rng.Index(6) : 0;
 
@@ -333,9 +396,18 @@ Schedule PlanSchedule(uint64_t run_seed, uint64_t k) {
 }
 
 /// Recovers the schedule's directory and checks it against an independent
-/// replay of its own persisted chain. Returns false (with a diagnostic) on
+/// replay of its full persisted chain — archive + live log in truncate
+/// mode, just the live log otherwise. Returns false (with a diagnostic) on
 /// any divergence.
-bool VerifySchedule(const std::string& dir) {
+///
+/// `leader_chain` covers the follower of a truncation schedule: a follower
+/// that joined via snapshot has no genesis-rooted chain of its own, so the
+/// reference replays the *leader's* full chain up to the follower's
+/// recovered height instead. `full_out`, when set, receives this
+/// directory's reconstructed full chain (for exactly that hand-off).
+bool VerifySchedule(const std::string& dir,
+                    const std::vector<Block>* leader_chain = nullptr,
+                    std::vector<Block>* full_out = nullptr) {
   auto db = BootDb(dir);
   if (!db.ok()) {
     std::fprintf(stderr, "recover failed: %s\n",
@@ -352,10 +424,67 @@ bool VerifySchedule(const std::string& dir) {
                  recovered.status().ToString().c_str());
     return false;
   }
-  std::vector<Block> blocks;
-  if (Status s = (*db)->replica()->block_store()->ReadAll(&blocks); !s.ok()) {
+  BlockStore* store = (*db)->replica()->block_store();
+  std::vector<Block> live;
+  if (Status s = store->ReadAll(&live); !s.ok()) {
     std::fprintf(stderr, "chain read failed: %s\n", s.ToString().c_str());
     return false;
+  }
+  // Full chain = everything retention archived below the live log's first
+  // record, then the live log. A crash between archive-append and rename
+  // leaves the same records in both places; the id cut dedups them.
+  std::vector<Block> archived;
+  if (Status s = store->ReadArchivedBlocks(&archived); !s.ok()) {
+    std::fprintf(stderr, "archive read failed: %s\n", s.ToString().c_str());
+    return false;
+  }
+  const BlockId live_first =
+      live.empty() ? 0 : live.front().header.block_id;
+  std::vector<Block> blocks;
+  for (Block& b : archived) {
+    if (live.empty() || b.header.block_id < live_first) {
+      blocks.push_back(std::move(b));
+    }
+  }
+  for (Block& b : live) blocks.push_back(std::move(b));
+  for (size_t i = 1; i < blocks.size(); i++) {
+    if (blocks[i].header.block_id != blocks[i - 1].header.block_id + 1) {
+      std::fprintf(stderr,
+                   "full chain has a gap: block %" PRIu64 " follows %" PRIu64
+                   "\n",
+                   static_cast<uint64_t>(blocks[i].header.block_id),
+                   static_cast<uint64_t>(blocks[i - 1].header.block_id));
+      return false;
+    }
+  }
+  if (full_out != nullptr) *full_out = blocks;
+
+  // A snapshot-installed follower's chain starts past genesis (or is empty
+  // at a non-zero height, when the kill landed right after the install):
+  // its state can only be re-derived from the leader's genesis-rooted chain.
+  if ((!blocks.empty() && blocks.front().header.block_id != 1) ||
+      (blocks.empty() && (*db)->height() > 0)) {
+    if (leader_chain == nullptr) {
+      std::fprintf(stderr,
+                   "chain starts at block %" PRIu64
+                   " with no reference chain to replay\n",
+                   blocks.empty()
+                       ? uint64_t{0}
+                       : static_cast<uint64_t>(blocks.front().header.block_id));
+      return false;
+    }
+    blocks.clear();
+    const BlockId h = (*db)->height();
+    for (const Block& b : *leader_chain) {
+      if (b.header.block_id <= h) blocks.push_back(b);
+    }
+    if (blocks.empty() || blocks.back().header.block_id != h) {
+      std::fprintf(stderr,
+                   "leader chain does not cover follower height %" PRIu64
+                   "\n",
+                   static_cast<uint64_t>(h));
+      return false;
+    }
   }
 
   // Independent reference: a fresh in-memory replica replays the recovered
@@ -406,8 +535,10 @@ bool VerifySchedule(const std::string& dir) {
 }
 
 int RunSchedule(const std::string& exe, const std::string& base_dir,
-                uint64_t run_seed, uint64_t k, bool keep) {
-  const Schedule plan = PlanSchedule(run_seed, k);
+                uint64_t run_seed, uint64_t k, bool keep,
+                bool truncate_mode) {
+  const Schedule plan = PlanSchedule(run_seed, k, truncate_mode);
+  const char* mode_flag = truncate_mode ? " --truncate" : "";
   const std::string dir = base_dir + "/s" + std::to_string(k);
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
@@ -434,15 +565,18 @@ int RunSchedule(const std::string& exe, const std::string& base_dir,
     ::setenv("HARMONY_CRASH", plan.EnvSpec().c_str(), 1);
     const std::string wseed = std::to_string(plan.wseed);
     const std::string txns = std::to_string(plan.txns);
-    if (plan.repl) {
-      ::execl(exe.c_str(), exe.c_str(), "--child", "--dir", dir.c_str(),
-              "--wseed", wseed.c_str(), "--txns", txns.c_str(), "--repl",
-              static_cast<char*>(nullptr));
+    const std::string retain = std::to_string(plan.retain);
+    std::vector<const char*> args = {exe.c_str(),    "--child", "--dir",
+                                     dir.c_str(),    "--wseed", wseed.c_str(),
+                                     "--txns",       txns.c_str()};
+    if (plan.repl) args.push_back("--repl");
+    if (plan.retain > 0) {
+      args.push_back("--retain");
+      args.push_back(retain.c_str());
     }
-    ::execl(exe.c_str(), exe.c_str(), "--child", "--dir", dir.c_str(),
-            "--wseed", wseed.c_str(), "--txns", txns.c_str(),
-            static_cast<char*>(nullptr));
-    std::perror("execl");
+    args.push_back(nullptr);
+    ::execv(exe.c_str(), const_cast<char* const*>(args.data()));
+    std::perror("execv");
     ::_exit(127);
   }
 
@@ -457,31 +591,34 @@ int RunSchedule(const std::string& exe, const std::string& base_dir,
   if (!killed && !completed) {
     std::fprintf(stderr,
                  "schedule %" PRIu64 " (%s): child failed (wstatus 0x%x)\n"
-                 "reproduce: torture --seed %" PRIu64 " --schedule %" PRIu64
+                 "reproduce: torture%s --seed %" PRIu64 " --schedule %" PRIu64
                  "\n",
-                 k, plan.EnvSpec().c_str(), wstatus, run_seed, k);
+                 k, plan.EnvSpec().c_str(), wstatus, mode_flag, run_seed, k);
     return 1;
   }
-  if (!VerifySchedule(dir)) {
+  std::vector<Block> leader_chain;
+  if (!VerifySchedule(dir, nullptr, plan.repl ? &leader_chain : nullptr)) {
     std::fprintf(stderr,
                  "schedule %" PRIu64 " (%s, %s): recovery check FAILED\n"
-                 "reproduce: torture --seed %" PRIu64 " --schedule %" PRIu64
+                 "reproduce: torture%s --seed %" PRIu64 " --schedule %" PRIu64
                  "\n",
                  k, plan.EnvSpec().c_str(), killed ? "killed" : "ran out",
-                 run_seed, k);
+                 mode_flag, run_seed, k);
     return 1;
   }
   // A repl schedule killed leader and follower at the same instant; the
   // follower's directory must recover exactly like any replica's. The dir
-  // may be absent when the kill landed before the follower booted.
+  // may be absent when the kill landed before the follower booted. A
+  // truncation-schedule follower may have snapshot-joined — its reference
+  // is the leader's full chain.
   if (plan.repl && std::filesystem::exists(dir + "/follower") &&
-      !VerifySchedule(dir + "/follower")) {
+      !VerifySchedule(dir + "/follower", &leader_chain)) {
     std::fprintf(stderr,
                  "schedule %" PRIu64 " (%s, %s): FOLLOWER recovery check "
-                 "FAILED\nreproduce: torture --seed %" PRIu64
+                 "FAILED\nreproduce: torture%s --seed %" PRIu64
                  " --schedule %" PRIu64 "\n",
                  k, plan.EnvSpec().c_str(), killed ? "killed" : "ran out",
-                 run_seed, k);
+                 mode_flag, run_seed, k);
     return 1;
   }
   if (!keep) std::filesystem::remove_all(dir, ec);
@@ -498,8 +635,10 @@ int TortureMain(int argc, char** argv) {
   bool child = false;
   bool keep = false;
   bool repl = false;
+  bool truncate_mode = false;
   uint64_t wseed = 0;
   uint64_t txns = 0;
+  uint64_t retain = 0;
 
   for (int i = 1; i < argc; i++) {
     const std::string a = argv[i];
@@ -529,6 +668,10 @@ int TortureMain(int argc, char** argv) {
       txns = std::strtoull(next(), nullptr, 0);
     } else if (a == "--repl") {
       repl = true;
+    } else if (a == "--truncate") {
+      truncate_mode = true;
+    } else if (a == "--retain") {
+      retain = std::strtoull(next(), nullptr, 0);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", a.c_str());
       return 2;
@@ -540,7 +683,7 @@ int TortureMain(int argc, char** argv) {
       std::fprintf(stderr, "--child needs --dir\n");
       return 2;
     }
-    return RunChild(dir, wseed, txns, repl);
+    return RunChild(dir, wseed, txns, repl, retain);
   }
 
   char exe[4096];
@@ -565,16 +708,17 @@ int TortureMain(int argc, char** argv) {
   const uint64_t first = have_only ? only_schedule : 0;
   const uint64_t last = have_only ? only_schedule + 1 : schedules;
   for (uint64_t k = first; k < last; k++) {
-    const int rc = RunSchedule(exe, dir, seed, k, keep || have_only);
+    const int rc =
+        RunSchedule(exe, dir, seed, k, keep || have_only, truncate_mode);
     if (rc != 0) return rc;
   }
   if (own_dir && !keep && !have_only) {
     std::error_code ec;
     std::filesystem::remove_all(dir, ec);
   }
-  std::printf("torture: %" PRIu64 " schedule(s) passed (seed %" PRIu64
+  std::printf("torture%s: %" PRIu64 " schedule(s) passed (seed %" PRIu64
               ", digests verified against reference replay)\n",
-              last - first, seed);
+              truncate_mode ? " (truncate mode)" : "", last - first, seed);
   return 0;
 }
 
